@@ -1,0 +1,5 @@
+//! Prints the abl_cache_split table; see the module docs in `dpdpu_bench::abl_cache_split`.
+
+fn main() {
+    println!("{}", dpdpu_bench::abl_cache_split::run());
+}

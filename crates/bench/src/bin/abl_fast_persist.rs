@@ -1,0 +1,5 @@
+//! Prints the abl_fast_persist table; see the module docs in `dpdpu_bench::abl_fast_persist`.
+
+fn main() {
+    println!("{}", dpdpu_bench::abl_fast_persist::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the abl_fusion table; see the module docs in `dpdpu_bench::abl_fusion`.
+
+fn main() {
+    println!("{}", dpdpu_bench::abl_fusion::run());
+}

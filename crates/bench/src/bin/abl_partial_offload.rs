@@ -1,0 +1,5 @@
+//! Prints the abl_partial_offload table; see the module docs in `dpdpu_bench::abl_partial_offload`.
+
+fn main() {
+    println!("{}", dpdpu_bench::abl_partial_offload::run());
+}

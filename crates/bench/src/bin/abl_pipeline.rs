@@ -1,0 +1,5 @@
+//! Prints the abl_pipeline table; see the module docs in `dpdpu_bench::abl_pipeline`.
+
+fn main() {
+    println!("{}", dpdpu_bench::abl_pipeline::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the abl_placement table; see the module docs in `dpdpu_bench::abl_placement`.
+
+fn main() {
+    println!("{}", dpdpu_bench::abl_placement::run());
+}

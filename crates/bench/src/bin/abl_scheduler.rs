@@ -1,0 +1,5 @@
+//! Prints the abl_scheduler table; see the module docs in `dpdpu_bench::abl_scheduler`.
+
+fn main() {
+    println!("{}", dpdpu_bench::abl_scheduler::run());
+}

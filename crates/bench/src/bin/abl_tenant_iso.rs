@@ -1,0 +1,5 @@
+//! Prints the abl_tenant_iso table; see the module docs in `dpdpu_bench::abl_tenant_iso`.
+
+fn main() {
+    println!("{}", dpdpu_bench::abl_tenant_iso::run());
+}

@@ -1,0 +1,9 @@
+//! Regenerates every figure and ablation table in experiment-id order —
+//! the artifact EXPERIMENTS.md records.
+
+fn main() {
+    for (id, runner) in dpdpu_bench::all() {
+        println!("=== {id} ===");
+        println!("{}", runner());
+    }
+}

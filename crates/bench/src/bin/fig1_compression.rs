@@ -1,0 +1,5 @@
+//! Prints the fig1_compression table; see the module docs in `dpdpu_bench::fig1_compression`.
+
+fn main() {
+    println!("{}", dpdpu_bench::fig1_compression::run());
+}

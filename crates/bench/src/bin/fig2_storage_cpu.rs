@@ -1,0 +1,5 @@
+//! Prints the fig2_storage_cpu table; see the module docs in `dpdpu_bench::fig2_storage_cpu`.
+
+fn main() {
+    println!("{}", dpdpu_bench::fig2_storage_cpu::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the fig3_network_cpu table; see the module docs in `dpdpu_bench::fig3_network_cpu`.
+
+fn main() {
+    println!("{}", dpdpu_bench::fig3_network_cpu::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the fig7_rdma table; see the module docs in `dpdpu_bench::fig7_rdma`.
+
+fn main() {
+    println!("{}", dpdpu_bench::fig7_rdma::run());
+}

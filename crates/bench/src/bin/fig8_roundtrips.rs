@@ -1,0 +1,5 @@
+//! Prints the fig8_roundtrips table; see the module docs in `dpdpu_bench::fig8_roundtrips`.
+
+fn main() {
+    println!("{}", dpdpu_bench::fig8_roundtrips::run());
+}

@@ -1,0 +1,5 @@
+//! Prints the fig9_dds_savings table; see the module docs in `dpdpu_bench::fig9_dds_savings`.
+
+fn main() {
+    println!("{}", dpdpu_bench::fig9_dds_savings::run());
+}

@@ -1,0 +1,162 @@
+//! **Figure 9 / §9 — DDS saves host CPU cores.**
+//!
+//! Paper: DDS integrated with FASTER and Azure SQL Hyperscale "can save
+//! up to 10s of CPU cores per storage server". We run the mini-FASTER
+//! workload through the full server at a fixed offered rate, sweep the
+//! fraction of requests the offload engine can take (by shrinking the
+//! DPU-resident index), and report host cores with and without DDS —
+//! then scale the per-request saving to a production request rate to
+//! recover the paper's headline.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use dpdpu_des::{now, Sim};
+use dpdpu_dds::kv::INDEX_ENTRY_BYTES;
+use dpdpu_dds::server::{Dds, DdsClient, DdsConfig};
+use dpdpu_hw::{CpuPool, LinkConfig, Platform};
+use dpdpu_net::tcp::{tcp_stream, TcpParams, TcpSide};
+
+use crate::table::Table;
+
+const KEYS: u64 = 128;
+const GETS: u64 = 1_024;
+const VALUE: usize = 512;
+
+/// Runs the sweep and renders the table.
+pub fn run() -> String {
+    let mut table = Table::new(&[
+        "dpu_index_coverage",
+        "offload_fraction",
+        "host_cores",
+        "host_cyc_per_req",
+    ]);
+    let mut baseline_cyc = 0.0;
+    let mut best_cyc = f64::MAX;
+    for coverage_pct in [0u64, 25, 50, 75, 100] {
+        let budget = KEYS * coverage_pct / 100 * INDEX_ENTRY_BYTES;
+        let m = measure(coverage_pct > 0, budget);
+        if coverage_pct == 0 {
+            baseline_cyc = m.cyc_per_req;
+        }
+        best_cyc = best_cyc.min(m.cyc_per_req);
+        table.row(vec![
+            format!("{coverage_pct}%"),
+            format!("{:.2}", m.offload_fraction),
+            format!("{:.3}", m.host_cores),
+            format!("{:.0}", m.cyc_per_req),
+        ]);
+    }
+    // Scale to a production storage server: FASTER-class KV servers
+    // sustain several million ops/sec per box.
+    let rate: f64 = 5_000_000.0;
+    let saved_cores = (baseline_cyc - best_cyc) * rate / 3.0e9;
+    format!(
+        "## Figure 9 / §9: DDS host-CPU savings (mini-FASTER read workload)\n\
+         (paper shape: host cost falls as the offload fraction rises; at \
+         production rates the saving is 10s of cores)\n\n{}\
+         \nper-request saving x {:.0}M req/s / 3 GHz => {:.0} host cores saved\n",
+        table.render(),
+        rate / 1e6,
+        saved_cores,
+    )
+}
+
+struct Measurement {
+    offload_fraction: f64,
+    host_cores: f64,
+    cyc_per_req: f64,
+}
+
+fn measure(offload: bool, kv_index_budget: u64) -> Measurement {
+    let mut sim = Sim::new();
+    let out = Rc::new(Cell::new((0.0f64, 0.0f64, 0.0f64)));
+    let out2 = out.clone();
+    sim.spawn(async move {
+        let platform = Platform::default_bf2();
+        let dds = Dds::build(
+            platform.clone(),
+            DdsConfig {
+                offload_enabled: offload,
+                kv_index_budget: kv_index_budget.max(1),
+                ..DdsConfig::default()
+            },
+        )
+        .await;
+        let client_cpu = CpuPool::new("client", 16, 3_000_000_000);
+        let server_side = TcpSide::offloaded(
+            platform.host_cpu.clone(),
+            platform.dpu_cpu.clone(),
+            platform.host_dpu_pcie.clone(),
+        );
+        let client_side = TcpSide::host(client_cpu);
+        let (c2s_tx, c2s_rx) = tcp_stream(
+            client_side.clone(),
+            server_side.clone(),
+            LinkConfig::rack_100g(),
+            TcpParams::default(),
+        );
+        let (s2c_tx, s2c_rx) = tcp_stream(
+            server_side,
+            client_side,
+            LinkConfig::rack_100g(),
+            TcpParams::default(),
+        );
+        dds.serve(c2s_rx, s2c_tx);
+        let client = DdsClient::new(c2s_tx, s2c_rx);
+
+        for k in 0..KEYS {
+            client.kv_put(k, Bytes::from(vec![k as u8; VALUE])).await;
+        }
+        platform.host_cpu.reset_stats();
+        dds.served_dpu.reset();
+        dds.served_host.reset();
+        let t0 = now();
+        let mut x = 0x2545F491u64;
+        for _ in 0..GETS {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            client.kv_get(x % KEYS).await.expect("loaded key");
+        }
+        let elapsed = (now() - t0).max(1);
+        let frac =
+            dds.served_dpu.get() as f64 / (dds.served_dpu.get() + dds.served_host.get()) as f64;
+        let cores = platform.host_cpu.cores_consumed(elapsed);
+        let cyc_per_req = platform.host_cpu.busy_ns() as f64 * 3.0 / GETS as f64;
+        out2.set((frac, cores, cyc_per_req));
+    });
+    sim.run();
+    let (offload_fraction, host_cores, cyc_per_req) = out.get();
+    Measurement { offload_fraction, host_cores, cyc_per_req }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_cost_falls_with_offload_fraction() {
+        let none = measure(false, 1);
+        let half = measure(true, KEYS / 2 * INDEX_ENTRY_BYTES);
+        let full = measure(true, KEYS * INDEX_ENTRY_BYTES);
+        assert!(none.offload_fraction == 0.0);
+        assert!((0.3..0.7).contains(&half.offload_fraction), "{}", half.offload_fraction);
+        assert!(full.offload_fraction > 0.95, "{}", full.offload_fraction);
+        assert!(half.cyc_per_req < none.cyc_per_req);
+        assert!(full.cyc_per_req < half.cyc_per_req);
+    }
+
+    #[test]
+    fn full_offload_saves_an_order_of_magnitude() {
+        let none = measure(false, 1);
+        let full = measure(true, KEYS * INDEX_ENTRY_BYTES);
+        assert!(
+            full.cyc_per_req * 5.0 < none.cyc_per_req,
+            "baseline={} offloaded={}",
+            none.cyc_per_req,
+            full.cyc_per_req
+        );
+    }
+}

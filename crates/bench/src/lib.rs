@@ -1,0 +1,54 @@
+//! # dpdpu-bench — regenerating the paper's figures
+//!
+//! One module per quantitative figure in the paper plus the ablations
+//! DESIGN.md calls out. Each module exposes `run() -> String`: it builds
+//! the relevant workload on the simulated platform, sweeps the figure's
+//! x-axis, and returns the table the paper plots — alongside a note of
+//! the *shape* the paper reports, which is the reproduction target
+//! (absolute numbers come from the authors' testbed; ours come from the
+//! calibrated models in `dpdpu_hw::costs`).
+//!
+//! Binaries: `fig1_compression`, `fig2_storage_cpu`, `fig3_network_cpu`,
+//! `fig7_rdma`, `fig8_roundtrips`, `fig9_dds_savings`, `abl_scheduler`,
+//! `abl_placement`, `abl_cache_split`, `abl_fast_persist`,
+//! `abl_partial_offload`, `abl_tenant_iso`, `abl_pipeline`, and
+//! `all_figures` (runs everything).
+
+pub mod abl_cache_split;
+pub mod abl_fast_persist;
+pub mod abl_fusion;
+pub mod abl_partial_offload;
+pub mod abl_pipeline;
+pub mod abl_placement;
+pub mod abl_scheduler;
+pub mod abl_tenant_iso;
+pub mod fig1_compression;
+pub mod fig2_storage_cpu;
+pub mod fig3_network_cpu;
+pub mod fig7_rdma;
+pub mod fig8_roundtrips;
+pub mod fig9_dds_savings;
+pub mod table;
+
+/// A figure/ablation runner.
+pub type Runner = fn() -> String;
+
+/// Every figure/ablation in experiment-id order: `(id, runner)`.
+pub fn all() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("fig1", fig1_compression::run as Runner),
+        ("fig2", fig2_storage_cpu::run),
+        ("fig3", fig3_network_cpu::run),
+        ("fig7", fig7_rdma::run),
+        ("fig8", fig8_roundtrips::run),
+        ("fig9", fig9_dds_savings::run),
+        ("A1", abl_scheduler::run),
+        ("A2", abl_placement::run),
+        ("A3", abl_cache_split::run),
+        ("A4", abl_fast_persist::run),
+        ("A5", abl_partial_offload::run),
+        ("A6", abl_tenant_iso::run),
+        ("A7", abl_pipeline::run),
+        ("A8", abl_fusion::run),
+    ]
+}

@@ -1,0 +1,24 @@
+//! # dpdpu-core — the DPDPU runtime (paper §4, Figure 5)
+//!
+//! One object, [`Dpdpu`], assembles the three engines over a platform:
+//!
+//! * the **Compute Engine** (`dpdpu_compute`) for DP kernels and sprocs;
+//! * the **Network Engine** (`dpdpu_net`) for TCP/RDMA offloading;
+//! * the **Storage Engine** (`dpdpu_storage`) for the DPU file service
+//!   and the host front end.
+//!
+//! The engines compose (§4 "Interactions"): shared state lives in DPU
+//! memory (`platform.dpu_mem`), and one engine's output streams into the
+//! next without barriers — see [`Dpdpu::read_compress_send`], the §4
+//! walk-through ("read the data from local SSDs using the Storage
+//! Engine … compress … in the DPU compression accelerator … deliver the
+//! result to the client"), and the sproc registry implementing Figure 6's
+//! programming model.
+
+mod report;
+mod runtime;
+mod sproc;
+
+pub use report::Report;
+pub use runtime::Dpdpu;
+pub use sproc::{SprocError, SprocRegistry};

@@ -1,0 +1,108 @@
+//! The traffic director (paper §9, Q2).
+//!
+//! Every remote request reaches the DPU first. The director decides, per
+//! reassembled message, whether DDS on the DPU serves it or it is
+//! forwarded to the host endpoint. Transport semantics survive because
+//! the connection terminates on the DPU either way: ordering and
+//! reliability are provided once, below the director, and both serving
+//! paths answer through the same connection (no second transport state
+//! machine on the host).
+
+use std::cell::Cell;
+
+use dpdpu_des::Counter;
+
+/// Where a request is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Served by the offload engine on the DPU.
+    Dpu,
+    /// Forwarded to the host endpoint over PCIe.
+    Host,
+}
+
+/// Directs classified requests and keeps the split observable.
+pub struct TrafficDirector {
+    /// Requests routed to the DPU.
+    pub to_dpu: Counter,
+    /// Requests routed to the host.
+    pub to_host: Counter,
+    /// Hard switch: when false everything goes to the host (the legacy
+    /// baseline DDS is compared against).
+    offload_enabled: Cell<bool>,
+}
+
+impl Default for TrafficDirector {
+    fn default() -> Self {
+        Self::new(true)
+    }
+}
+
+impl TrafficDirector {
+    /// Creates a director; `offload_enabled=false` models the pre-DDS
+    /// server where the DPU is a plain NIC.
+    pub fn new(offload_enabled: bool) -> Self {
+        TrafficDirector {
+            to_dpu: Counter::new(),
+            to_host: Counter::new(),
+            offload_enabled: Cell::new(offload_enabled),
+        }
+    }
+
+    /// Applies the classification, recording the outcome. `wants_dpu` is
+    /// the application/UDF-level judgement (e.g. "index entry resident on
+    /// DPU", "page clean").
+    pub fn route(&self, wants_dpu: bool) -> Route {
+        if self.offload_enabled.get() && wants_dpu {
+            self.to_dpu.inc();
+            Route::Dpu
+        } else {
+            self.to_host.inc();
+            Route::Host
+        }
+    }
+
+    /// Fraction of traffic that stayed on the DPU.
+    pub fn offload_fraction(&self) -> f64 {
+        let total = self.to_dpu.get() + self.to_host.get();
+        if total == 0 {
+            0.0
+        } else {
+            self.to_dpu.get() as f64 / total as f64
+        }
+    }
+
+    /// Enables/disables offloading at runtime.
+    pub fn set_offload(&self, enabled: bool) {
+        self.offload_enabled.set(enabled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_respect_classification() {
+        let d = TrafficDirector::new(true);
+        assert_eq!(d.route(true), Route::Dpu);
+        assert_eq!(d.route(false), Route::Host);
+        assert_eq!(d.to_dpu.get(), 1);
+        assert_eq!(d.to_host.get(), 1);
+        assert!((d.offload_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_director_sends_everything_to_host() {
+        let d = TrafficDirector::new(false);
+        assert_eq!(d.route(true), Route::Host);
+        assert_eq!(d.offload_fraction(), 0.0);
+        d.set_offload(true);
+        assert_eq!(d.route(true), Route::Dpu);
+    }
+
+    #[test]
+    fn empty_director_fraction_is_zero() {
+        assert_eq!(TrafficDirector::default().offload_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,389 @@
+//! A FASTER-style key-value store over the DPU file service.
+//!
+//! Layout follows FASTER's shape: an in-memory **hash index** mapping
+//! keys to locations in an append-only **hybrid log** that lives on
+//! storage (here: a file in the DPU-owned file system). The paper's §7
+//! constraint drives the design twist: DPU memory is small, so only part
+//! of the index is DPU-resident — lookups that hit the DPU-resident
+//! partition can be served entirely on the DPU; the rest must involve
+//! the host (partial offloading). Updates always go through the host, as
+//! in DDS's integration where the host owns write ordering.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use dpdpu_hw::{Memory, MemoryReservation};
+use dpdpu_storage::{FileId, FileService, FsError};
+
+/// Approximate DPU-memory footprint of one index entry (bucket slot,
+/// key, address, chain overhead).
+pub const INDEX_ENTRY_BYTES: u64 = 64;
+
+/// Where a key's index entry lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Entry in DPU memory: the DPU can serve the read alone.
+    Dpu,
+    /// Entry only in host memory: the host must participate.
+    Host,
+    /// Key unknown.
+    Missing,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    value_offset: u64,
+    value_len: u32,
+}
+
+/// The KV store.
+pub struct KvStore {
+    service: Rc<FileService>,
+    log: FileId,
+    tail: Cell<u64>,
+    dpu_index: RefCell<HashMap<u64, IndexEntry>>,
+    host_index: RefCell<HashMap<u64, IndexEntry>>,
+    dpu_mem: Memory,
+    index_reservation: RefCell<Option<MemoryReservation>>,
+    index_budget: u64,
+}
+
+impl KvStore {
+    /// Recovers a store from an existing hybrid-log file: scans the log
+    /// from the head, rebuilding the hash index (latest version of each
+    /// key wins, as in FASTER recovery). This is the §9 "coordinated
+    /// recovery" path for state the DPU persisted before a crash: the
+    /// log on the SSD is the single source of truth; the in-memory index
+    /// is reconstructable.
+    pub async fn recover(
+        service: Rc<FileService>,
+        dpu_mem: Memory,
+        dpu_index_budget: u64,
+        name: &str,
+    ) -> Result<Rc<Self>, FsError> {
+        let log = service.open(name).await?;
+        let size = service.fs().size(log)?;
+        let store = Rc::new(KvStore {
+            service: service.clone(),
+            log,
+            tail: Cell::new(size),
+            dpu_index: RefCell::new(HashMap::new()),
+            host_index: RefCell::new(HashMap::new()),
+            dpu_mem,
+            index_reservation: RefCell::new(None),
+            index_budget: dpu_index_budget,
+        });
+        // Sequential log scan: read headers, skip values.
+        let mut offset = 0u64;
+        while offset + 12 <= size {
+            let header = service.read(log, offset, 12).await?;
+            let key = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
+            let len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+            if offset + 12 + len as u64 > size {
+                break; // torn tail record: discard (ack never left the DPU)
+            }
+            let entry = IndexEntry { value_offset: offset + 12, value_len: len };
+            store.index_insert(key, entry);
+            offset += 12 + len as u64;
+        }
+        Ok(store)
+    }
+
+    /// Inserts or updates an index entry, respecting the DPU budget.
+    fn index_insert(&self, key: u64, entry: IndexEntry) {
+        if let Some(e) = self.dpu_index.borrow_mut().get_mut(&key) {
+            *e = entry;
+            return;
+        }
+        if let Some(e) = self.host_index.borrow_mut().get_mut(&key) {
+            *e = entry;
+            return;
+        }
+        let dpu_used = self.dpu_index.borrow().len() as u64 * INDEX_ENTRY_BYTES;
+        if dpu_used + INDEX_ENTRY_BYTES <= self.index_budget {
+            let mut reservation = self.index_reservation.borrow_mut();
+            let ok = match reservation.as_mut() {
+                Some(r) => r.grow(INDEX_ENTRY_BYTES).is_ok(),
+                None => match self.dpu_mem.try_reserve(INDEX_ENTRY_BYTES) {
+                    Ok(r) => {
+                        *reservation = Some(r);
+                        true
+                    }
+                    Err(_) => false,
+                },
+            };
+            if ok {
+                self.dpu_index.borrow_mut().insert(key, entry);
+                return;
+            }
+        }
+        self.host_index.borrow_mut().insert(key, entry);
+    }
+
+    /// Creates a store whose DPU-resident index may use at most
+    /// `dpu_index_budget` bytes of `dpu_mem`.
+    pub async fn create(
+        service: Rc<FileService>,
+        dpu_mem: Memory,
+        dpu_index_budget: u64,
+        name: &str,
+    ) -> Result<Rc<Self>, FsError> {
+        let log = service.create(name).await?;
+        Ok(Rc::new(KvStore {
+            service,
+            log,
+            tail: Cell::new(0),
+            dpu_index: RefCell::new(HashMap::new()),
+            host_index: RefCell::new(HashMap::new()),
+            dpu_mem,
+            index_reservation: RefCell::new(None),
+            index_budget: dpu_index_budget,
+        }))
+    }
+
+    /// The backing file service.
+    pub fn service(&self) -> &Rc<FileService> {
+        &self.service
+    }
+
+    /// Upserts a record: appends `[key u64][len u32][value]` to the
+    /// hybrid log and updates whichever index partition holds (or can
+    /// hold) the key.
+    pub async fn put(&self, key: u64, value: &[u8]) -> Result<(), FsError> {
+        let mut rec = Vec::with_capacity(12 + value.len());
+        rec.extend_from_slice(&key.to_le_bytes());
+        rec.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        rec.extend_from_slice(value);
+        // Reserve the log range BEFORE the first await: concurrent puts
+        // must not race on the tail (they would overwrite each other).
+        let offset = self.tail.get();
+        self.tail.set(offset + rec.len() as u64);
+        self.service.write(self.log, offset, &rec).await?;
+        let entry = IndexEntry { value_offset: offset + 12, value_len: value.len() as u32 };
+        self.index_insert(key, entry);
+        Ok(())
+    }
+
+    /// Which partition (if any) indexes `key`.
+    pub fn residency(&self, key: u64) -> Residency {
+        if self.dpu_index.borrow().contains_key(&key) {
+            Residency::Dpu
+        } else if self.host_index.borrow().contains_key(&key) {
+            Residency::Host
+        } else {
+            Residency::Missing
+        }
+    }
+
+    /// Reads a value by key (either partition; callers charge host CPU
+    /// separately when the host partition was needed).
+    pub async fn get(&self, key: u64) -> Result<Option<Bytes>, FsError> {
+        let entry = {
+            self.dpu_index
+                .borrow()
+                .get(&key)
+                .copied()
+                .or_else(|| self.host_index.borrow().get(&key).copied())
+        };
+        match entry {
+            None => Ok(None),
+            Some(e) => {
+                let data =
+                    self.service.read(self.log, e.value_offset, e.value_len as u64).await?;
+                Ok(Some(Bytes::from(data)))
+            }
+        }
+    }
+
+    /// Number of keys in each partition `(dpu, host)`.
+    pub fn partition_sizes(&self) -> (usize, usize) {
+        (self.dpu_index.borrow().len(), self.host_index.borrow().len())
+    }
+
+    /// Bytes appended to the hybrid log so far.
+    pub fn log_bytes(&self) -> u64 {
+        self.tail.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpdpu_des::Sim;
+    use dpdpu_hw::Platform;
+    use dpdpu_storage::{BlockDevice, ExtentFs};
+
+    pub(crate) fn fs_for(p: &Rc<Platform>) -> Rc<ExtentFs> {
+        ExtentFs::format(BlockDevice::new(p.ssd.clone(), 1 << 20))
+    }
+
+    async fn store(p: &Rc<Platform>, budget: u64) -> Rc<KvStore> {
+        let svc = FileService::new(fs_for(p), p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
+        KvStore::create(svc, p.dpu_mem.clone(), budget, "kv.log").await.unwrap()
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let kv = store(&p, 1 << 20).await;
+            kv.put(1, b"alpha").await.unwrap();
+            kv.put(2, b"beta").await.unwrap();
+            assert_eq!(kv.get(1).await.unwrap().unwrap(), Bytes::from_static(b"alpha"));
+            assert_eq!(kv.get(2).await.unwrap().unwrap(), Bytes::from_static(b"beta"));
+            assert_eq!(kv.get(3).await.unwrap(), None);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn update_returns_latest_version() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let kv = store(&p, 1 << 20).await;
+            kv.put(9, b"v1").await.unwrap();
+            kv.put(9, b"version-two").await.unwrap();
+            assert_eq!(
+                kv.get(9).await.unwrap().unwrap(),
+                Bytes::from_static(b"version-two")
+            );
+            // Log keeps both versions (append-only).
+            assert_eq!(kv.log_bytes(), (12 + 2) + (12 + 11));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn index_overflows_to_host_partition() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            // Budget for exactly 4 entries.
+            let kv = store(&p, 4 * INDEX_ENTRY_BYTES).await;
+            for k in 0..10u64 {
+                kv.put(k, b"x").await.unwrap();
+            }
+            let (dpu, host) = kv.partition_sizes();
+            assert_eq!(dpu, 4);
+            assert_eq!(host, 6);
+            assert_eq!(kv.residency(0), Residency::Dpu);
+            assert_eq!(kv.residency(9), Residency::Host);
+            assert_eq!(kv.residency(99), Residency::Missing);
+            // Host-partition keys still readable.
+            assert_eq!(kv.get(9).await.unwrap().unwrap(), Bytes::from_static(b"x"));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn dpu_memory_reservation_tracks_index() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let before = p.dpu_mem.used();
+            let kv = store(&p, 1 << 20).await;
+            for k in 0..100u64 {
+                kv.put(k, b"payload").await.unwrap();
+            }
+            assert_eq!(p.dpu_mem.used() - before, 100 * INDEX_ENTRY_BYTES);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn recovery_rebuilds_the_index_from_the_log() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let fs = crate::kv::tests::fs_for(&p);
+            let svc = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
+            {
+                let kv = KvStore::create(svc.clone(), p.dpu_mem.clone(), 1 << 20, "kv.log")
+                    .await
+                    .unwrap();
+                for k in 0..50u64 {
+                    kv.put(k, format!("value-{k}").as_bytes()).await.unwrap();
+                }
+                // Updates: the latest version must win after recovery.
+                kv.put(7, b"updated-7").await.unwrap();
+                kv.put(13, b"updated-13").await.unwrap();
+                // "Crash": drop the store; only the log file survives.
+            }
+            let kv = KvStore::recover(svc, p.dpu_mem.clone(), 1 << 20, "kv.log")
+                .await
+                .unwrap();
+            assert_eq!(
+                kv.get(7).await.unwrap().unwrap(),
+                Bytes::from_static(b"updated-7")
+            );
+            assert_eq!(
+                kv.get(13).await.unwrap().unwrap(),
+                Bytes::from_static(b"updated-13")
+            );
+            for k in 0..50u64 {
+                if k != 7 && k != 13 {
+                    assert_eq!(
+                        kv.get(k).await.unwrap().unwrap(),
+                        Bytes::from(format!("value-{k}").into_bytes()),
+                        "key {k} lost in recovery"
+                    );
+                }
+            }
+            assert_eq!(kv.get(99).await.unwrap(), None);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn recovery_discards_torn_tail_record() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let fs = crate::kv::tests::fs_for(&p);
+            let svc = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
+            {
+                let kv = KvStore::create(svc.clone(), p.dpu_mem.clone(), 1 << 20, "kv.log")
+                    .await
+                    .unwrap();
+                kv.put(1, b"complete").await.unwrap();
+                // Simulate a torn write: header claims more bytes than the
+                // crash left behind.
+                let log = svc.fs().open("kv.log").unwrap();
+                let tail = svc.fs().size(log).unwrap();
+                let mut torn = Vec::new();
+                torn.extend_from_slice(&2u64.to_le_bytes());
+                torn.extend_from_slice(&100u32.to_le_bytes()); // 100 bytes promised
+                torn.extend_from_slice(b"only-9b!!"); // 9 delivered
+                svc.write(log, tail, &torn).await.unwrap();
+            }
+            let kv = KvStore::recover(svc, p.dpu_mem.clone(), 1 << 20, "kv.log")
+                .await
+                .unwrap();
+            assert_eq!(
+                kv.get(1).await.unwrap().unwrap(),
+                Bytes::from_static(b"complete"),
+                "intact records survive"
+            );
+            assert_eq!(kv.get(2).await.unwrap(), None, "torn record discarded");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn binary_values_survive() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let kv = store(&p, 1 << 20).await;
+            let value: Vec<u8> = (0..=255u8).collect();
+            kv.put(5, &value).await.unwrap();
+            assert_eq!(kv.get(5).await.unwrap().unwrap(), Bytes::from(value));
+        });
+        sim.run();
+    }
+}

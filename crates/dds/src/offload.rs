@@ -1,0 +1,116 @@
+//! The offload engine's UDF API (paper §7 / §9 Q3).
+//!
+//! "Users supply a UDF that parses network messages to identify remote
+//! storage requests that can be offloaded, and translates them into file
+//! operations." — exactly this signature: bytes in, an [`OffloadPlan`]
+//! out. The engine executes offloadable plans against the DPU file
+//! service with no host involvement.
+
+use bytes::Bytes;
+
+use dpdpu_storage::{FileId, FileService, FsError};
+
+/// What the UDF decided about one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OffloadPlan {
+    /// Serve on the DPU with this file operation.
+    File(FileOpDesc),
+    /// Not offloadable: forward to the host endpoint.
+    ToHost,
+}
+
+/// A file operation extracted from a network message — "a simple UDF can
+/// extract file ID, offset, size, and I/O type" (§7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileOpDesc {
+    /// Read `len` bytes at `offset`.
+    Read {
+        /// Target file.
+        file: FileId,
+        /// Byte offset.
+        offset: u64,
+        /// Byte count.
+        len: u64,
+    },
+    /// Write bytes at `offset`.
+    Write {
+        /// Target file.
+        file: FileId,
+        /// Byte offset.
+        offset: u64,
+        /// Payload.
+        data: Bytes,
+    },
+}
+
+/// The UDF type: parse a raw message into a plan. `None` means the
+/// message is not a storage request at all (dropped by the director).
+pub type Udf = std::rc::Rc<dyn Fn(&[u8]) -> Option<OffloadPlan>>;
+
+/// Executes an offloaded file op on the DPU file service, returning the
+/// read payload (empty for writes).
+pub async fn execute(
+    service: &FileService,
+    op: FileOpDesc,
+) -> Result<Bytes, FsError> {
+    match op {
+        FileOpDesc::Read { file, offset, len } => {
+            Ok(Bytes::from(service.read(file, offset, len).await?))
+        }
+        FileOpDesc::Write { file, offset, data } => {
+            service.write(file, offset, &data).await?;
+            Ok(Bytes::new())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpdpu_des::Sim;
+    use dpdpu_hw::Platform;
+    use dpdpu_storage::{BlockDevice, ExtentFs};
+    use std::rc::Rc;
+
+    #[test]
+    fn udf_plan_executes_against_the_service() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let fs = ExtentFs::format(BlockDevice::new(p.ssd.clone(), 1 << 16));
+            let svc = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
+            let file = svc.create("obj").await.unwrap();
+
+            // A UDF that understands "R<offset>" / "W<offset>:<payload>".
+            let udf: Udf = Rc::new(move |msg: &[u8]| {
+                let text = std::str::from_utf8(msg).ok()?;
+                if let Some(rest) = text.strip_prefix('R') {
+                    let offset: u64 = rest.parse().ok()?;
+                    Some(OffloadPlan::File(FileOpDesc::Read { file, offset, len: 4 }))
+                } else if let Some(rest) = text.strip_prefix('W') {
+                    let (off, payload) = rest.split_once(':')?;
+                    Some(OffloadPlan::File(FileOpDesc::Write {
+                        file,
+                        offset: off.parse().ok()?,
+                        data: Bytes::copy_from_slice(payload.as_bytes()),
+                    }))
+                } else {
+                    Some(OffloadPlan::ToHost)
+                }
+            });
+
+            let plan = udf(b"W0:abcd").unwrap();
+            let OffloadPlan::File(op) = plan else { panic!("expected file op") };
+            execute(&svc, op).await.unwrap();
+
+            let plan = udf(b"R0").unwrap();
+            let OffloadPlan::File(op) = plan else { panic!("expected file op") };
+            let data = execute(&svc, op).await.unwrap();
+            assert_eq!(&data[..], b"abcd");
+
+            assert_eq!(udf(b"X??"), Some(OffloadPlan::ToHost));
+            assert_eq!(udf(&[0xFF, 0xFE]), None, "non-utf8 is not a storage request");
+        });
+        sim.run();
+    }
+}

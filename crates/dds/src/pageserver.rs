@@ -1,0 +1,489 @@
+//! A Hyperscale-style page server over the DPU file service.
+//!
+//! Cloud-native DBMSs (Socrates/Hyperscale, Aurora) reflect transaction
+//! updates on disaggregated storage with **log replay**: the compute tier
+//! ships WAL records, page servers apply them to page images, and serve
+//! `GetPage` requests. The paper (§7) points out that replay state is
+//! far too large for DPU memory — so DDS serves *clean* pages from the
+//! DPU and forwards requests touching *dirty* pages (those with pending
+//! log) to the host, which holds the replay state.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use dpdpu_des::Counter;
+use dpdpu_hw::CpuPool;
+use dpdpu_storage::{FileId, FileService, FsError, PageCache};
+
+/// Host CPU cycles to apply one log record to a page image (lookup,
+/// LSN checks, memcpy, bookkeeping).
+pub const REPLAY_CYCLES_PER_RECORD: u64 = 20_000;
+
+/// One pending WAL record.
+#[derive(Debug, Clone)]
+pub struct LogRecord {
+    /// Byte offset within the page.
+    pub offset: u32,
+    /// Replacement bytes.
+    pub delta: Bytes,
+}
+
+/// The page server.
+pub struct PageServer {
+    service: Rc<FileService>,
+    pages: FileId,
+    wal: FileId,
+    page_size: usize,
+    wal_tail: std::cell::Cell<u64>,
+    pending: RefCell<HashMap<u64, Vec<LogRecord>>>,
+    /// Optional DPU-memory page cache in front of the SSD (§9 "caching
+    /// in DPU-backed file system"); write-invalidated by log arrival.
+    cache: Option<Rc<PageCache>>,
+    /// WAL records appended.
+    pub log_records: Counter,
+    /// Records replayed into page images.
+    pub replayed: Counter,
+}
+
+impl PageServer {
+    /// Creates a page server with `num_pages` zeroed pages of
+    /// `page_size` bytes.
+    pub async fn create(
+        service: Rc<FileService>,
+        num_pages: u64,
+        page_size: usize,
+    ) -> Result<Rc<Self>, FsError> {
+        Self::with_cache(service, num_pages, page_size, None).await
+    }
+
+    /// Recovers a page server from its durable files after a crash (§9
+    /// "coordinated recovery"). The WAL is scanned from the last
+    /// checkpoint and every record re-queued as pending replay. Records
+    /// that had already been applied may be re-applied — safe, because
+    /// log records are physical byte replacements applied in log order
+    /// (redo is idempotent).
+    pub async fn recover(
+        service: Rc<FileService>,
+        page_size: usize,
+        cache: Option<Rc<PageCache>>,
+    ) -> Result<Rc<Self>, FsError> {
+        let pages = service.open("pages.db").await?;
+        let wal = service.open("pages.wal").await?;
+        let wal_size = service.fs().size(wal)?;
+        // Last durable checkpoint (0 when none was ever taken).
+        let ckpt = match service.fs().open("pages.ckpt") {
+            Ok(f) => {
+                let bytes = service.read(f, 0, 8).await?;
+                u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+            }
+            Err(_) => 0,
+        };
+        let ps = Rc::new(PageServer {
+            service: service.clone(),
+            pages,
+            wal,
+            page_size,
+            wal_tail: std::cell::Cell::new(wal_size),
+            pending: RefCell::new(HashMap::new()),
+            cache,
+            log_records: Counter::new(),
+            replayed: Counter::new(),
+        });
+        // Redo scan: [page u64][offset u32][len u32][delta].
+        let mut pos = ckpt;
+        while pos + 16 <= wal_size {
+            let header = service.read(ps.wal, pos, 16).await?;
+            let page_id = u64::from_le_bytes(header[0..8].try_into().expect("8 bytes"));
+            let offset = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+            let len = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
+            if pos + 16 + len as u64 > wal_size {
+                break; // torn tail record: the append was never acked
+            }
+            let delta = service.read(ps.wal, pos + 16, len as u64).await?;
+            ps.pending
+                .borrow_mut()
+                .entry(page_id)
+                .or_default()
+                .push(LogRecord { offset, delta: Bytes::from(delta) });
+            pos += 16 + len as u64;
+        }
+        Ok(ps)
+    }
+
+    /// Persists a checkpoint: records that the WAL prefix up to the
+    /// current tail has been fully applied to page images. Requires an
+    /// empty pending set (all pages clean), so the prefix really is
+    /// applied.
+    pub async fn checkpoint(&self) -> Result<(), FsError> {
+        assert_eq!(self.dirty_pages(), 0, "checkpoint requires full replay");
+        let ckpt = match self.service.fs().open("pages.ckpt") {
+            Ok(f) => f,
+            Err(_) => self.service.create("pages.ckpt").await?,
+        };
+        self.service
+            .write(ckpt, 0, &self.wal_tail.get().to_le_bytes())
+            .await
+    }
+
+    /// Creates a page server with an optional DPU-memory page cache.
+    pub async fn with_cache(
+        service: Rc<FileService>,
+        num_pages: u64,
+        page_size: usize,
+        cache: Option<Rc<PageCache>>,
+    ) -> Result<Rc<Self>, FsError> {
+        let pages = service.create("pages.db").await?;
+        let wal = service.create("pages.wal").await?;
+        // Materialize the file size with one tail write (blocks before it
+        // read back as zeros — thin provisioning).
+        if num_pages > 0 {
+            service
+                .write(pages, num_pages * page_size as u64 - 1, &[0u8])
+                .await?;
+        }
+        Ok(Rc::new(PageServer {
+            service,
+            pages,
+            wal,
+            page_size,
+            wal_tail: std::cell::Cell::new(0),
+            pending: RefCell::new(HashMap::new()),
+            cache,
+            log_records: Counter::new(),
+            replayed: Counter::new(),
+        }))
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Appends one WAL record: durable in the WAL file, then queued for
+    /// replay. The page becomes dirty until replay catches up.
+    pub async fn append_log(
+        &self,
+        page_id: u64,
+        offset: u32,
+        delta: Bytes,
+    ) -> Result<(), FsError> {
+        assert!(
+            (offset as usize + delta.len()) <= self.page_size,
+            "log record exceeds page bounds"
+        );
+        // Durable WAL append: [page u64][offset u32][len u32][delta].
+        let mut rec = Vec::with_capacity(16 + delta.len());
+        rec.extend_from_slice(&page_id.to_le_bytes());
+        rec.extend_from_slice(&offset.to_le_bytes());
+        rec.extend_from_slice(&(delta.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&delta);
+        // Reserve the WAL range before awaiting: concurrent appends must
+        // not race on the tail.
+        let tail = self.wal_tail.get();
+        self.wal_tail.set(tail + rec.len() as u64);
+        self.service.write(self.wal, tail, &rec).await?;
+        self.pending
+            .borrow_mut()
+            .entry(page_id)
+            .or_default()
+            .push(LogRecord { offset, delta });
+        if let Some(cache) = &self.cache {
+            // The cached image is about to go stale.
+            cache.invalidate(self.pages, page_id * self.page_size as u64);
+        }
+        self.log_records.inc();
+        Ok(())
+    }
+
+    /// True when the page has no pending log — DPU-servable.
+    pub fn is_clean(&self, page_id: u64) -> bool {
+        !self.pending.borrow().contains_key(&page_id)
+    }
+
+    /// Pages currently dirty.
+    pub fn dirty_pages(&self) -> usize {
+        self.pending.borrow().len()
+    }
+
+    /// Serves a clean page straight from the DPU.
+    ///
+    /// # Panics
+    /// Panics if the page is dirty — the traffic director must not route
+    /// dirty pages here.
+    pub async fn get_page_dpu(&self, page_id: u64) -> Result<Bytes, FsError> {
+        assert!(self.is_clean(page_id), "director routed a dirty page to the DPU");
+        let offset = page_id * self.page_size as u64;
+        if let Some(cache) = &self.cache {
+            if let Some(data) = cache.get(self.pages, offset) {
+                return Ok(Bytes::from(data));
+            }
+        }
+        let data = self.service.read(self.pages, offset, self.page_size as u64).await?;
+        if let Some(cache) = &self.cache {
+            cache.put(self.pages, offset, data.clone());
+        }
+        Ok(Bytes::from(data))
+    }
+
+    /// Host-side replay of one page's pending records: read the image,
+    /// apply deltas (charging host CPU per record), write it back.
+    pub async fn replay_page(&self, page_id: u64, host_cpu: &CpuPool) -> Result<(), FsError> {
+        let Some(records) = self.pending.borrow_mut().remove(&page_id) else {
+            return Ok(());
+        };
+        let base = page_id * self.page_size as u64;
+        let mut image = self.service.read(self.pages, base, self.page_size as u64).await?;
+        for rec in &records {
+            host_cpu.exec(REPLAY_CYCLES_PER_RECORD).await;
+            let start = rec.offset as usize;
+            image[start..start + rec.delta.len()].copy_from_slice(&rec.delta);
+            self.replayed.inc();
+        }
+        self.service.write(self.pages, base, &image).await?;
+        if let Some(cache) = &self.cache {
+            // Refresh the cache with the replayed image.
+            cache.put(self.pages, base, image);
+        }
+        Ok(())
+    }
+
+    /// Serves a page via the host: replay first (the host owns the
+    /// pending log), then return the fresh image.
+    pub async fn get_page_host(
+        &self,
+        page_id: u64,
+        host_cpu: &CpuPool,
+    ) -> Result<Bytes, FsError> {
+        self.replay_page(page_id, host_cpu).await?;
+        let data = self
+            .service
+            .read(self.pages, page_id * self.page_size as u64, self.page_size as u64)
+            .await?;
+        Ok(Bytes::from(data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpdpu_des::Sim;
+    use dpdpu_hw::Platform;
+    use dpdpu_storage::{BlockDevice, ExtentFs};
+
+    async fn server(p: &Rc<Platform>) -> Rc<PageServer> {
+        let fs = ExtentFs::format(BlockDevice::new(p.ssd.clone(), 1 << 20));
+        let svc = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
+        PageServer::create(svc, 64, 8_192).await.unwrap()
+    }
+
+    #[test]
+    fn clean_pages_serve_from_dpu() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let ps = server(&p).await;
+            assert!(ps.is_clean(3));
+            let page = ps.get_page_dpu(3).await.unwrap();
+            assert_eq!(page.len(), 8_192);
+            assert!(page.iter().all(|&b| b == 0));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn log_dirties_page_and_replay_cleans_it() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let ps = server(&p).await;
+            ps.append_log(5, 100, Bytes::from_static(b"hello")).await.unwrap();
+            assert!(!ps.is_clean(5));
+            assert_eq!(ps.dirty_pages(), 1);
+            ps.replay_page(5, &p.host_cpu).await.unwrap();
+            assert!(ps.is_clean(5));
+            let page = ps.get_page_dpu(5).await.unwrap();
+            assert_eq!(&page[100..105], b"hello");
+            assert_eq!(ps.replayed.get(), 1);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn host_get_replays_inline() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let ps = server(&p).await;
+            ps.append_log(2, 0, Bytes::from_static(b"AB")).await.unwrap();
+            ps.append_log(2, 2, Bytes::from_static(b"CD")).await.unwrap();
+            let before = p.host_cpu.busy_ns();
+            let page = ps.get_page_host(2, &p.host_cpu).await.unwrap();
+            assert_eq!(&page[0..4], b"ABCD");
+            assert!(ps.is_clean(2));
+            assert!(p.host_cpu.busy_ns() > before, "replay must cost host CPU");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn replay_applies_records_in_order() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let ps = server(&p).await;
+            ps.append_log(1, 10, Bytes::from_static(b"xxxx")).await.unwrap();
+            ps.append_log(1, 12, Bytes::from_static(b"YY")).await.unwrap();
+            let page = ps.get_page_host(1, &p.host_cpu).await.unwrap();
+            assert_eq!(&page[10..14], b"xxYY");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn cached_pages_skip_the_ssd_and_stay_fresh() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let fs = dpdpu_storage::ExtentFs::format(dpdpu_storage::BlockDevice::new(
+                p.ssd.clone(),
+                1 << 20,
+            ));
+            let svc = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
+            let cache = PageCache::new(&p.dpu_mem, 16, 8_192).unwrap();
+            let ps = PageServer::with_cache(svc, 64, 8_192, Some(cache.clone()))
+                .await
+                .unwrap();
+            // Cold read fills the cache; warm read hits it.
+            ps.get_page_dpu(4).await.unwrap();
+            let reads_before = ps.service.fs().device().ssd().reads.get();
+            ps.get_page_dpu(4).await.unwrap();
+            assert_eq!(
+                ps.service.fs().device().ssd().reads.get(),
+                reads_before,
+                "warm read must not touch the SSD"
+            );
+            assert_eq!(cache.hits.get(), 1);
+            // Log arrival invalidates; after replay the fresh image is
+            // served (no stale cache).
+            ps.append_log(4, 0, Bytes::from_static(b"NEW")).await.unwrap();
+            let page = ps.get_page_host(4, &p.host_cpu).await.unwrap();
+            assert_eq!(&page[0..3], b"NEW");
+            let again = ps.get_page_dpu(4).await.unwrap();
+            assert_eq!(&again[0..3], b"NEW", "cache must never serve stale images");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn recovery_requeues_unapplied_wal() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let fs = ExtentFs::format(BlockDevice::new(p.ssd.clone(), 1 << 20));
+            let svc = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
+            {
+                let ps = PageServer::create(svc.clone(), 64, 8_192).await.unwrap();
+                ps.append_log(3, 10, Bytes::from_static(b"abc")).await.unwrap();
+                ps.append_log(9, 0, Bytes::from_static(b"zz")).await.unwrap();
+                // Crash before any replay.
+            }
+            let ps = PageServer::recover(svc, 8_192, None).await.unwrap();
+            assert_eq!(ps.dirty_pages(), 2, "both pages need redo");
+            let page = ps.get_page_host(3, &p.host_cpu).await.unwrap();
+            assert_eq!(&page[10..13], b"abc");
+            let page = ps.get_page_host(9, &p.host_cpu).await.unwrap();
+            assert_eq!(&page[0..2], b"zz");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn redo_is_idempotent_without_checkpoint() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let fs = ExtentFs::format(BlockDevice::new(p.ssd.clone(), 1 << 20));
+            let svc = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
+            {
+                let ps = PageServer::create(svc.clone(), 64, 8_192).await.unwrap();
+                ps.append_log(1, 0, Bytes::from_static(b"AAAA")).await.unwrap();
+                ps.append_log(1, 2, Bytes::from_static(b"BB")).await.unwrap();
+                // Apply, then crash WITHOUT checkpointing.
+                ps.replay_page(1, &p.host_cpu).await.unwrap();
+            }
+            // Recovery re-applies already-applied records: same image.
+            let ps = PageServer::recover(svc, 8_192, None).await.unwrap();
+            assert!(!ps.is_clean(1), "records conservatively requeued");
+            let page = ps.get_page_host(1, &p.host_cpu).await.unwrap();
+            assert_eq!(&page[0..4], b"AABB");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn checkpoint_skips_applied_prefix() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let fs = ExtentFs::format(BlockDevice::new(p.ssd.clone(), 1 << 20));
+            let svc = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
+            {
+                let ps = PageServer::create(svc.clone(), 64, 8_192).await.unwrap();
+                ps.append_log(5, 0, Bytes::from_static(b"old")).await.unwrap();
+                ps.replay_page(5, &p.host_cpu).await.unwrap();
+                ps.checkpoint().await.unwrap();
+                // One more record after the checkpoint, then crash.
+                ps.append_log(6, 0, Bytes::from_static(b"new")).await.unwrap();
+            }
+            let ps = PageServer::recover(svc, 8_192, None).await.unwrap();
+            assert_eq!(ps.dirty_pages(), 1, "only the post-checkpoint record redoes");
+            assert!(ps.is_clean(5));
+            let page = ps.get_page_dpu(5).await.unwrap();
+            assert_eq!(&page[0..3], b"old");
+            let page = ps.get_page_host(6, &p.host_cpu).await.unwrap();
+            assert_eq!(&page[0..3], b"new");
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint requires full replay")]
+    fn checkpoint_with_dirty_pages_rejected() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let ps = server(&p).await;
+            ps.append_log(1, 0, Bytes::from_static(b"x")).await.unwrap();
+            let _ = ps.checkpoint().await;
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "dirty page")]
+    fn dpu_serving_dirty_page_is_a_director_bug() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let ps = server(&p).await;
+            ps.append_log(7, 0, Bytes::from_static(b"z")).await.unwrap();
+            let _ = ps.get_page_dpu(7).await;
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page bounds")]
+    fn oversized_record_rejected() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let ps = server(&p).await;
+            let _ = ps.append_log(0, 8_190, Bytes::from_static(b"toolong")).await;
+        });
+        sim.run();
+    }
+}

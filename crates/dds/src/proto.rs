@@ -1,0 +1,342 @@
+//! Wire protocol between clients and the DDS storage server.
+//!
+//! Requests are real bytes on the simulated network — the traffic
+//! director and UDFs parse them exactly the way DDS parses messages after
+//! transport reassembly. Framing: a one-byte tag, a `u64` request id,
+//! then tag-specific fields (little-endian).
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// KV point lookup.
+    KvGet {
+        /// Request id for response correlation.
+        req_id: u64,
+        /// Key.
+        key: u64,
+    },
+    /// KV upsert.
+    KvPut {
+        /// Request id.
+        req_id: u64,
+        /// Key.
+        key: u64,
+        /// Value bytes.
+        value: Bytes,
+    },
+    /// Page fetch (Hyperscale GetPage).
+    GetPage {
+        /// Request id.
+        req_id: u64,
+        /// Page number.
+        page_id: u64,
+    },
+    /// WAL shipping (Hyperscale log apply).
+    AppendLog {
+        /// Request id.
+        req_id: u64,
+        /// Page the record modifies.
+        page_id: u64,
+        /// Byte offset within the page.
+        offset: u32,
+        /// Replacement bytes.
+        delta: Bytes,
+    },
+}
+
+impl Request {
+    /// Request id accessor.
+    pub fn req_id(&self) -> u64 {
+        match self {
+            Request::KvGet { req_id, .. }
+            | Request::KvPut { req_id, .. }
+            | Request::GetPage { req_id, .. }
+            | Request::AppendLog { req_id, .. } => *req_id,
+        }
+    }
+
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(32);
+        match self {
+            Request::KvGet { req_id, key } => {
+                b.put_u8(1);
+                b.put_u64_le(*req_id);
+                b.put_u64_le(*key);
+            }
+            Request::KvPut { req_id, key, value } => {
+                b.put_u8(2);
+                b.put_u64_le(*req_id);
+                b.put_u64_le(*key);
+                b.put_u32_le(value.len() as u32);
+                b.put_slice(value);
+            }
+            Request::GetPage { req_id, page_id } => {
+                b.put_u8(3);
+                b.put_u64_le(*req_id);
+                b.put_u64_le(*page_id);
+            }
+            Request::AppendLog { req_id, page_id, offset, delta } => {
+                b.put_u8(4);
+                b.put_u64_le(*req_id);
+                b.put_u64_le(*page_id);
+                b.put_u32_le(*offset);
+                b.put_u32_le(delta.len() as u32);
+                b.put_slice(delta);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Parses wire bytes (the UDF's job in §7).
+    pub fn decode(data: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cursor::new(data);
+        let tag = c.u8()?;
+        let req_id = c.u64()?;
+        match tag {
+            1 => Ok(Request::KvGet { req_id, key: c.u64()? }),
+            2 => {
+                let key = c.u64()?;
+                let len = c.u32()? as usize;
+                Ok(Request::KvPut { req_id, key, value: c.bytes(len)? })
+            }
+            3 => Ok(Request::GetPage { req_id, page_id: c.u64()? }),
+            4 => {
+                let page_id = c.u64()?;
+                let offset = c.u32()?;
+                let len = c.u32()? as usize;
+                Ok(Request::AppendLog { req_id, page_id, offset, delta: c.bytes(len)? })
+            }
+            t => Err(ProtoError::BadTag(t)),
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Value found (or page contents).
+    Data {
+        /// Correlated request id.
+        req_id: u64,
+        /// Payload.
+        data: Bytes,
+    },
+    /// Key absent.
+    NotFound {
+        /// Correlated request id.
+        req_id: u64,
+    },
+    /// Write acknowledged.
+    Ok {
+        /// Correlated request id.
+        req_id: u64,
+    },
+}
+
+impl Response {
+    /// Request id accessor.
+    pub fn req_id(&self) -> u64 {
+        match self {
+            Response::Data { req_id, .. }
+            | Response::NotFound { req_id }
+            | Response::Ok { req_id } => *req_id,
+        }
+    }
+
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16);
+        match self {
+            Response::Data { req_id, data } => {
+                b.put_u8(1);
+                b.put_u64_le(*req_id);
+                b.put_u32_le(data.len() as u32);
+                b.put_slice(data);
+            }
+            Response::NotFound { req_id } => {
+                b.put_u8(2);
+                b.put_u64_le(*req_id);
+            }
+            Response::Ok { req_id } => {
+                b.put_u8(3);
+                b.put_u64_le(*req_id);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Parses wire bytes.
+    pub fn decode(data: &[u8]) -> Result<Response, ProtoError> {
+        let mut c = Cursor::new(data);
+        match c.u8()? {
+            1 => {
+                let req_id = c.u64()?;
+                let len = c.u32()? as usize;
+                Ok(Response::Data { req_id, data: c.bytes(len)? })
+            }
+            2 => Ok(Response::NotFound { req_id: c.u64()? }),
+            3 => Ok(Response::Ok { req_id: c.u64()? }),
+            t => Err(ProtoError::BadTag(t)),
+        }
+    }
+}
+
+/// Protocol decode errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Unknown message tag.
+    BadTag(u8),
+    /// Message shorter than declared.
+    Truncated,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            ProtoError::Truncated => f.write_str("truncated message"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Length-prefixed message framing over the TCP byte stream.
+///
+/// TCP delivers ordered *bytes* (our model: ordered MSS-sized chunks);
+/// application messages larger than one segment arrive split. Senders
+/// wrap each message as `[u32-le length][payload]`; [`Deframer`]
+/// reassembles complete messages from arbitrary chunk boundaries.
+pub fn frame(msg: &Bytes) -> Bytes {
+    let mut b = BytesMut::with_capacity(4 + msg.len());
+    b.put_u32_le(msg.len() as u32);
+    b.put_slice(msg);
+    b.freeze()
+}
+
+/// Reassembles length-prefixed frames from a chunked byte stream.
+#[derive(Default)]
+pub struct Deframer {
+    buf: Vec<u8>,
+}
+
+impl Deframer {
+    /// New, empty deframer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one received chunk; returns every message completed by it.
+    pub fn push(&mut self, chunk: &[u8]) -> Vec<Bytes> {
+        self.buf.extend_from_slice(chunk);
+        let mut out = Vec::new();
+        loop {
+            if self.buf.len() < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes(self.buf[0..4].try_into().expect("4 bytes")) as usize;
+            if self.buf.len() < 4 + len {
+                break;
+            }
+            out.push(Bytes::copy_from_slice(&self.buf[4..4 + len]));
+            self.buf.drain(..4 + len);
+        }
+        out
+    }
+
+    /// Bytes buffered awaiting completion.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.pos + n > self.data.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<Bytes, ProtoError> {
+        Ok(Bytes::copy_from_slice(self.take(n)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = vec![
+            Request::KvGet { req_id: 1, key: 42 },
+            Request::KvPut { req_id: 2, key: 7, value: Bytes::from_static(b"hello") },
+            Request::GetPage { req_id: 3, page_id: 99 },
+            Request::AppendLog {
+                req_id: 4,
+                page_id: 12,
+                offset: 100,
+                delta: Bytes::from_static(b"delta"),
+            },
+        ];
+        for r in cases {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Response::Data { req_id: 1, data: Bytes::from_static(b"payload") },
+            Response::NotFound { req_id: 2 },
+            Response::Ok { req_id: 3 },
+        ];
+        for r in cases {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Request::decode(&[]), Err(ProtoError::Truncated));
+        assert_eq!(Request::decode(&[9, 0, 0]), Err(ProtoError::Truncated));
+        assert_eq!(
+            Request::decode(&[99, 0, 0, 0, 0, 0, 0, 0, 0]),
+            Err(ProtoError::BadTag(99))
+        );
+        // Declared length longer than the buffer.
+        let mut put = Request::KvPut { req_id: 1, key: 1, value: Bytes::from_static(b"abcd") }
+            .encode()
+            .to_vec();
+        let cut = put.len() - 2;
+        put.truncate(cut);
+        assert_eq!(Request::decode(&put), Err(ProtoError::Truncated));
+    }
+}

@@ -1,0 +1,502 @@
+//! The DDS storage server (paper Figure 9) and a request/response client.
+//!
+//! Requests arrive over the (simulated) network at the DPU. The server
+//! parses each message, asks the [`TrafficDirector`] whether the offload
+//! engine can serve it, and executes it either entirely on the DPU or on
+//! the host endpoint (crossing PCIe twice and spending host CPU). The
+//! measured outcome — host cores saved as a function of offloadable
+//! traffic — is the crate's reproduction of "DDS can save up to 10s of
+//! CPU cores per storage server" (§9).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use dpdpu_des::{oneshot, spawn, Counter, OneshotSender};
+use dpdpu_hw::{costs, Platform};
+use dpdpu_net::tcp::{TcpReceiver, TcpSender};
+use dpdpu_storage::{BlockDevice, ExtentFs, FileService};
+
+use crate::director::{Route, TrafficDirector};
+use crate::kv::{KvStore, Residency};
+use crate::pageserver::PageServer;
+use crate::proto::{Request, Response};
+
+/// DPU cycles to parse one request and consult the director.
+const DPU_PARSE_CYCLES: u64 = 800;
+/// DPU cycles of application logic per DPU-served request (offload
+/// engine, zero-copy handoff).
+const DPU_APP_CYCLES: u64 = 2_000;
+/// Host cycles of application logic per host-served request (socket
+/// wakeup, request dispatch, buffer management) — on top of storage I/O
+/// and replay costs charged by the layers below.
+const HOST_APP_CYCLES: u64 = 12_000;
+
+/// Server construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DdsConfig {
+    /// Enable the DDS offload path (false = legacy all-host baseline).
+    pub offload_enabled: bool,
+    /// DPU-memory budget for the KV index (drives partial offloading).
+    pub kv_index_budget: u64,
+    /// Pages hosted by the page server.
+    pub num_pages: u64,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// DPU-memory page cache in front of the SSD, in pages (0 = none;
+    /// the §9 "caching in DPU-backed file system" extension).
+    pub dpu_cache_pages: usize,
+}
+
+impl Default for DdsConfig {
+    fn default() -> Self {
+        DdsConfig {
+            offload_enabled: true,
+            kv_index_budget: 1 << 20,
+            num_pages: 1_024,
+            page_size: 8_192,
+            dpu_cache_pages: 0,
+        }
+    }
+}
+
+/// The assembled storage server.
+pub struct Dds {
+    platform: Rc<Platform>,
+    /// Request router (Q2).
+    pub director: TrafficDirector,
+    /// FASTER-style KV integration.
+    pub kv: Rc<KvStore>,
+    /// Hyperscale-style page-server integration.
+    pub pages: Rc<PageServer>,
+    /// Requests served on the DPU path.
+    pub served_dpu: Counter,
+    /// Requests served on the host path.
+    pub served_host: Counter,
+}
+
+impl Dds {
+    /// Builds the server: formats the unified file system, starts the DPU
+    /// file service, and instantiates both application integrations.
+    pub async fn build(platform: Rc<Platform>, config: DdsConfig) -> Rc<Self> {
+        let fs = ExtentFs::format(BlockDevice::new(platform.ssd.clone(), 1 << 24));
+        let service = FileService::new(
+            fs,
+            platform.dpu_cpu.clone(),
+            platform.dpu_ssd_pcie.clone(),
+        );
+        let kv = KvStore::create(
+            service.clone(),
+            platform.dpu_mem.clone(),
+            config.kv_index_budget,
+            "faster.log",
+        )
+        .await
+        .expect("fresh fs cannot fail");
+        let cache = if config.dpu_cache_pages > 0 {
+            Some(
+                dpdpu_storage::PageCache::new(
+                    &platform.dpu_mem,
+                    config.dpu_cache_pages,
+                    config.page_size as u64,
+                )
+                .expect("cache must fit in DPU memory"),
+            )
+        } else {
+            None
+        };
+        let pages =
+            PageServer::with_cache(service, config.num_pages, config.page_size, cache)
+                .await
+                .expect("fresh fs cannot fail");
+        Rc::new(Dds {
+            platform,
+            director: TrafficDirector::new(config.offload_enabled),
+            kv,
+            pages,
+            served_dpu: Counter::new(),
+            served_host: Counter::new(),
+        })
+    }
+
+    /// The platform (for CPU accounting in experiments).
+    pub fn platform(&self) -> &Rc<Platform> {
+        &self.platform
+    }
+
+    /// Classifies one request: can the offload engine serve it alone?
+    fn wants_dpu(&self, req: &Request) -> bool {
+        match req {
+            Request::KvGet { key, .. } => self.kv.residency(*key) == Residency::Dpu,
+            // Writes and replay involve host-owned state (§7's partial
+            // offloading: the log protocol needs host memory).
+            Request::KvPut { .. } | Request::AppendLog { .. } => false,
+            Request::GetPage { page_id, .. } => self.pages.is_clean(*page_id),
+        }
+    }
+
+    /// Handles one already-received request, charging the serving path.
+    pub async fn handle(&self, req: Request) -> Response {
+        // Parse + director lookup on the DPU.
+        self.platform.dpu_cpu.exec(DPU_PARSE_CYCLES).await;
+        let route = self.director.route(self.wants_dpu(&req));
+        match route {
+            Route::Dpu => {
+                self.served_dpu.inc();
+                self.platform.dpu_cpu.exec(DPU_APP_CYCLES).await;
+                self.exec(req).await
+            }
+            Route::Host => {
+                self.served_host.inc();
+                let req_bytes = req.encode().len() as u64;
+                // NIC→host handoff, kernel network stack, app logic.
+                self.platform.host_dpu_pcie.dma(req_bytes).await;
+                dpdpu_des::sleep(costs::HOST_KERNEL_NET_NS).await;
+                self.platform.host_cpu.exec(HOST_APP_CYCLES).await;
+                let resp = self.exec(req).await;
+                // Response descends back through the DPU.
+                self.platform.host_dpu_pcie.dma(resp.encode().len() as u64).await;
+                resp
+            }
+        }
+    }
+
+    /// Executes the application operation (costs inside the KV / page
+    /// server / file service layers are charged by those layers).
+    async fn exec(&self, req: Request) -> Response {
+        match req {
+            Request::KvGet { req_id, key } => match self.kv.get(key).await {
+                Ok(Some(data)) => Response::Data { req_id, data },
+                Ok(None) => Response::NotFound { req_id },
+                Err(e) => panic!("kv read failed: {e}"),
+            },
+            Request::KvPut { req_id, key, value } => {
+                self.kv.put(key, &value).await.expect("kv put failed");
+                Response::Ok { req_id }
+            }
+            Request::GetPage { req_id, page_id } => {
+                let data = if self.pages.is_clean(page_id) {
+                    self.pages.get_page_dpu(page_id).await
+                } else {
+                    self.pages.get_page_host(page_id, &self.platform.host_cpu).await
+                }
+                .expect("page read failed");
+                Response::Data { req_id, data }
+            }
+            Request::AppendLog { req_id, page_id, offset, delta } => {
+                self.pages
+                    .append_log(page_id, offset, delta)
+                    .await
+                    .expect("log append failed");
+                Response::Ok { req_id }
+            }
+        }
+    }
+
+    /// Serves requests from a TCP stream, answering on another. Each
+    /// request is handled concurrently (the DPU pipeline of §4).
+    pub fn serve(self: &Rc<Self>, mut rx: TcpReceiver, tx: TcpSender) {
+        let this = self.clone();
+        spawn(async move {
+            let mut deframer = crate::proto::Deframer::new();
+            while let Some(chunk) = rx.recv().await {
+                for msg in deframer.push(&chunk) {
+                    let req = match Request::decode(&msg) {
+                        Ok(r) => r,
+                        Err(_) => continue, // non-storage traffic: ignore here
+                    };
+                    let this = this.clone();
+                    let tx = tx.clone();
+                    spawn(async move {
+                        let resp = this.handle(req).await;
+                        tx.send(crate::proto::frame(&resp.encode()));
+                    });
+                }
+            }
+        });
+    }
+}
+
+/// A client that correlates responses by request id over a TCP pair.
+pub struct DdsClient {
+    tx: TcpSender,
+    pending: Rc<RefCell<HashMap<u64, OneshotSender<Response>>>>,
+    next_id: std::cell::Cell<u64>,
+}
+
+impl DdsClient {
+    /// Builds a client over an established TCP pair and starts its
+    /// response demultiplexer.
+    pub fn new(tx: TcpSender, mut rx: TcpReceiver) -> Rc<Self> {
+        let pending: Rc<RefCell<HashMap<u64, OneshotSender<Response>>>> =
+            Rc::new(RefCell::new(HashMap::new()));
+        {
+            let pending = pending.clone();
+            spawn(async move {
+                let mut deframer = crate::proto::Deframer::new();
+                while let Some(chunk) = rx.recv().await {
+                    for msg in deframer.push(&chunk) {
+                        if let Ok(resp) = Response::decode(&msg) {
+                            if let Some(tx) = pending.borrow_mut().remove(&resp.req_id()) {
+                                let _ = tx.send(resp);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        Rc::new(DdsClient { tx, pending, next_id: std::cell::Cell::new(1) })
+    }
+
+    fn fresh_id(&self) -> u64 {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        id
+    }
+
+    /// Issues one request and waits for its response.
+    pub async fn call(&self, build: impl FnOnce(u64) -> Request) -> Response {
+        let req_id = self.fresh_id();
+        let req = build(req_id);
+        debug_assert_eq!(req.req_id(), req_id, "builder must use the given id");
+        let (otx, orx) = oneshot();
+        self.pending.borrow_mut().insert(req_id, otx);
+        self.tx.send(crate::proto::frame(&req.encode()));
+        orx.await.expect("server response lost")
+    }
+
+    /// KV get.
+    pub async fn kv_get(&self, key: u64) -> Option<Bytes> {
+        match self.call(|req_id| Request::KvGet { req_id, key }).await {
+            Response::Data { data, .. } => Some(data),
+            Response::NotFound { .. } => None,
+            Response::Ok { .. } => unreachable!("get never returns Ok"),
+        }
+    }
+
+    /// KV put.
+    pub async fn kv_put(&self, key: u64, value: Bytes) {
+        match self.call(|req_id| Request::KvPut { req_id, key, value: value.clone() }).await {
+            Response::Ok { .. } => {}
+            other => panic!("unexpected put response {other:?}"),
+        }
+    }
+
+    /// GetPage.
+    pub async fn get_page(&self, page_id: u64) -> Bytes {
+        match self.call(|req_id| Request::GetPage { req_id, page_id }).await {
+            Response::Data { data, .. } => data,
+            other => panic!("unexpected page response {other:?}"),
+        }
+    }
+
+    /// Ship one WAL record.
+    pub async fn append_log(&self, page_id: u64, offset: u32, delta: Bytes) {
+        let resp = self
+            .call(|req_id| Request::AppendLog { req_id, page_id, offset, delta: delta.clone() })
+            .await;
+        match resp {
+            Response::Ok { .. } => {}
+            other => panic!("unexpected log response {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpdpu_des::Sim;
+    use dpdpu_hw::{CpuPool, LinkConfig};
+    use dpdpu_net::tcp::{tcp_stream, TcpParams, TcpSide};
+
+    /// Runs an async test body to completion, failing loudly if the
+    /// simulation quiesces before the body finishes (a deadlock would
+    /// otherwise make assertions unreachable and the test pass vacuously).
+    fn run_async<Fut: std::future::Future<Output = ()> + 'static>(fut: Fut) {
+        let mut sim = Sim::new();
+        let done = Rc::new(std::cell::Cell::new(false));
+        let flag = done.clone();
+        sim.spawn(async move {
+            fut.await;
+            flag.set(true);
+        });
+        sim.run();
+        assert!(done.get(), "simulation deadlocked before the test body completed");
+    }
+
+    /// Builds server + connected client inside a running sim.
+    async fn testbed(config: DdsConfig) -> (Rc<Dds>, Rc<DdsClient>, Rc<Platform>) {
+        let platform = Platform::default_bf2();
+        let dds = Dds::build(platform.clone(), config).await;
+        let client_cpu = CpuPool::new("client", 16, 3_000_000_000);
+        // Client -> server and server -> client simplex streams. The
+        // server side terminates TCP on the DPU (DDS's transport).
+        let server_side = TcpSide::offloaded(
+            platform.host_cpu.clone(),
+            platform.dpu_cpu.clone(),
+            platform.host_dpu_pcie.clone(),
+        );
+        let client_side = TcpSide::host(client_cpu);
+        let (c2s_tx, c2s_rx) = tcp_stream(
+            client_side.clone(),
+            server_side.clone(),
+            LinkConfig::rack_100g(),
+            TcpParams::default(),
+        );
+        let (s2c_tx, s2c_rx) = tcp_stream(
+            server_side,
+            client_side,
+            LinkConfig::rack_100g(),
+            TcpParams::default(),
+        );
+        dds.serve(c2s_rx, s2c_tx);
+        let client = DdsClient::new(c2s_tx, s2c_rx);
+        (dds, client, platform)
+    }
+
+    #[test]
+    fn kv_end_to_end_over_the_network() {
+        run_async(async {
+            let (_dds, client, _p) = testbed(DdsConfig::default()).await;
+            client.kv_put(1, Bytes::from_static(b"value-1")).await;
+            client.kv_put(2, Bytes::from_static(b"value-2")).await;
+            assert_eq!(client.kv_get(1).await.unwrap(), Bytes::from_static(b"value-1"));
+            assert_eq!(client.kv_get(2).await.unwrap(), Bytes::from_static(b"value-2"));
+            assert_eq!(client.kv_get(42).await, None);
+        });
+    }
+
+    #[test]
+    fn page_server_end_to_end() {
+        run_async(async {
+            let (dds, client, _p) = testbed(DdsConfig::default()).await;
+            client.append_log(3, 16, Bytes::from_static(b"wal-bytes")).await;
+            assert!(!dds.pages.is_clean(3));
+            // Pages are larger than one TCP segment: this exercises the
+            // length-prefixed framing layer.
+            let page = client.get_page(3).await;
+            assert_eq!(page.len(), 8_192);
+            assert_eq!(&page[16..25], b"wal-bytes");
+            // Host replayed it; now it's clean and DPU-servable.
+            assert!(dds.pages.is_clean(3));
+            let page2 = client.get_page(3).await;
+            assert_eq!(page2, page);
+        });
+    }
+
+    #[test]
+    fn large_values_cross_segment_boundaries() {
+        run_async(async {
+            let (_dds, client, _p) = testbed(DdsConfig::default()).await;
+            // Value bigger than several segments.
+            let value: Vec<u8> = (0..40_000u32).map(|i| (i % 249) as u8).collect();
+            client.kv_put(9, Bytes::from(value.clone())).await;
+            assert_eq!(client.kv_get(9).await.unwrap(), Bytes::from(value));
+        });
+    }
+
+    #[test]
+    fn reads_route_dpu_writes_route_host() {
+        run_async(async {
+            let (dds, client, _p) = testbed(DdsConfig::default()).await;
+            client.kv_put(7, Bytes::from_static(b"x")).await; // host
+            client.kv_get(7).await; // dpu (index resident)
+            client.kv_get(7).await; // dpu
+            assert_eq!(dds.served_host.get(), 1);
+            assert_eq!(dds.served_dpu.get(), 2);
+        });
+    }
+
+    #[test]
+    fn offload_disabled_sends_everything_to_host() {
+        run_async(async {
+            let config = DdsConfig { offload_enabled: false, ..DdsConfig::default() };
+            let (dds, client, _p) = testbed(config).await;
+            client.kv_put(1, Bytes::from_static(b"v")).await;
+            client.kv_get(1).await;
+            client.get_page(0).await;
+            assert_eq!(dds.served_dpu.get(), 0);
+            assert_eq!(dds.served_host.get(), 3);
+        });
+    }
+
+    #[test]
+    fn offload_saves_host_cpu_fig9() {
+        // The §9 claim in miniature: same read-heavy workload, with and
+        // without DDS offloading; compare host cores consumed.
+        let run = |offload: bool| {
+            let out = Rc::new(std::cell::Cell::new(f64::NAN));
+            let out2 = out.clone();
+            run_async(async move {
+                let config = DdsConfig { offload_enabled: offload, ..DdsConfig::default() };
+                let (_dds, client, p) = testbed(config).await;
+                for k in 0..32u64 {
+                    client.kv_put(k, Bytes::from(vec![k as u8; 256])).await;
+                }
+                let t0 = dpdpu_des::now();
+                p.host_cpu.reset_stats();
+                for i in 0..512u64 {
+                    client.kv_get(i % 32).await;
+                }
+                let elapsed = (dpdpu_des::now() - t0).max(1);
+                out2.set(p.host_cpu.busy_ns() as f64 / elapsed as f64);
+            });
+            let v = out.get();
+            assert!(v.is_finite(), "measurement did not complete");
+            v
+        };
+        let baseline = run(false);
+        let offloaded = run(true);
+        assert!(
+            offloaded < baseline / 4.0,
+            "DDS must slash host CPU on reads: baseline={baseline:.4} offloaded={offloaded:.4}"
+        );
+    }
+
+    #[test]
+    fn dpu_cache_accelerates_hot_get_page() {
+        run_async(async {
+            let config = DdsConfig { dpu_cache_pages: 32, ..DdsConfig::default() };
+            let (dds, client, p) = testbed(config).await;
+            // Warm one hot page.
+            client.get_page(5).await;
+            let reads_before = p.ssd.reads.get();
+            let t0 = dpdpu_des::now();
+            for _ in 0..8 {
+                client.get_page(5).await;
+            }
+            let warm = (dpdpu_des::now() - t0) / 8;
+            assert_eq!(p.ssd.reads.get(), reads_before, "hot page stays cached");
+            // Compare against an uncached page's latency.
+            let t1 = dpdpu_des::now();
+            client.get_page(99).await;
+            let cold = dpdpu_des::now() - t1;
+            assert!(warm < cold, "cached page must be faster: warm={warm} cold={cold}");
+            assert_eq!(dds.pages.dirty_pages(), 0);
+        });
+    }
+
+    #[test]
+    fn partial_offload_under_tight_index_budget() {
+        run_async(async {
+            let config = DdsConfig {
+                kv_index_budget: 8 * crate::kv::INDEX_ENTRY_BYTES,
+                ..DdsConfig::default()
+            };
+            let (dds, client, _p) = testbed(config).await;
+            for k in 0..32u64 {
+                client.kv_put(k, Bytes::from_static(b"v")).await;
+            }
+            for k in 0..32u64 {
+                client.kv_get(k).await;
+            }
+            // 8 keys fit on the DPU; the rest of the gets go to the host.
+            assert_eq!(dds.served_dpu.get(), 8);
+            assert_eq!(dds.served_host.get(), 32 + 24);
+            let (dpu_keys, host_keys) = dds.kv.partition_sizes();
+            assert_eq!((dpu_keys, host_keys), (8, 24));
+        });
+    }
+}

@@ -1,0 +1,528 @@
+//! The virtual-time executor.
+//!
+//! Tasks live in a slab; wakers push task ids onto a shared wake list; the
+//! run loop polls every runnable task to quiescence and then advances the
+//! virtual clock to the earliest pending timer.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::oneshot;
+use crate::time::Time;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// Wake list shared with wakers. Wakers must be `Send + Sync`, so this is
+/// the only piece of the executor behind a real mutex; it is uncontended in
+/// practice because the simulation is single-threaded.
+#[derive(Default)]
+struct WakeList {
+    woken: Mutex<Vec<usize>>,
+}
+
+struct TaskWaker {
+    list: Arc<WakeList>,
+    task: usize,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.list.woken.lock().expect("wake list poisoned").push(self.task);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.list.woken.lock().expect("wake list poisoned").push(self.task);
+    }
+}
+
+struct TimerEntry {
+    deadline: Time,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+/// Executor state shared between the run loop and futures polled inside it.
+pub(crate) struct SimShared {
+    now: Cell<Time>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    timer_seq: Cell<u64>,
+    /// Tasks spawned while the simulation is running (or before it starts).
+    spawned: RefCell<Vec<BoxFuture>>,
+    wake_list: Arc<WakeList>,
+}
+
+impl SimShared {
+    fn register_timer(&self, deadline: Time, waker: Waker) {
+        let seq = self.timer_seq.get();
+        self.timer_seq.set(seq + 1);
+        self.timers
+            .borrow_mut()
+            .push(Reverse(TimerEntry { deadline, seq, waker }));
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<SimShared>>> = const { RefCell::new(None) };
+}
+
+fn with_shared<R>(f: impl FnOnce(&SimShared) -> R) -> R {
+    CURRENT.with(|c| {
+        let cur = c.borrow();
+        let shared = cur
+            .as_ref()
+            .expect("dpdpu-des: not inside a running Sim (did you call now()/sleep() outside Sim::run?)");
+        f(shared)
+    })
+}
+
+struct EnterGuard {
+    prev: Option<Rc<SimShared>>,
+}
+
+fn enter(shared: Rc<SimShared>) -> EnterGuard {
+    CURRENT.with(|c| {
+        let prev = c.borrow_mut().replace(shared);
+        EnterGuard { prev }
+    })
+}
+
+impl Drop for EnterGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            *c.borrow_mut() = self.prev.take();
+        });
+    }
+}
+
+/// A deterministic single-threaded simulation executor with a virtual clock.
+pub struct Sim {
+    shared: Rc<SimShared>,
+    tasks: Vec<Option<BoxFuture>>,
+    free: Vec<usize>,
+    ready: VecDeque<usize>,
+    queued: Vec<bool>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulation at virtual time zero.
+    pub fn new() -> Self {
+        Sim {
+            shared: Rc::new(SimShared {
+                now: Cell::new(0),
+                timers: RefCell::new(BinaryHeap::new()),
+                timer_seq: Cell::new(0),
+                spawned: RefCell::new(Vec::new()),
+                wake_list: Arc::new(WakeList::default()),
+            }),
+            tasks: Vec::new(),
+            free: Vec::new(),
+            ready: VecDeque::new(),
+            queued: Vec::new(),
+        }
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> Time {
+        self.shared.now.get()
+    }
+
+    /// Spawns a root task. Tasks spawned before [`Sim::run`] start at time 0
+    /// in spawn order.
+    pub fn spawn<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        spawn_on(&self.shared, fut)
+    }
+
+    /// Runs until no task is runnable and no timer is pending, returning the
+    /// final virtual time. Tasks still blocked on channels/semaphores at that
+    /// point are deadlocked (or waiting on a peer that exited) and are
+    /// dropped with the simulation.
+    pub fn run(&mut self) -> Time {
+        self.run_until(Time::MAX)
+    }
+
+    /// Runs until the simulation is idle or virtual time would exceed
+    /// `deadline`, whichever comes first. Returns the final virtual time.
+    pub fn run_until(&mut self, deadline: Time) -> Time {
+        let _guard = enter(self.shared.clone());
+        loop {
+            self.admit_spawned();
+            self.drain_woken();
+            while let Some(id) = self.ready.pop_front() {
+                self.queued[id] = false;
+                self.poll_task(id);
+                self.admit_spawned();
+                self.drain_woken();
+            }
+            // Quiescent: advance the clock to the next timer.
+            let next = self.shared.timers.borrow_mut().pop();
+            match next {
+                Some(Reverse(entry)) => {
+                    if entry.deadline > deadline {
+                        // Put it back and stop at the deadline.
+                        self.shared.register_timer(entry.deadline, entry.waker);
+                        self.shared.now.set(deadline.max(self.shared.now.get()));
+                        break;
+                    }
+                    debug_assert!(entry.deadline >= self.shared.now.get());
+                    self.shared.now.set(entry.deadline.max(self.shared.now.get()));
+                    entry.waker.wake();
+                }
+                None => break,
+            }
+        }
+        self.shared.now.get()
+    }
+
+    fn admit_spawned(&mut self) {
+        let mut spawned = self.shared.spawned.borrow_mut();
+        for fut in spawned.drain(..) {
+            let id = match self.free.pop() {
+                Some(id) => {
+                    self.tasks[id] = Some(fut);
+                    id
+                }
+                None => {
+                    self.tasks.push(Some(fut));
+                    self.queued.push(false);
+                    self.tasks.len() - 1
+                }
+            };
+            if !self.queued[id] {
+                self.queued[id] = true;
+                self.ready.push_back(id);
+            }
+        }
+    }
+
+    fn drain_woken(&mut self) {
+        let woken: Vec<usize> = {
+            let mut list = self.shared.wake_list.woken.lock().expect("wake list poisoned");
+            std::mem::take(&mut *list)
+        };
+        for id in woken {
+            // Stale wakes for completed tasks are ignored.
+            if id < self.tasks.len() && self.tasks[id].is_some() && !self.queued[id] {
+                self.queued[id] = true;
+                self.ready.push_back(id);
+            }
+        }
+    }
+
+    fn poll_task(&mut self, id: usize) {
+        let Some(mut fut) = self.tasks[id].take() else {
+            return;
+        };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            list: self.shared.wake_list.clone(),
+            task: id,
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.free.push(id);
+            }
+            Poll::Pending => {
+                self.tasks[id] = Some(fut);
+            }
+        }
+    }
+}
+
+fn spawn_on<T: 'static>(
+    shared: &Rc<SimShared>,
+    fut: impl Future<Output = T> + 'static,
+) -> JoinHandle<T> {
+    let (tx, rx) = oneshot::oneshot();
+    shared.spawned.borrow_mut().push(Box::pin(async move {
+        let value = fut.await;
+        let _ = tx.send(value);
+    }));
+    JoinHandle { rx }
+}
+
+/// Handle to a spawned task; awaiting it yields the task's output.
+pub struct JoinHandle<T> {
+    rx: oneshot::OneshotReceiver<T>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        match Pin::new(&mut self.rx).poll(cx) {
+            Poll::Ready(Ok(v)) => Poll::Ready(v),
+            Poll::Ready(Err(_)) => panic!("joined task was cancelled (simulation ended early?)"),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// Spawns a task on the currently running simulation.
+///
+/// # Panics
+/// Panics when called outside [`Sim::run`].
+pub fn spawn<T: 'static>(fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+    CURRENT.with(|c| {
+        let cur = c.borrow();
+        let shared = cur
+            .as_ref()
+            .expect("dpdpu-des: spawn() called outside a running Sim");
+        spawn_on(shared, fut)
+    })
+}
+
+/// Current virtual time of the running simulation, in nanoseconds.
+///
+/// # Panics
+/// Panics when called outside [`Sim::run`].
+pub fn now() -> Time {
+    with_shared(|s| s.now.get())
+}
+
+/// Future returned by [`sleep`] / [`sleep_until`].
+pub struct Sleep {
+    deadline: Option<Time>,
+    duration: Time,
+    absolute: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        with_shared(|shared| {
+            let now = shared.now.get();
+            match self.deadline {
+                None => {
+                    let deadline = if self.absolute {
+                        self.duration
+                    } else {
+                        now.saturating_add(self.duration)
+                    };
+                    self.deadline = Some(deadline);
+                    if deadline <= now {
+                        return Poll::Ready(());
+                    }
+                    shared.register_timer(deadline, cx.waker().clone());
+                    Poll::Pending
+                }
+                Some(deadline) if now >= deadline => Poll::Ready(()),
+                Some(deadline) => {
+                    // Spurious poll (e.g. inside race/timeout): re-register
+                    // with the current waker. Duplicate timer entries are
+                    // harmless — stale wakes are ignored.
+                    shared.register_timer(deadline, cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        })
+    }
+}
+
+/// Suspends the current task for `ns` nanoseconds of virtual time.
+pub fn sleep(ns: Time) -> Sleep {
+    Sleep { deadline: None, duration: ns, absolute: false }
+}
+
+/// Suspends the current task until absolute virtual time `t` (no-op if `t`
+/// is in the past).
+pub fn sleep_until(t: Time) -> Sleep {
+    Sleep { deadline: None, duration: t, absolute: true }
+}
+
+/// Yields to other runnable tasks without advancing time.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn empty_sim_finishes_at_zero() {
+        let mut sim = Sim::new();
+        assert_eq!(sim.run(), 0);
+    }
+
+    #[test]
+    fn sleep_advances_clock() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            sleep(500).await;
+            assert_eq!(now(), 500);
+            sleep(250).await;
+            assert_eq!(now(), 750);
+        });
+        assert_eq!(sim.run(), 750);
+    }
+
+    #[test]
+    fn zero_sleep_completes_immediately() {
+        let mut sim = Sim::new();
+        let h = sim.spawn(async {
+            sleep(0).await;
+            now()
+        });
+        let check = sim.spawn(async move { assert_eq!(h.await, 0) });
+        sim.run();
+        drop(check);
+    }
+
+    #[test]
+    fn tasks_interleave_deterministically() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new();
+        for (i, delay) in [(0u32, 30u64), (1, 10), (2, 20)] {
+            let order = order.clone();
+            sim.spawn(async move {
+                sleep(delay).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn timer_ties_fire_in_registration_order() {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new();
+        for i in 0..8 {
+            let order = order.clone();
+            sim.spawn(async move {
+                sleep(100).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_spawn_and_join() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let h = spawn(async {
+                sleep(100).await;
+                42
+            });
+            assert_eq!(h.await, 42);
+            assert_eq!(now(), 100);
+        });
+        assert_eq!(sim.run(), 100);
+    }
+
+    #[test]
+    fn sleep_until_past_is_noop() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            sleep(100).await;
+            sleep_until(50).await; // already past
+            assert_eq!(now(), 100);
+            sleep_until(200).await;
+            assert_eq!(now(), 200);
+        });
+        assert_eq!(sim.run(), 200);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            sleep(1_000_000).await;
+        });
+        assert_eq!(sim.run_until(500), 500);
+        // Resuming finishes the pending sleep.
+        assert_eq!(sim.run(), 1_000_000);
+    }
+
+    #[test]
+    fn yield_now_does_not_advance_time() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            for _ in 0..10 {
+                yield_now().await;
+            }
+            assert_eq!(now(), 0);
+        });
+        assert_eq!(sim.run(), 0);
+    }
+
+    #[test]
+    fn task_slots_are_reused() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            for _ in 0..100 {
+                spawn(async { sleep(1).await }).await;
+            }
+        });
+        sim.run();
+        assert!(sim.tasks.len() < 10, "slots should be recycled, got {}", sim.tasks.len());
+    }
+
+    #[test]
+    fn many_tasks_same_deadline_deterministic_end() {
+        let mut sim1 = Sim::new();
+        let mut sim2 = Sim::new();
+        for sim in [&mut sim1, &mut sim2] {
+            for i in 0..1000u64 {
+                sim.spawn(async move {
+                    sleep(i % 17).await;
+                    sleep(i % 5).await;
+                });
+            }
+        }
+        assert_eq!(sim1.run(), sim2.run());
+    }
+}

@@ -1,0 +1,170 @@
+//! Lightweight measurement helpers for experiments: counters and latency
+//! histograms with exact quantiles.
+
+use std::cell::{Cell, RefCell};
+
+/// A monotonically increasing event counter.
+#[derive(Default)]
+pub struct Counter {
+    value: Cell<u64>,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.set(self.value.get() + n);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.get()
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.value.set(0);
+    }
+}
+
+/// Records individual samples and reports exact order statistics.
+///
+/// Simulation experiments are bounded (at most a few million samples), so we
+/// keep all samples and sort on demand rather than approximating.
+#[derive(Default)]
+pub struct Histogram {
+    samples: RefCell<Vec<u64>>,
+    sorted: Cell<bool>,
+}
+
+impl Histogram {
+    /// New, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.samples.borrow_mut().push(v);
+        self.sorted.set(false);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.borrow().len()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.samples.borrow().iter().sum()
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.borrow().iter().copied().min()
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.borrow().iter().copied().max()
+    }
+
+    /// Exact quantile by the nearest-rank method; `q` in `[0, 1]`.
+    /// Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let mut samples = self.samples.borrow_mut();
+        if samples.is_empty() {
+            return None;
+        }
+        if !self.sorted.get() {
+            samples.sort_unstable();
+            self.sorted.set(true);
+        }
+        let rank = ((q.clamp(0.0, 1.0) * samples.len() as f64).ceil() as usize)
+            .clamp(1, samples.len());
+        Some(samples[rank - 1])
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Clears all samples.
+    pub fn reset(&self) {
+        self.samples.borrow_mut().clear();
+        self.sorted.set(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_exact() {
+        let h = Histogram::new();
+        for v in [5u64, 1, 4, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(5));
+        assert_eq!(h.p50(), Some(3));
+        assert_eq!(h.quantile(1.0), Some(5));
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert!((h.mean() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn record_after_quantile_resorts() {
+        let h = Histogram::new();
+        h.record(10);
+        assert_eq!(h.p50(), Some(10));
+        h.record(1);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.p50(), Some(1)); // nearest-rank of 2 samples at q=0.5
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the executor's core guarantee: bit-identical
+//! re-execution. Random task structures (sleep trees, channel pipelines,
+//! semaphore contention) must produce identical event orders — observed
+//! through completion timestamps — across runs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use dpdpu_des::{channel, now, sleep, spawn, Semaphore, Sim};
+
+/// Recipe for one task tree.
+#[derive(Debug, Clone)]
+struct Recipe {
+    delays: Vec<u16>,
+    fanout: u8,
+    sem_permits: u8,
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    (
+        proptest::collection::vec(0u16..500, 1..20),
+        1u8..6,
+        1u8..4,
+    )
+        .prop_map(|(delays, fanout, sem_permits)| Recipe { delays, fanout, sem_permits })
+}
+
+/// Runs the recipe, returning the trace of (task id, completion time).
+fn execute(r: &Recipe) -> Vec<(u32, u64)> {
+    let mut sim = Sim::new();
+    let trace: Rc<RefCell<Vec<(u32, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+    let r = r.clone();
+    let trace2 = trace.clone();
+    sim.spawn(async move {
+        let sem = Semaphore::new(r.sem_permits as usize);
+        let (tx, mut rx) = channel::<u32>();
+        let mut handles = Vec::new();
+        let mut id = 0u32;
+        for &d in &r.delays {
+            for f in 0..r.fanout {
+                let sem = sem.clone();
+                let tx = tx.clone();
+                let task = id;
+                id += 1;
+                handles.push(spawn(async move {
+                    sleep(d as u64 + f as u64).await;
+                    let _p = sem.acquire().await;
+                    sleep((d as u64).wrapping_mul(7) % 97).await;
+                    let _ = tx.send(task);
+                }));
+            }
+        }
+        drop(tx);
+        let trace = trace2;
+        while let Some(task) = rx.recv().await {
+            trace.borrow_mut().push((task, now()));
+        }
+        for h in handles {
+            h.await;
+        }
+    });
+    sim.run();
+    Rc::try_unwrap(trace).expect("sim ended").into_inner()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn execution_is_bit_deterministic(r in recipe()) {
+        let a = execute(&r);
+        let b = execute(&r);
+        prop_assert_eq!(&a, &b, "two runs diverged");
+        prop_assert_eq!(a.len(), r.delays.len() * r.fanout as usize);
+    }
+
+    /// Completion times never decrease along the trace (the channel
+    /// preserves virtual-time order of sends).
+    #[test]
+    fn trace_times_are_monotone(r in recipe()) {
+        let trace = execute(&r);
+        for w in trace.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1, "time went backwards: {w:?}");
+        }
+    }
+}

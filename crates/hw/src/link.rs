@@ -1,0 +1,204 @@
+//! Point-to-point network links: FIFO serialization at line rate,
+//! propagation delay, seeded random loss.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dpdpu_des::{channel, sleep, spawn, transmit_ns, Counter, Receiver, Sender, Server, Time};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of one link direction.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Line rate in bits/sec (e.g. `100_000_000_000` for 100 Gbps).
+    pub bits_per_sec: u64,
+    /// One-way propagation + switching delay in ns.
+    pub propagation_ns: Time,
+    /// Independent per-frame drop probability in `[0, 1]`.
+    pub loss_rate: f64,
+    /// RNG seed for loss decisions (determinism).
+    pub seed: u64,
+}
+
+impl LinkConfig {
+    /// A lossless intra-rack 100 Gbps link.
+    pub fn rack_100g() -> Self {
+        LinkConfig {
+            bits_per_sec: 100_000_000_000,
+            propagation_ns: crate::costs::RACK_PROPAGATION_NS,
+            loss_rate: 0.0,
+            seed: 7,
+        }
+    }
+
+    /// Sets the loss rate, keeping everything else.
+    pub fn with_loss(mut self, loss_rate: f64, seed: u64) -> Self {
+        self.loss_rate = loss_rate;
+        self.seed = seed;
+        self
+    }
+}
+
+/// One direction of a network link carrying frames of type `T`.
+///
+/// `send` blocks the caller for the serialization time (the wire is FIFO),
+/// then delivery happens `propagation_ns` later without blocking the
+/// sender, preserving order. Lost frames consume wire time but are never
+/// delivered — exactly what a congestion-control model needs to see.
+pub struct Link<T> {
+    cfg: LinkConfig,
+    wire: Rc<Server>,
+    out: Sender<T>,
+    rng: RefCell<StdRng>,
+    pub delivered: Counter,
+    pub dropped: Counter,
+    pub bytes_sent: Counter,
+}
+
+impl<T: 'static> Link<T> {
+    /// Creates a link direction; the returned [`Receiver`] yields delivered
+    /// frames in order.
+    pub fn new(name: impl Into<String>, cfg: LinkConfig) -> (Rc<Self>, Receiver<T>) {
+        assert!(cfg.bits_per_sec > 0, "link rate must be positive");
+        assert!((0.0..=1.0).contains(&cfg.loss_rate), "loss rate must be in [0,1]");
+        let (tx, rx) = channel();
+        (
+            Rc::new(Link {
+                cfg,
+                wire: Server::new(name, 1),
+                out: tx,
+                rng: RefCell::new(StdRng::seed_from_u64(cfg.seed)),
+                delivered: Counter::new(),
+                dropped: Counter::new(),
+                bytes_sent: Counter::new(),
+            }),
+            rx,
+        )
+    }
+
+    /// Link configuration.
+    pub fn config(&self) -> LinkConfig {
+        self.cfg
+    }
+
+    /// Serialization time for a frame of `bytes`.
+    pub fn transmit_ns(&self, bytes: u64) -> Time {
+        transmit_ns(bytes, self.cfg.bits_per_sec)
+    }
+
+    /// Transmits one frame of `bytes`; resolves when the frame has left the
+    /// wire (delivery completes asynchronously after propagation).
+    pub async fn send(self: &Rc<Self>, frame: T, bytes: u64) {
+        self.wire.process(self.transmit_ns(bytes)).await;
+        self.bytes_sent.add(bytes);
+        let lost = self.cfg.loss_rate > 0.0
+            && self.rng.borrow_mut().random_bool(self.cfg.loss_rate);
+        if lost {
+            self.dropped.inc();
+            return;
+        }
+        self.delivered.inc();
+        let this = self.clone();
+        spawn(async move {
+            sleep(this.cfg.propagation_ns).await;
+            let _ = this.out.send(frame);
+        });
+    }
+
+    /// Wire busy time (for link-utilisation reports).
+    pub fn busy_ns(&self) -> u64 {
+        self.wire.busy_ns()
+    }
+
+    /// Link utilisation over `elapsed`.
+    pub fn utilization(&self, elapsed: Time) -> f64 {
+        self.wire.utilization(elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpdpu_des::{now, Sim};
+
+    fn test_cfg() -> LinkConfig {
+        LinkConfig { bits_per_sec: 8_000_000_000, propagation_ns: 1_000, loss_rate: 0.0, seed: 1 }
+    }
+
+    #[test]
+    fn frame_arrives_after_serialize_plus_propagation() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            // 8 Gbps = 1 byte/ns. 1000-byte frame: 1000 ns wire + 1000 ns prop.
+            let (link, mut rx) = Link::new("l", test_cfg());
+            link.send(42u32, 1_000).await;
+            assert_eq!(now(), 1_000);
+            assert_eq!(rx.recv().await, Some(42));
+            assert_eq!(now(), 2_000);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn wire_is_fifo_and_order_preserved() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let (link, mut rx) = Link::new("l", test_cfg());
+            for i in 0..5u32 {
+                let link = link.clone();
+                spawn(async move {
+                    link.send(i, 100).await;
+                });
+            }
+            let mut got = Vec::new();
+            for _ in 0..5 {
+                got.push(rx.recv().await.unwrap());
+            }
+            assert_eq!(got, vec![0, 1, 2, 3, 4]);
+            // 5 × 100 ns serialize + 1000 ns prop for the last frame.
+            assert_eq!(now(), 1_500);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn lossy_link_drops_deterministically() {
+        let run = || {
+            let mut sim = Sim::new();
+            let cfg = test_cfg().with_loss(0.3, 99);
+            let h = sim.spawn(async move {
+                let (link, mut rx) = Link::new("l", cfg);
+                for i in 0..100u32 {
+                    link.send(i, 10).await;
+                }
+                let mut got = Vec::new();
+                while let Ok(Some(v)) = dpdpu_des::timeout(1_000_000, rx.recv()).await {
+                    got.push(v);
+                }
+                (got, link.dropped.get())
+            });
+            let collect = sim.spawn(async move { h.await });
+            sim.run();
+            drop(collect);
+        };
+        // Determinism: two runs must agree (checked by identical panics /
+        // no panics and by the assertion below on a single run).
+        run();
+        let mut sim = Sim::new();
+        let cfg = test_cfg().with_loss(0.3, 99);
+        sim.spawn(async move {
+            let (link, mut rx) = Link::new("l", cfg);
+            for i in 0..100u32 {
+                link.send(i, 10).await;
+            }
+            let mut n = 0;
+            while dpdpu_des::timeout(1_000_000, rx.recv()).await.ok().flatten().is_some() {
+                n += 1;
+            }
+            assert_eq!(n + link.dropped.get(), 100);
+            assert!(link.dropped.get() > 10 && link.dropped.get() < 50);
+        });
+        sim.run();
+    }
+}

@@ -1,0 +1,140 @@
+//! A live platform: one host + one DPU + one SSD, instantiated from specs.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::accel::Accelerator;
+use crate::cpu::CpuPool;
+use crate::memory::Memory;
+use crate::pcie::PcieLink;
+use crate::peer::{PeerDevice, PeerSpec};
+use crate::spec::{AccelKind, DpuSpec, HostSpec};
+use crate::ssd::Ssd;
+
+/// A server equipped with a DPU and an NVMe SSD — the hardware unit every
+/// DPDPU engine runs against (paper Figure 5's resource boxes).
+pub struct Platform {
+    /// Host spec this platform was built from.
+    pub host_spec: HostSpec,
+    /// DPU spec this platform was built from.
+    pub dpu_spec: DpuSpec,
+    /// Host CPU cores.
+    pub host_cpu: Rc<CpuPool>,
+    /// DPU onboard cores.
+    pub dpu_cpu: Rc<CpuPool>,
+    /// DPU fixed-function engines present on this DPU.
+    pub accels: HashMap<AccelKind, Rc<Accelerator>>,
+    /// Host DRAM.
+    pub host_mem: Memory,
+    /// DPU onboard DRAM (the scarce resource of §7).
+    pub dpu_mem: Memory,
+    /// Host↔DPU PCIe link (DMA path for rings and payloads).
+    pub host_dpu_pcie: Rc<PcieLink>,
+    /// DPU↔SSD peer-to-peer PCIe link (§7's direct storage path).
+    pub dpu_ssd_pcie: Rc<PcieLink>,
+    /// Host↔SSD PCIe link through the root complex (legacy path).
+    pub host_ssd_pcie: Rc<PcieLink>,
+    /// The NVMe device.
+    pub ssd: Rc<Ssd>,
+    /// Optional PCIe peer accelerator (GPU/FPGA; §5 extension).
+    pub peer: RefCellPeer,
+}
+
+/// Late-bound peer accelerator slot (installed after construction so
+/// existing call sites stay unchanged).
+pub type RefCellPeer = std::cell::RefCell<Option<Rc<PeerDevice>>>;
+
+impl Platform {
+    /// Builds a platform from specs.
+    pub fn new(host: HostSpec, dpu: DpuSpec) -> Rc<Self> {
+        let mut accels = HashMap::new();
+        for spec in &dpu.accels {
+            accels.insert(
+                spec.kind,
+                Accelerator::new(spec.kind, spec.contexts, spec.fixed_latency_ns, spec.bytes_per_sec),
+            );
+        }
+        Rc::new(Platform {
+            host_cpu: CpuPool::new(format!("{}-cpu", host.name), host.cores, host.clock_hz),
+            dpu_cpu: CpuPool::new(format!("{}-cpu", dpu.name), dpu.cores, dpu.clock_hz),
+            accels,
+            host_mem: Memory::new(host.mem_bytes),
+            dpu_mem: Memory::new(dpu.mem_bytes),
+            host_dpu_pcie: PcieLink::new("host-dpu", dpu.pcie_bytes_per_sec),
+            dpu_ssd_pcie: PcieLink::new("dpu-ssd", dpu.pcie_bytes_per_sec),
+            host_ssd_pcie: PcieLink::new("host-ssd", dpu.pcie_bytes_per_sec),
+            ssd: Ssd::new("nvme0"),
+            peer: std::cell::RefCell::new(None),
+            host_spec: host,
+            dpu_spec: dpu,
+        })
+    }
+
+    /// Default experimental platform: EPYC host + BlueField-2.
+    pub fn default_bf2() -> Rc<Self> {
+        Platform::new(HostSpec::epyc(), DpuSpec::bluefield2())
+    }
+
+    /// Installs a PCIe peer accelerator (GPU/FPGA).
+    pub fn install_peer(&self, spec: PeerSpec) -> Rc<PeerDevice> {
+        let dev = PeerDevice::new(spec);
+        *self.peer.borrow_mut() = Some(dev.clone());
+        dev
+    }
+
+    /// The installed peer accelerator, if any.
+    pub fn peer_device(&self) -> Option<Rc<PeerDevice>> {
+        self.peer.borrow().clone()
+    }
+
+    /// The accelerator of `kind`, if this DPU has one.
+    pub fn accel(&self, kind: AccelKind) -> Option<Rc<Accelerator>> {
+        self.accels.get(&kind).cloned()
+    }
+
+    /// Resets every CPU/accelerator counter (between experiment phases).
+    pub fn reset_stats(&self) {
+        self.host_cpu.reset_stats();
+        self.dpu_cpu.reset_stats();
+        for accel in self.accels.values() {
+            accel.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpdpu_des::Sim;
+
+    #[test]
+    fn platform_wires_all_devices() {
+        let p = Platform::default_bf2();
+        assert_eq!(p.host_cpu.cores(), 64);
+        assert_eq!(p.dpu_cpu.cores(), 8);
+        assert!(p.accel(AccelKind::Compression).is_some());
+        assert_eq!(p.dpu_mem.capacity(), 16 << 30);
+    }
+
+    #[test]
+    fn accel_missing_on_heterogeneous_dpu() {
+        let p = Platform::new(HostSpec::epyc(), DpuSpec::bluefield3());
+        assert!(p.accel(AccelKind::RegEx).is_none());
+        assert!(p.accel(AccelKind::Compression).is_some());
+    }
+
+    #[test]
+    fn devices_usable_inside_sim() {
+        let mut sim = Sim::new();
+        let p = Platform::default_bf2();
+        let p2 = p.clone();
+        sim.spawn(async move {
+            p2.host_cpu.exec(3_000).await; // 1 µs at 3 GHz
+            p2.ssd.read(8_192).await;
+            p2.dpu_ssd_pcie.dma(8_192).await;
+        });
+        let end = sim.run();
+        assert!(end > 79_000, "end={end}");
+        assert_eq!(p.ssd.reads.get(), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Compressor: LZ77 tokens → per-block dynamic Huffman bitstream.
+//!
+//! Container layout:
+//!
+//! ```text
+//! magic "DPLZ" | u64-le original length | blocks...
+//! block := litlen lengths (286 × 4 bits) | dist lengths (30 × 4 bits)
+//!          | symbols... | EOB
+//! ```
+
+use super::bitstream::BitWriter;
+use super::huffman::{build_code_lengths, Encoder, MAX_CODE_LEN};
+use super::lz77::{tokenize, Token};
+use super::{distance_to_symbol, length_to_symbol, BLOCK_SIZE, EOB, NUM_DIST, NUM_LITLEN};
+
+pub(crate) const MAGIC: &[u8; 4] = b"DPLZ";
+
+/// Compresses `data`, returning the self-describing container.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let tokens = tokenize(data);
+    let mut w = BitWriter::with_capacity(data.len() / 2 + 64);
+    for &b in MAGIC {
+        w.write_bits(b as u32, 8);
+    }
+    let len = data.len() as u64;
+    w.write_bits((len & 0xFFFF_FFFF) as u32, 32);
+    w.write_bits((len >> 32) as u32, 32);
+
+    // Split the token stream into blocks covering <= BLOCK_SIZE input
+    // bytes each, so Huffman tables adapt to local statistics.
+    let mut start = 0usize;
+    while start < tokens.len() {
+        let mut covered = 0usize;
+        let mut end = start;
+        while end < tokens.len() && covered < BLOCK_SIZE {
+            covered += tokens[end].input_len();
+            end += 1;
+        }
+        encode_block(&mut w, &tokens[start..end]);
+        start = end;
+    }
+    if tokens.is_empty() {
+        // Zero-length payload still carries no blocks; decoder stops at
+        // original length 0.
+    }
+    w.finish()
+}
+
+fn encode_block(w: &mut BitWriter, tokens: &[Token]) {
+    // Gather symbol frequencies.
+    let mut litlen_freq = vec![0u64; NUM_LITLEN];
+    let mut dist_freq = vec![0u64; NUM_DIST];
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => litlen_freq[b as usize] += 1,
+            Token::Match { len, dist } => {
+                let (ls, _, _) = length_to_symbol(len as usize);
+                let (ds, _, _) = distance_to_symbol(dist as usize);
+                litlen_freq[ls as usize] += 1;
+                dist_freq[ds as usize] += 1;
+            }
+        }
+    }
+    litlen_freq[EOB as usize] += 1;
+
+    let litlen_lengths = build_code_lengths(&litlen_freq, MAX_CODE_LEN);
+    let dist_lengths = build_code_lengths(&dist_freq, MAX_CODE_LEN);
+
+    // Transmit code lengths as raw 4-bit fields.
+    for &l in &litlen_lengths {
+        w.write_bits(l as u32, 4);
+    }
+    for &l in &dist_lengths {
+        w.write_bits(l as u32, 4);
+    }
+
+    let litlen = Encoder::from_lengths(&litlen_lengths);
+    let dist_enc = Encoder::from_lengths(&dist_lengths);
+
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => litlen.write(w, b as u16),
+            Token::Match { len, dist } => {
+                let (ls, lbits, lextra) = length_to_symbol(len as usize);
+                litlen.write(w, ls);
+                if lbits > 0 {
+                    w.write_bits(lextra as u32, lbits as u32);
+                }
+                let (ds, dbits, dextra) = distance_to_symbol(dist as usize);
+                dist_enc.write(w, ds);
+                if dbits > 0 {
+                    w.write_bits(dextra as u32, dbits as u32);
+                }
+            }
+        }
+    }
+    litlen.write(w, EOB);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn container_starts_with_magic_and_length() {
+        let out = compress(b"hello world");
+        assert_eq!(&out[0..4], MAGIC);
+        let len = u64::from_le_bytes(out[4..12].try_into().unwrap());
+        assert_eq!(len, 11);
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let data: Vec<u8> = b"select * from t where k = ?;".repeat(500);
+        let out = compress(&data);
+        assert!(
+            out.len() < data.len() / 4,
+            "expected >4x on repetitive SQL: {} -> {}",
+            data.len(),
+            out.len()
+        );
+    }
+
+    #[test]
+    fn empty_input_is_header_only() {
+        let out = compress(b"");
+        assert_eq!(out.len(), 12);
+    }
+}

@@ -1,0 +1,100 @@
+//! Zipf-distributed key sampling — the access skew real KV and page
+//! workloads exhibit (YCSB's default), used by the DDS experiments to
+//! model hot sets that fit (or don't fit) in DPU memory.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A Zipf(α) sampler over `0..n` using the classic rejection-inversion
+/// method of W. Hörmann and G. Derflinger (same algorithm family as the
+/// `zipf` crate / numpy).
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    rng: StdRng,
+    // Precomputed constants.
+    t: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `0..n` with skew `alpha` (> 0; 0.99 is the
+    /// YCSB default). Deterministic for a given seed.
+    pub fn new(n: u64, alpha: f64, seed: u64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(alpha > 0.0 && alpha != 1.0, "alpha must be positive and != 1");
+        let t = ((n as f64).powf(1.0 - alpha) - alpha) / (1.0 - alpha);
+        Zipf { n, alpha, rng: StdRng::seed_from_u64(seed), t }
+    }
+
+    /// Draws the next key.
+    pub fn sample(&mut self) -> u64 {
+        // Rejection sampling against the integrated bounding envelope.
+        loop {
+            let p: f64 = self.rng.random();
+            let x = p * self.t;
+            // Invert the envelope CDF.
+            let k = if x <= 1.0 {
+                x
+            } else {
+                (x * (1.0 - self.alpha) + self.alpha).powf(1.0 / (1.0 - self.alpha))
+            };
+            let rank = k.floor().max(1.0).min(self.n as f64) as u64;
+            // Accept with probability f(rank)/envelope(rank).
+            let accept = (rank as f64).powf(-self.alpha)
+                / if k <= 1.0 { 1.0 } else { k.powf(-self.alpha) };
+            if self.rng.random::<f64>() < accept {
+                return rank - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(n: u64, alpha: f64, draws: usize) -> Vec<usize> {
+        let mut z = Zipf::new(n, alpha, 42);
+        let mut counts = vec![0usize; n as usize];
+        for _ in 0..draws {
+            counts[z.sample() as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let mut z = Zipf::new(100, 0.99, 7);
+        for _ in 0..10_000 {
+            assert!(z.sample() < 100);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let counts = histogram(1_000, 0.99, 100_000);
+        let head: usize = counts[..100].iter().sum();
+        // Zipf(0.99) over 1000 keys: top 10% of keys draw well over half
+        // the traffic.
+        assert!(head > 55_000, "head got {head} of 100000");
+        // Rank ordering holds in aggregate.
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[500].saturating_sub(5));
+    }
+
+    #[test]
+    fn higher_alpha_is_more_skewed() {
+        let mild: usize = histogram(1_000, 0.5, 50_000)[..10].iter().sum();
+        let steep: usize = histogram(1_000, 1.3, 50_000)[..10].iter().sum();
+        assert!(steep > mild, "steep={steep} mild={mild}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Zipf::new(500, 0.99, 9);
+        let mut b = Zipf::new(500, 0.99, 9);
+        for _ in 0..1_000 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+}

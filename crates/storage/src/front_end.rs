@@ -1,0 +1,247 @@
+//! The POSIX-like host front end (paper §7, "offloading file execution").
+//!
+//! Host application threads place file requests on a lock-free ring in
+//! host memory; the DPU lazily DMAs descriptor batches, executes them in
+//! the [`FileService`], moves payloads by DMA, and completes through a
+//! response ring. Host cost per op collapses from the kernel path's
+//! ~18 000 cycles to the ~600-cycle ring protocol — the Figure 2 delta.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use dpdpu_des::{oneshot, sleep, spawn, Counter, OneshotSender, Time};
+use dpdpu_hw::{costs, CpuPool, PcieLink};
+
+use crate::fs::{FileId, FsError};
+use crate::service::FileService;
+
+/// Descriptor size on the rings.
+const DESC_BYTES: u64 = 64;
+/// Poll cadence when the ring is empty.
+const IDLE_POLL_NS: Time = 1_000;
+/// Max descriptors pulled per DMA batch.
+const POLL_BATCH: usize = 32;
+
+enum FileOp {
+    Create { name: String },
+    Open { name: String },
+    Read { id: FileId, offset: u64, len: u64 },
+    Write { id: FileId, offset: u64, data: Vec<u8> },
+    Delete { name: String },
+}
+
+enum FileReply {
+    Id(FileId),
+    Data(Vec<u8>),
+    Unit,
+}
+
+struct RingEntry {
+    op: FileOp,
+    done: OneshotSender<Result<FileReply, FsError>>,
+}
+
+/// The host-side SE library handle.
+pub struct HostFrontEnd {
+    host_cpu: Rc<CpuPool>,
+    ring: Rc<RefCell<VecDeque<RingEntry>>>,
+    /// Ops submitted through the rings.
+    pub ops: Counter,
+}
+
+impl HostFrontEnd {
+    /// Wires a front end to a DPU file service over a PCIe link and
+    /// starts the DPU-side poller.
+    pub fn new(
+        host_cpu: Rc<CpuPool>,
+        host_dpu_pcie: Rc<PcieLink>,
+        service: Rc<FileService>,
+    ) -> Rc<Self> {
+        let ring: Rc<RefCell<VecDeque<RingEntry>>> = Rc::new(RefCell::new(VecDeque::new()));
+        {
+            let ring = ring.clone();
+            let pcie = host_dpu_pcie;
+            spawn(async move {
+                loop {
+                    let batch: Vec<RingEntry> = {
+                        let mut r = ring.borrow_mut();
+                        let take = r.len().min(POLL_BATCH);
+                        r.drain(..take).collect()
+                    };
+                    if batch.is_empty() {
+                        pcie.poll_round_trip().await;
+                        if Rc::strong_count(&ring) == 1 {
+                            return; // front end dropped, ring drained
+                        }
+                        sleep(IDLE_POLL_NS).await;
+                        continue;
+                    }
+                    pcie.dma(DESC_BYTES * batch.len() as u64).await;
+                    // Ops dispatch concurrently: the file service and SSD
+                    // provide the queue depth (SPDK-style), so the poller
+                    // must not serialize a batch behind one SSD latency.
+                    for entry in batch {
+                        let service = service.clone();
+                        let pcie = pcie.clone();
+                        spawn(async move {
+                        let reply = match entry.op {
+                            FileOp::Create { name } => {
+                                service.create(&name).await.map(FileReply::Id)
+                            }
+                            FileOp::Open { name } => {
+                                service.open(&name).await.map(FileReply::Id)
+                            }
+                            FileOp::Read { id, offset, len } => {
+                                match service.read(id, offset, len).await {
+                                    Ok(data) => {
+                                        // Payload lands in host memory.
+                                        pcie.dma(data.len() as u64).await;
+                                        Ok(FileReply::Data(data))
+                                    }
+                                    Err(e) => Err(e),
+                                }
+                            }
+                            FileOp::Write { id, offset, data } => {
+                                // Payload is pulled from host memory first.
+                                pcie.dma(data.len() as u64).await;
+                                service.write(id, offset, &data).await.map(|()| FileReply::Unit)
+                            }
+                            FileOp::Delete { name } => {
+                                service.delete(&name).await.map(|()| FileReply::Unit)
+                            }
+                        };
+                        pcie.dma(DESC_BYTES).await;
+                        let _ = entry.done.send(reply);
+                        });
+                    }
+                }
+            });
+        }
+        Rc::new(HostFrontEnd { host_cpu, ring, ops: Counter::new() })
+    }
+
+    async fn submit(&self, op: FileOp) -> Result<FileReply, FsError> {
+        // Ring enqueue + (later) completion poll: the entire host cost.
+        self.host_cpu.exec(costs::SE_HOST_RING_CYCLES_PER_OP).await;
+        self.ops.inc();
+        let (tx, rx) = oneshot();
+        self.ring.borrow_mut().push_back(RingEntry { op, done: tx });
+        rx.await.expect("DPU poller alive")
+    }
+
+    /// Creates a file.
+    pub async fn create(&self, name: &str) -> Result<FileId, FsError> {
+        match self.submit(FileOp::Create { name: name.to_string() }).await? {
+            FileReply::Id(id) => Ok(id),
+            _ => unreachable!("create returns an id"),
+        }
+    }
+
+    /// Opens a file.
+    pub async fn open(&self, name: &str) -> Result<FileId, FsError> {
+        match self.submit(FileOp::Open { name: name.to_string() }).await? {
+            FileReply::Id(id) => Ok(id),
+            _ => unreachable!("open returns an id"),
+        }
+    }
+
+    /// Reads a byte range.
+    pub async fn read(&self, id: FileId, offset: u64, len: u64) -> Result<Vec<u8>, FsError> {
+        match self.submit(FileOp::Read { id, offset, len }).await? {
+            FileReply::Data(d) => Ok(d),
+            _ => unreachable!("read returns data"),
+        }
+    }
+
+    /// Writes a byte range.
+    pub async fn write(&self, id: FileId, offset: u64, data: Vec<u8>) -> Result<(), FsError> {
+        match self.submit(FileOp::Write { id, offset, data }).await? {
+            FileReply::Unit => Ok(()),
+            _ => unreachable!("write returns unit"),
+        }
+    }
+
+    /// Deletes a file.
+    pub async fn delete(&self, name: &str) -> Result<(), FsError> {
+        match self.submit(FileOp::Delete { name: name.to_string() }).await? {
+            FileReply::Unit => Ok(()),
+            _ => unreachable!("delete returns unit"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blockdev::BlockDevice;
+    use crate::fs::ExtentFs;
+    use dpdpu_des::{join_all, Sim};
+    use dpdpu_hw::Platform;
+
+    fn build(p: &Rc<Platform>) -> Rc<HostFrontEnd> {
+        let fs = ExtentFs::format(BlockDevice::new(p.ssd.clone(), 1 << 20));
+        let svc = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
+        HostFrontEnd::new(p.host_cpu.clone(), p.host_dpu_pcie.clone(), svc)
+    }
+
+    #[test]
+    fn posix_like_round_trip() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let fe = build(&p);
+            let id = fe.create("t.db").await.unwrap();
+            fe.write(id, 0, vec![5u8; 16_384]).await.unwrap();
+            let back = fe.read(id, 4_096, 8_192).await.unwrap();
+            assert_eq!(back, vec![5u8; 8_192]);
+            assert_eq!(fe.open("t.db").await.unwrap(), id);
+            fe.delete("t.db").await.unwrap();
+            assert_eq!(fe.open("t.db").await.unwrap_err(), FsError::NotFound);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn host_cpu_cost_matches_ring_calibration() {
+        let mut sim = Sim::new();
+        let out = Rc::new(std::cell::Cell::new(0u64));
+        let out2 = out.clone();
+        sim.spawn(async move {
+            let p = Platform::default_bf2();
+            let fe = build(&p);
+            let id = fe.create("f").await.unwrap();
+            fe.write(id, 0, vec![1u8; 8_192]).await.unwrap();
+            p.host_cpu.reset_stats();
+            for _ in 0..50 {
+                fe.read(id, 0, 8_192).await.unwrap();
+            }
+            out2.set(p.host_cpu.busy_ns());
+        });
+        sim.run();
+        // 50 ops × 600 cycles at 3 GHz = 10 µs.
+        assert_eq!(out.get(), 50 * costs::SE_HOST_RING_CYCLES_PER_OP / 3);
+    }
+
+    #[test]
+    fn concurrent_requests_batch_on_the_ring() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let fe = build(&p);
+            let id = fe.create("f").await.unwrap();
+            fe.write(id, 0, vec![0u8; 128 * 8_192]).await.unwrap();
+            let handles: Vec<_> = (0..32)
+                .map(|i| {
+                    let fe = fe.clone();
+                    dpdpu_des::spawn(async move {
+                        fe.read(id, i * 8_192, 8_192).await.unwrap().len()
+                    })
+                })
+                .collect();
+            let lens = join_all(handles).await;
+            assert!(lens.iter().all(|&l| l == 8_192));
+        });
+        sim.run();
+    }
+}

@@ -1,10 +1,13 @@
-//! Criterion micro-benchmarks for the real data-path kernels — the
+//! Wall-clock micro-benchmarks for the real data-path kernels — the
 //! from-scratch implementations whose *functional* work the simulation
 //! executes (their simulated device timing is calibrated separately in
 //! `dpdpu_hw::costs`).
+//!
+//! Plain `Instant`-based timing (`harness = false`); the offline build
+//! carries no criterion. Run with `cargo bench -p dpdpu-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
+use std::time::Instant;
 
 use dpdpu_kernels::aes::ctr_xor;
 use dpdpu_kernels::crc32::crc32;
@@ -16,63 +19,58 @@ use dpdpu_kernels::text::natural_text;
 
 const SIZE: usize = 256 * 1024;
 
-fn bench_deflate(c: &mut Criterion) {
+/// Times `iters` runs of `f`, reporting best-of-n latency and throughput.
+fn bench(name: &str, bytes: usize, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed());
+    }
+    let mibps = bytes as f64 / best.as_secs_f64() / (1024.0 * 1024.0);
+    println!(
+        "{name:<28} {:>10.3} ms   {mibps:>9.1} MiB/s",
+        best.as_secs_f64() * 1e3
+    );
+}
+
+fn main() {
+    println!(
+        "kernel micro-benchmarks ({} KiB inputs, best of N)\n",
+        SIZE / 1024
+    );
+
     let text = natural_text(SIZE, 42);
     let packed = compress(&text);
-    let mut g = c.benchmark_group("deflate");
-    g.throughput(Throughput::Bytes(SIZE as u64));
-    g.sample_size(10);
-    g.bench_function(BenchmarkId::new("compress", SIZE), |b| {
-        b.iter(|| compress(black_box(&text)))
+    bench("deflate/compress", SIZE, 10, || {
+        black_box(compress(black_box(&text)));
     });
-    g.bench_function(BenchmarkId::new("decompress", SIZE), |b| {
-        b.iter(|| decompress(black_box(&packed)).unwrap())
+    bench("deflate/decompress", SIZE, 10, || {
+        black_box(decompress(black_box(&packed)).unwrap());
     });
-    g.finish();
-}
 
-fn bench_crypto(c: &mut Criterion) {
     let mut data = natural_text(SIZE, 7);
-    let mut g = c.benchmark_group("crypto");
-    g.throughput(Throughput::Bytes(SIZE as u64));
-    g.sample_size(20);
-    g.bench_function(BenchmarkId::new("aes128_ctr", SIZE), |b| {
-        b.iter(|| ctr_xor(&[1u8; 16], &[2u8; 12], black_box(&mut data)))
+    bench("crypto/aes128_ctr", SIZE, 20, || {
+        ctr_xor(&[1u8; 16], &[2u8; 12], black_box(&mut data));
     });
-    g.bench_function(BenchmarkId::new("sha256", SIZE), |b| {
-        b.iter(|| sha256(black_box(&data)))
+    bench("crypto/sha256", SIZE, 20, || {
+        black_box(sha256(black_box(&data)));
     });
-    g.bench_function(BenchmarkId::new("crc32", SIZE), |b| {
-        b.iter(|| crc32(black_box(&data)))
+    bench("crypto/crc32", SIZE, 20, || {
+        black_box(crc32(black_box(&data)));
     });
-    g.finish();
-}
 
-fn bench_regex(c: &mut Criterion) {
-    let hay = natural_text(SIZE, 9);
-    let hay = String::from_utf8(hay).unwrap();
+    let hay = String::from_utf8(natural_text(SIZE, 9)).unwrap();
     let re = Regex::new(r"(data|network) \w+").unwrap();
-    let mut g = c.benchmark_group("regex");
-    g.throughput(Throughput::Bytes(SIZE as u64));
-    g.sample_size(10);
-    g.bench_function(BenchmarkId::new("count_matches", SIZE), |b| {
-        b.iter(|| re.count_matches(black_box(&hay)))
+    bench("regex/count_matches", SIZE, 10, || {
+        black_box(re.count_matches(black_box(&hay)));
     });
-    g.finish();
-}
 
-fn bench_dedup(c: &mut Criterion) {
-    let mut data = natural_text(SIZE / 2, 11);
-    let copy = data.clone();
-    data.extend_from_slice(&copy); // guaranteed duplicates
-    let mut g = c.benchmark_group("dedup");
-    g.throughput(Throughput::Bytes(SIZE as u64));
-    g.sample_size(10);
-    g.bench_function(BenchmarkId::new("cdc_dedup", SIZE), |b| {
-        b.iter(|| dedup_stats(black_box(&data), ChunkerConfig::default()))
+    let mut dup = natural_text(SIZE / 2, 11);
+    let copy = dup.clone();
+    dup.extend_from_slice(&copy); // guaranteed duplicates
+    bench("dedup/cdc_dedup", SIZE, 10, || {
+        black_box(dedup_stats(black_box(&dup), ChunkerConfig::default()));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_deflate, bench_crypto, bench_regex, bench_dedup);
-criterion_main!(benches);

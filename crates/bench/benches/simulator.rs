@@ -1,76 +1,83 @@
-//! Criterion micro-benchmarks of the discrete-event substrate itself:
+//! Wall-clock micro-benchmarks of the discrete-event substrate itself:
 //! how many simulated events per real second the executor sustains, and
-//! the cost of a full DDS request round trip. These bound how large an
+//! the cost of contended server scheduling. These bound how large an
 //! experiment the figure harnesses can afford.
+//!
+//! Plain `Instant`-based timing (`harness = false`); the offline build
+//! carries no criterion. Run with `cargo bench -p dpdpu-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use dpdpu_des::{channel, sleep, spawn, Server, Sim};
 
-fn bench_executor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("des");
-    g.sample_size(20);
+/// Times `iters` runs of `f`, reporting the best latency and event rate.
+fn bench(name: &str, events: u64, iters: u32, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed());
+    }
+    let meps = events as f64 / best.as_secs_f64() / 1e6;
+    println!(
+        "{name:<28} {:>10.3} ms   {meps:>8.2} Mevents/s",
+        best.as_secs_f64() * 1e3
+    );
+}
 
-    g.bench_function("timer_events_100k", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new();
-            sim.spawn(async {
-                for _ in 0..100_000u32 {
-                    sleep(10).await;
-                }
-            });
-            black_box(sim.run())
-        })
+fn main() {
+    println!("DES substrate micro-benchmarks (best of N)\n");
+
+    bench("des/timer_events_100k", 100_000, 20, || {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            for _ in 0..100_000u32 {
+                sleep(10).await;
+            }
+        });
+        black_box(sim.run());
     });
 
-    g.bench_function("channel_pingpong_10k", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new();
-            sim.spawn(async {
-                let (tx_a, mut rx_a) = channel::<u32>();
-                let (tx_b, mut rx_b) = channel::<u32>();
-                spawn(async move {
-                    while let Some(v) = rx_a.recv().await {
-                        if tx_b.send(v + 1).is_err() {
-                            break;
-                        }
-                    }
-                });
-                tx_a.send(0).unwrap();
-                for _ in 0..10_000u32 {
-                    let v = rx_b.recv().await.unwrap();
-                    if tx_a.send(v).is_err() {
+    bench("des/channel_pingpong_10k", 20_000, 20, || {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let (tx_a, mut rx_a) = channel::<u32>();
+            let (tx_b, mut rx_b) = channel::<u32>();
+            spawn(async move {
+                while let Some(v) = rx_a.recv().await {
+                    if tx_b.send(v + 1).is_err() {
                         break;
                     }
                 }
             });
-            black_box(sim.run())
-        })
-    });
-
-    g.bench_function("server_contention_8x1k", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new();
-            sim.spawn(async {
-                let server = Server::new("cpu", 4);
-                let mut handles = Vec::new();
-                for _ in 0..8 {
-                    let server = server.clone();
-                    handles.push(spawn(async move {
-                        for _ in 0..1_000u32 {
-                            server.process(100).await;
-                        }
-                    }));
+            tx_a.send(0).unwrap();
+            for _ in 0..10_000u32 {
+                let v = rx_b.recv().await.unwrap();
+                if tx_a.send(v).is_err() {
+                    break;
                 }
-                dpdpu_des::join_all(handles).await;
-            });
-            black_box(sim.run())
-        })
+            }
+        });
+        black_box(sim.run());
     });
 
-    g.finish();
+    bench("des/server_contention_8x1k", 8_000, 20, || {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let server = Server::new("cpu", 4);
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let server = server.clone();
+                handles.push(spawn(async move {
+                    for _ in 0..1_000u32 {
+                        server.process(100).await;
+                    }
+                }));
+            }
+            dpdpu_des::join_all(handles).await;
+        });
+        black_box(sim.run());
+    });
 }
-
-criterion_group!(benches, bench_executor);
-criterion_main!(benches);

@@ -64,7 +64,10 @@ fn measure(dpu_cache_pages: usize, remote_fraction: f64) -> Measurement {
         let fs = ExtentFs::format(BlockDevice::new(p.ssd.clone(), 1 << 20));
         let service = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
         let file = service.create("data").await.unwrap();
-        service.write(file, HOT_PAGES * PAGE - 1, &[0]).await.unwrap();
+        service
+            .write(file, HOT_PAGES * PAGE - 1, &[0])
+            .await
+            .unwrap();
 
         let dpu_cache = PageCache::new(&p.dpu_mem, dpu_cache_pages, PAGE).unwrap();
         let host_cache =
@@ -91,12 +94,17 @@ fn measure(dpu_cache_pages: usize, remote_fraction: f64) -> Measurement {
             } else {
                 // Local app read crosses host->DPU PCIe on a miss; the
                 // host-side cache sits in front of that hop.
-                if let Some(_hit) = local_view.cache().get(dpdpu_storage::FileId(file.0), page * PAGE) {
+                if let Some(_hit) = local_view
+                    .cache()
+                    .get(dpdpu_storage::FileId(file.0), page * PAGE)
+                {
                     p.host_cpu.exec(400).await;
                 } else {
                     p.host_dpu_pcie.dma(PAGE).await;
                     let data = service.read(file, page * PAGE, PAGE).await.unwrap();
-                    local_view.cache().put(dpdpu_storage::FileId(file.0), page * PAGE, data);
+                    local_view
+                        .cache()
+                        .put(dpdpu_storage::FileId(file.0), page * PAGE, data);
                 }
             }
             let d = now() - t;
@@ -115,7 +123,11 @@ fn measure(dpu_cache_pages: usize, remote_fraction: f64) -> Measurement {
     });
     sim.run();
     let (remote_p50, local_p50, mean) = out.get();
-    Measurement { remote_p50, local_p50, mean }
+    Measurement {
+        remote_p50,
+        local_p50,
+        mean,
+    }
 }
 
 #[cfg(test)]

@@ -52,8 +52,13 @@ fn measure(mode: AckMode, payload_bytes: usize) -> u64 {
         let fs = ExtentFs::format(BlockDevice::new(p.ssd.clone(), 1 << 20));
         let service = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
         let log = service.fs().create("wal").unwrap();
-        let persist =
-            FastPersist::new(service, p.host_cpu.clone(), p.host_dpu_pcie.clone(), mode, log);
+        let persist = FastPersist::new(
+            service,
+            p.host_cpu.clone(),
+            p.host_dpu_pcie.clone(),
+            mode,
+            log,
+        );
         let lat = Histogram::new();
         let payload = vec![7u8; payload_bytes];
         for _ in 0..APPENDS {

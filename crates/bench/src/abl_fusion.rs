@@ -19,12 +19,7 @@ use crate::table::Table;
 
 /// Runs the sweep and renders the table.
 pub fn run() -> String {
-    let mut table = Table::new(&[
-        "input_kb",
-        "fused_us",
-        "unfused_us",
-        "fusion_speedup",
-    ]);
+    let mut table = Table::new(&["input_kb", "fused_us", "unfused_us", "fusion_speedup"]);
     for kb in [16u64, 64, 256, 1_024] {
         let fused = measure(kb * 1_024, true);
         let unfused = measure(kb * 1_024, false);
@@ -55,7 +50,10 @@ fn measure(bytes: u64, fused: bool) -> u64 {
         let data = Bytes::from(dpdpu_kernels::text::natural_text(bytes as usize, 21));
         let chain = vec![
             KernelOp::Compress,
-            KernelOp::Crypt { key: [1; 16], nonce: [2; 12] },
+            KernelOp::Crypt {
+                key: [1; 16],
+                nonce: [2; 12],
+            },
         ];
         let t0 = now();
         ce.run_chain_on_peer(&chain, data, fused).await.unwrap();

@@ -10,8 +10,8 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use dpdpu_des::Sim;
 use dpdpu_dds::kv::{KvStore, Residency, INDEX_ENTRY_BYTES};
+use dpdpu_des::Sim;
 use dpdpu_hw::Platform;
 use dpdpu_storage::{BlockDevice, ExtentFs, FileService};
 
@@ -63,7 +63,9 @@ fn measure(budget_bytes: u64) -> Measurement {
             .await
             .unwrap();
         for k in 0..KEYS {
-            kv.put(k, Bytes::from_static(b"value").as_ref()).await.unwrap();
+            kv.put(k, Bytes::from_static(b"value").as_ref())
+                .await
+                .unwrap();
         }
         // Uniform read mix: offloadable fraction == DPU-resident fraction.
         let mut offloadable = 0usize;
@@ -77,7 +79,11 @@ fn measure(budget_bytes: u64) -> Measurement {
     });
     sim.run();
     let (dpu_keys, offloadable, dpu_mem_used) = out.get();
-    Measurement { dpu_keys, offloadable, dpu_mem_used }
+    Measurement {
+        dpu_keys,
+        offloadable,
+        dpu_mem_used,
+    }
 }
 
 #[cfg(test)]

@@ -68,15 +68,27 @@ fn measure(placement: Placement) -> Measurement {
             let ce = ce.clone();
             let input = KernelInput::Bytes(data.clone());
             handles.push(dpdpu_des::spawn(async move {
-                ce.run(&KernelOp::Compress, &input, placement).await.unwrap();
+                ce.run(&KernelOp::Compress, &input, placement)
+                    .await
+                    .unwrap();
             }));
         }
         dpdpu_des::join_all(handles).await;
-        out2.set((now(), ce.asic_jobs.get(), ce.dpu_jobs.get(), ce.host_jobs.get()));
+        out2.set((
+            now(),
+            ce.asic_jobs.get(),
+            ce.dpu_jobs.get(),
+            ce.host_jobs.get(),
+        ));
     });
     sim.run();
     let (makespan, asic, dpu, host) = out.get();
-    Measurement { makespan, asic, dpu, host }
+    Measurement {
+        makespan,
+        asic,
+        dpu,
+        host,
+    }
 }
 
 #[cfg(test)]

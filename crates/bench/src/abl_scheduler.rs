@@ -30,7 +30,12 @@ pub fn run() -> String {
     ]);
     for (name, policy) in [
         ("FCFS", SchedPolicy::Fcfs),
-        ("DRR", SchedPolicy::Drr { quantum_cycles: 50_000 }),
+        (
+            "DRR",
+            SchedPolicy::Drr {
+                quantum_cycles: 50_000,
+            },
+        ),
         ("DPU-only", SchedPolicy::DpuOnly),
     ] {
         let m = measure(policy);
@@ -102,7 +107,12 @@ fn measure(policy: SchedPolicy) -> Measurement {
     });
     sim.run();
     let (small_p50, small_p99, makespan, migrated) = out.get();
-    Measurement { small_p50, small_p99, makespan, migrated }
+    Measurement {
+        small_p50,
+        small_p99,
+        makespan,
+        migrated,
+    }
 }
 
 #[cfg(test)]
@@ -112,7 +122,9 @@ mod tests {
     #[test]
     fn drr_protects_small_sprocs() {
         let fcfs = measure(SchedPolicy::Fcfs);
-        let drr = measure(SchedPolicy::Drr { quantum_cycles: 50_000 });
+        let drr = measure(SchedPolicy::Drr {
+            quantum_cycles: 50_000,
+        });
         assert!(
             drr.small_p99 < fcfs.small_p99,
             "DRR p99 {} must beat FCFS p99 {}",

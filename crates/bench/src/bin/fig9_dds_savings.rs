@@ -1,5 +1,37 @@
 //! Prints the fig9_dds_savings table; see the module docs in `dpdpu_bench::fig9_dds_savings`.
+//!
+//! With `--trace-out <path>`, additionally runs a traced demo pass of the
+//! full pipeline and writes a Chrome `trace_event` JSON file loadable in
+//! `chrome://tracing` / Perfetto, printing the telemetry summary table.
 
 fn main() {
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out requires a path argument");
+                    std::process::exit(2);
+                });
+                trace_out = Some(path.into());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: fig9_dds_savings [--trace-out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     println!("{}", dpdpu_bench::fig9_dds_savings::run());
+
+    if let Some(path) = trace_out {
+        let summary = dpdpu_bench::fig9_dds_savings::run_traced(&path).unwrap_or_else(|e| {
+            eprintln!("failed to write trace to {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("{summary}");
+        println!("chrome trace written to {}", path.display());
+    }
 }

@@ -80,12 +80,18 @@ fn time_asic(bytes: u64) -> u64 {
     let out2 = out.clone();
     sim.spawn(async move {
         let p = Platform::new(HostSpec::epyc(), DpuSpec::bluefield2());
-        let accel = p.accel(AccelKind::Compression).expect("BF-2 compression engine");
+        let accel = p
+            .accel(AccelKind::Compression)
+            .expect("BF-2 compression engine");
         let mut handles = Vec::new();
         let jobs = bytes.div_ceil(MB);
         for i in 0..jobs {
             let accel = accel.clone();
-            let job = if i == jobs - 1 { bytes - (jobs - 1) * MB } else { MB };
+            let job = if i == jobs - 1 {
+                bytes - (jobs - 1) * MB
+            } else {
+                MB
+            };
             handles.push(dpdpu_des::spawn(async move { accel.process(job).await }));
         }
         dpdpu_des::join_all(handles).await;

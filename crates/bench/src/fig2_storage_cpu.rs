@@ -71,12 +71,21 @@ fn measure(path: Path, target_iops: u64) -> (f64, f64) {
         // array with headroom instead of a single consumer device.
         let ssd = Ssd::with_params("array", 256, 78_000, 14_000, 8_000_000_000, 6_000_000_000);
         let fs = ExtentFs::format(BlockDevice::new(ssd, FILE_PAGES * 4));
-        let service =
-            FileService::new(fs.clone(), platform.dpu_cpu.clone(), platform.dpu_ssd_pcie.clone());
-        let kernel_path =
-            HostKernelPath::new(fs.clone(), platform.host_cpu.clone(), platform.host_ssd_pcie.clone());
-        let uring_path =
-            HostKernelPath::io_uring(fs, platform.host_cpu.clone(), platform.host_ssd_pcie.clone());
+        let service = FileService::new(
+            fs.clone(),
+            platform.dpu_cpu.clone(),
+            platform.dpu_ssd_pcie.clone(),
+        );
+        let kernel_path = HostKernelPath::new(
+            fs.clone(),
+            platform.host_cpu.clone(),
+            platform.host_ssd_pcie.clone(),
+        );
+        let uring_path = HostKernelPath::io_uring(
+            fs,
+            platform.host_cpu.clone(),
+            platform.host_ssd_pcie.clone(),
+        );
         let front_end = HostFrontEnd::new(
             platform.host_cpu.clone(),
             platform.host_dpu_pcie.clone(),
@@ -84,7 +93,10 @@ fn measure(path: Path, target_iops: u64) -> (f64, f64) {
         );
         let file = service.create("dataset").await.unwrap();
         // Materialize the extent map (contents read back as zeros).
-        service.write(file, FILE_PAGES * PAGE - 1, &[0]).await.unwrap();
+        service
+            .write(file, FILE_PAGES * PAGE - 1, &[0])
+            .await
+            .unwrap();
 
         platform.host_cpu.reset_stats();
         let t0 = now();
@@ -136,7 +148,10 @@ mod tests {
     fn linux_path_anchor_holds() {
         // ~2.7 cores at 450K pages/s, the paper's quantitative anchor.
         let (achieved, cores) = measure(Path::LinuxKernel, 450_000);
-        assert!(achieved > 400_000.0, "must sustain the load, got {achieved}");
+        assert!(
+            achieved > 400_000.0,
+            "must sustain the load, got {achieved}"
+        );
         assert!((2.2..3.2).contains(&cores), "cores={cores}");
     }
 
@@ -145,7 +160,10 @@ mod tests {
         let (_, c1) = measure(Path::LinuxKernel, 100_000);
         let (_, c3) = measure(Path::LinuxKernel, 300_000);
         let ratio = c3 / c1;
-        assert!((2.5..3.5).contains(&ratio), "expected ~3x cores at 3x IOPS, got {ratio}");
+        assert!(
+            (2.5..3.5).contains(&ratio),
+            "expected ~3x cores at 3x IOPS, got {ratio}"
+        );
     }
 
     #[test]
@@ -153,7 +171,10 @@ mod tests {
         let (_, classic) = measure(Path::LinuxKernel, 250_000);
         let (_, uring) = measure(Path::IoUring, 250_000);
         let ratio = classic / uring;
-        assert!((1.0..1.25).contains(&ratio), "similar cost expected, ratio={ratio}");
+        assert!(
+            (1.0..1.25).contains(&ratio),
+            "similar cost expected, ratio={ratio}"
+        );
     }
 
     #[test]
@@ -161,6 +182,9 @@ mod tests {
         let (ach, linux) = measure(Path::LinuxKernel, 250_000);
         let (ach_se, se) = measure(Path::DpdpuSe, 250_000);
         assert!(ach > 200_000.0 && ach_se > 200_000.0);
-        assert!(se * 10.0 < linux, "SE must be >10x cheaper: linux={linux} se={se}");
+        assert!(
+            se * 10.0 < linux,
+            "SE must be >10x cheaper: linux={linux} se={se}"
+        );
     }
 }

@@ -114,7 +114,10 @@ mod tests {
     fn cpu_grows_with_bandwidth() {
         let (_g1, c1) = measure(TcpStack::HostKernel, 20);
         let (_g2, c2) = measure(TcpStack::HostKernel, 80);
-        assert!(c2 > 2.5 * c1, "4x bandwidth should cost ~4x CPU: {c1} -> {c2}");
+        assert!(
+            c2 > 2.5 * c1,
+            "4x bandwidth should cost ~4x CPU: {c1} -> {c2}"
+        );
     }
 
     #[test]
@@ -128,6 +131,9 @@ mod tests {
     fn offload_flattens_the_curve() {
         let (_g, host) = measure(TcpStack::HostKernel, 50);
         let (_g2, ne) = measure(TcpStack::DpuOffload, 50);
-        assert!(ne * 5.0 < host, "NE must slash sender host CPU: host={host} ne={ne}");
+        assert!(
+            ne * 5.0 < host,
+            "NE must slash sender host CPU: host={host} ne={ne}"
+        );
     }
 }

@@ -110,9 +110,12 @@ mod tests {
     #[test]
     fn verbs_cost_matches_calibration() {
         let (verbs, _) = measure_verbs(64);
-        let expect = (dpdpu_hw::costs::RDMA_VERB_ISSUE_CYCLES
-            + dpdpu_hw::costs::RDMA_CQ_POLL_CYCLES) as f64;
-        assert!((verbs - expect).abs() / expect < 0.05, "verbs={verbs} expect={expect}");
+        let expect =
+            (dpdpu_hw::costs::RDMA_VERB_ISSUE_CYCLES + dpdpu_hw::costs::RDMA_CQ_POLL_CYCLES) as f64;
+        assert!(
+            (verbs - expect).abs() / expect < 0.05,
+            "verbs={verbs} expect={expect}"
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use bytes::Bytes;
-use dpdpu_des::{now, Histogram, Sim};
 use dpdpu_dds::server::{Dds, DdsClient, DdsConfig};
+use dpdpu_des::{now, Histogram, Sim};
 use dpdpu_hw::{CpuPool, LinkConfig, Platform};
 use dpdpu_net::tcp::{tcp_stream, TcpParams, TcpSide};
 

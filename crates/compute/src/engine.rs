@@ -51,7 +51,10 @@ impl ComputeEngine {
     /// Figure 6. The handle exists regardless of hardware support; use
     /// [`DpKernel::asic_available`] or specified execution to probe.
     pub fn get_dpk(self: &Rc<Self>, kind: KernelKind) -> DpKernel {
-        DpKernel { engine: self.clone(), kind }
+        DpKernel {
+            engine: self.clone(),
+            kind,
+        }
     }
 
     /// True if this DPU carries an ASIC for the kernel kind.
@@ -130,6 +133,16 @@ impl ComputeEngine {
             Placement::Specified(t) => t,
             Placement::Scheduled => self.choose_target(kind, bytes),
         };
+        let _span = dpdpu_telemetry::span("dpu", "compute-engine", format!("kernel:{kind:?}"))
+            .with("target", format!("{target:?}"))
+            .with("bytes", bytes)
+            .with(
+                "placement",
+                match placement {
+                    Placement::Specified(_) => "specified",
+                    Placement::Scheduled => "scheduled",
+                },
+            );
         match target {
             ExecTarget::DpuAsic => {
                 let accel = kind
@@ -156,6 +169,10 @@ impl ComputeEngine {
                 self.platform.host_dpu_pcie.dma(out_estimate).await;
                 self.host_jobs.inc();
             }
+        }
+        if let Some(c) = dpdpu_telemetry::counter("ce_jobs", &[("target", &format!("{target:?}"))])
+        {
+            c.inc();
         }
         op.execute(input)
     }
@@ -210,7 +227,11 @@ impl ComputeEngine {
     /// Convenience: compress bytes with scheduled placement.
     pub async fn compress(&self, data: Bytes) -> Result<Bytes, KernelError> {
         Ok(self
-            .run(&KernelOp::Compress, &KernelInput::Bytes(data), Placement::Scheduled)
+            .run(
+                &KernelOp::Compress,
+                &KernelInput::Bytes(data),
+                Placement::Scheduled,
+            )
             .await?
             .into_bytes())
     }
@@ -362,7 +383,10 @@ mod tests {
             let dpu_elapsed = now() - t1;
             // Host cores are faster, but at this size the two PCIe round
             // trips dominate: the DPU-local run must win.
-            assert!(dpu_elapsed < host_elapsed, "dpu={dpu_elapsed} host={host_elapsed}");
+            assert!(
+                dpu_elapsed < host_elapsed,
+                "dpu={dpu_elapsed} host={host_elapsed}"
+            );
         });
         sim.run();
         assert_eq!(ce.host_jobs.get(), 1);
@@ -433,13 +457,22 @@ mod tests {
             // decompress(compress(x)) chained with encryption both ways.
             let chain = vec![
                 KernelOp::Compress,
-                KernelOp::Crypt { key: [3; 16], nonce: [4; 12] },
+                KernelOp::Crypt {
+                    key: [3; 16],
+                    nonce: [4; 12],
+                },
             ];
             let t0 = now();
-            let fused = ce.run_chain_on_peer(&chain, data.clone(), true).await.unwrap();
+            let fused = ce
+                .run_chain_on_peer(&chain, data.clone(), true)
+                .await
+                .unwrap();
             let fused_ns = now() - t0;
             let t1 = now();
-            let unfused = ce.run_chain_on_peer(&chain, data.clone(), false).await.unwrap();
+            let unfused = ce
+                .run_chain_on_peer(&chain, data.clone(), false)
+                .await
+                .unwrap();
             let unfused_ns = now() - t1;
             assert_eq!(fused, unfused, "fusion must not change results");
             assert!(
@@ -468,6 +501,48 @@ mod tests {
             assert!(matches!(err, KernelError::TargetUnavailable(_)));
         });
         sim.run();
+    }
+
+    #[test]
+    fn telemetry_spans_each_kernel_invocation() {
+        use dpdpu_telemetry::Telemetry;
+        let t = Telemetry::install();
+        let mut sim = Sim::new();
+        let ce = bf2_engine();
+        let ce2 = ce.clone();
+        sim.spawn(async move {
+            let data = Bytes::from(vec![7u8; 4_096]);
+            ce2.run(
+                &KernelOp::Crc32,
+                &KernelInput::Bytes(data),
+                Placement::Scheduled,
+            )
+            .await
+            .unwrap();
+        });
+        sim.run();
+        Telemetry::uninstall();
+
+        let spans = t.tracer().spans();
+        let kernel = spans
+            .iter()
+            .find(|s| s.name.starts_with("kernel:"))
+            .expect("engine must span each kernel");
+        assert_eq!(kernel.process, "dpu");
+        assert_eq!(kernel.track, "compute-engine");
+        assert!(kernel.attrs.iter().any(|(k, _)| k == "target"));
+        assert!(kernel
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "bytes" && v == "4096"));
+        assert!(kernel.end > kernel.start, "kernels take virtual time");
+        let counters = t.registry().counter_values();
+        assert!(
+            counters
+                .iter()
+                .any(|(k, v)| k.starts_with("ce_jobs{") && *v == 1),
+            "ce_jobs counter missing: {counters:?}"
+        );
     }
 
     #[test]

@@ -151,9 +151,9 @@ impl KernelOp {
     /// separately on whichever device it placed the kernel).
     pub fn execute(&self, input: &KernelInput) -> Result<KernelOutput, KernelError> {
         match (self, input) {
-            (KernelOp::Compress, KernelInput::Bytes(data)) => Ok(KernelOutput::Bytes(
-                Bytes::from(dpdpu_kernels::deflate::compress(data)),
-            )),
+            (KernelOp::Compress, KernelInput::Bytes(data)) => Ok(KernelOutput::Bytes(Bytes::from(
+                dpdpu_kernels::deflate::compress(data),
+            ))),
             (KernelOp::Decompress, KernelInput::Bytes(data)) => {
                 let out = dpdpu_kernels::deflate::decompress(data)
                     .map_err(|e| KernelError::Execution(e.to_string()))?;
@@ -169,24 +169,24 @@ impl KernelOp {
                     .map_err(|_| KernelError::Execution("regex input not utf-8".into()))?;
                 Ok(KernelOutput::Count(regex.count_matches(text) as u64))
             }
-            (KernelOp::Dedup { config }, KernelInput::Bytes(data)) => {
-                Ok(KernelOutput::Dedup(dpdpu_kernels::dedup::dedup_stats(data, *config)))
-            }
+            (KernelOp::Dedup { config }, KernelInput::Bytes(data)) => Ok(KernelOutput::Dedup(
+                dpdpu_kernels::dedup::dedup_stats(data, *config),
+            )),
             (KernelOp::Sha256, KernelInput::Bytes(data)) => {
                 Ok(KernelOutput::Hash(dpdpu_kernels::sha256::sha256(data)))
             }
             (KernelOp::Crc32, KernelInput::Bytes(data)) => {
                 Ok(KernelOutput::Checksum(dpdpu_kernels::crc32::crc32(data)))
             }
-            (KernelOp::Filter { predicate }, KernelInput::Batch(batch)) => Ok(
-                KernelOutput::Batch(dpdpu_kernels::relops::filter(batch, predicate)),
-            ),
-            (KernelOp::Project { columns }, KernelInput::Batch(batch)) => Ok(
-                KernelOutput::Batch(dpdpu_kernels::relops::project(batch, columns)),
-            ),
-            (KernelOp::Aggregate { specs }, KernelInput::Batch(batch)) => Ok(
-                KernelOutput::Values(dpdpu_kernels::relops::aggregate(batch, specs)),
-            ),
+            (KernelOp::Filter { predicate }, KernelInput::Batch(batch)) => Ok(KernelOutput::Batch(
+                dpdpu_kernels::relops::filter(batch, predicate),
+            )),
+            (KernelOp::Project { columns }, KernelInput::Batch(batch)) => Ok(KernelOutput::Batch(
+                dpdpu_kernels::relops::project(batch, columns),
+            )),
+            (KernelOp::Aggregate { specs }, KernelInput::Batch(batch)) => Ok(KernelOutput::Values(
+                dpdpu_kernels::relops::aggregate(batch, specs),
+            )),
             _ => Err(KernelError::InputMismatch),
         }
     }
@@ -319,9 +319,15 @@ mod tests {
 
     #[test]
     fn crypt_round_trips() {
-        let op = KernelOp::Crypt { key: [1; 16], nonce: [2; 12] };
+        let op = KernelOp::Crypt {
+            key: [1; 16],
+            nonce: [2; 12],
+        };
         let data = Bytes::from_static(b"page contents here");
-        let enc = op.execute(&KernelInput::Bytes(data.clone())).unwrap().into_bytes();
+        let enc = op
+            .execute(&KernelInput::Bytes(data.clone()))
+            .unwrap()
+            .into_bytes();
         assert_ne!(enc, data);
         let dec = op.execute(&KernelInput::Bytes(enc)).unwrap().into_bytes();
         assert_eq!(dec, data);
@@ -331,10 +337,12 @@ mod tests {
     fn filter_matches_relops() {
         let batch = gen::orders(200, 1);
         let pred = std::rc::Rc::new(Predicate::cmp(3, CmpOp::Eq, Value::Text("paid".into())));
-        let out = KernelOp::Filter { predicate: pred.clone() }
-            .execute(&KernelInput::Batch(batch.clone()))
-            .unwrap()
-            .into_batch();
+        let out = KernelOp::Filter {
+            predicate: pred.clone(),
+        }
+        .execute(&KernelInput::Batch(batch.clone()))
+        .unwrap()
+        .into_batch();
         assert_eq!(out, dpdpu_kernels::relops::filter(&batch, &pred));
     }
 
@@ -342,14 +350,19 @@ mod tests {
     fn input_mismatch_detected() {
         let batch = gen::orders(5, 1);
         assert_eq!(
-            KernelOp::Compress.execute(&KernelInput::Batch(batch)).unwrap_err(),
+            KernelOp::Compress
+                .execute(&KernelInput::Batch(batch))
+                .unwrap_err(),
             KernelError::InputMismatch
         );
     }
 
     #[test]
     fn accel_mapping_follows_capabilities() {
-        assert_eq!(KernelKind::Compress.accel_kind(), Some(AccelKind::Compression));
+        assert_eq!(
+            KernelKind::Compress.accel_kind(),
+            Some(AccelKind::Compression)
+        );
         assert_eq!(KernelKind::RegexScan.accel_kind(), Some(AccelKind::RegEx));
         assert_eq!(KernelKind::Filter.accel_kind(), None);
     }

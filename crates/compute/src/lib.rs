@@ -30,8 +30,6 @@ mod scheduler;
 mod tenant;
 
 pub use engine::{ComputeEngine, DpKernel, Placement};
-pub use kernel::{
-    ExecTarget, KernelError, KernelInput, KernelKind, KernelOp, KernelOutput,
-};
+pub use kernel::{ExecTarget, KernelError, KernelInput, KernelKind, KernelOp, KernelOutput};
 pub use scheduler::{SchedPolicy, Scheduler, SprocSpec, Variance};
 pub use tenant::AccelShares;

@@ -69,6 +69,9 @@ pub enum SchedPolicy {
 struct Pending {
     spec: SprocSpec,
     done: OneshotSender<SprocDone>,
+    /// Submission time, captured only while telemetry is enabled (turns
+    /// into a retroactive "queued" span at dispatch).
+    submitted_at: Option<Time>,
 }
 
 struct SchedState {
@@ -129,15 +132,24 @@ impl Scheduler {
     /// Submits a sproc; the returned receiver resolves when it completes.
     /// Must be called from inside a running simulation.
     pub fn submit(self: &Rc<Self>, spec: SprocSpec) -> OneshotReceiver<SprocDone> {
-        assert!(spec.tenant < self.weights.len(), "unknown tenant {}", spec.tenant);
+        assert!(
+            spec.tenant < self.weights.len(),
+            "unknown tenant {}",
+            spec.tenant
+        );
         let (tx, rx) = oneshot();
+        let submitted_at = dpdpu_telemetry::Telemetry::is_enabled().then(dpdpu_des::now);
         {
             let mut st = self.state.borrow_mut();
             let q = match self.policy {
                 SchedPolicy::Drr { .. } => spec.tenant,
                 _ => 0,
             };
-            st.queues[q].push_back(Pending { spec, done: tx });
+            st.queues[q].push_back(Pending {
+                spec,
+                done: tx,
+                submitted_at,
+            });
             if !st.dispatcher_running {
                 st.dispatcher_running = true;
                 let this = self.clone();
@@ -183,11 +195,7 @@ impl Scheduler {
                         st.rr_cursor = (c + 1) % n;
                         continue;
                     }
-                    let head_cycles = st.queues[c]
-                        .front()
-                        .expect("non-empty checked")
-                        .spec
-                        .cycles;
+                    let head_cycles = st.queues[c].front().expect("non-empty checked").spec.cycles;
                     if st.deficits[c] >= head_cycles {
                         st.deficits[c] -= head_cycles;
                         return st.queues[c].pop_front();
@@ -214,10 +222,30 @@ impl Scheduler {
         };
         counter.inc();
         self.tenant_cycles.borrow_mut()[spec.tenant] += spec.cycles;
+        if let Some(t0) = pending.submitted_at {
+            let t1 = dpdpu_des::now();
+            if t1 > t0 {
+                dpdpu_telemetry::record_span(
+                    "dpu",
+                    "sproc-sched",
+                    "queued",
+                    t0,
+                    t1,
+                    &[("tenant", &spec.tenant.to_string())],
+                );
+            }
+        }
         let done = pending.done;
         spawn(async move {
+            let _span = dpdpu_telemetry::span("dpu", "sproc-sched", "sproc")
+                .with("tenant", spec.tenant)
+                .with("cycles", spec.cycles)
+                .with("target", format!("{target:?}"));
             pool.exec(spec.cycles).await;
-            let _ = done.send(SprocDone { target, finished_at: dpdpu_des::now() });
+            let _ = done.send(SprocDone {
+                target,
+                finished_at: dpdpu_des::now(),
+            });
         });
     }
 
@@ -326,7 +354,9 @@ mod tests {
         let sched = Scheduler::new(
             dpu,
             host,
-            SchedPolicy::Drr { quantum_cycles: 50_000 },
+            SchedPolicy::Drr {
+                quantum_cycles: 50_000,
+            },
             vec![1, 1],
         );
         sim.spawn(async move {
@@ -365,7 +395,9 @@ mod tests {
         let sched = Scheduler::new(
             dpu,
             host,
-            SchedPolicy::Drr { quantum_cycles: 25_000 },
+            SchedPolicy::Drr {
+                quantum_cycles: 25_000,
+            },
             vec![3, 1],
         );
         let sched2 = sched.clone();
@@ -399,9 +431,63 @@ mod tests {
         let (dpu, host) = pools();
         let sched = Scheduler::new(dpu, host, SchedPolicy::Fcfs, vec![1]);
         sim.spawn(async move {
-            let _ = sched.submit(SprocSpec { tenant: 5, cycles: 1, variance: Variance::Low });
+            // submit() panics synchronously on the unknown tenant,
+            // before the returned future is ever polled.
+            drop(sched.submit(SprocSpec {
+                tenant: 5,
+                cycles: 1,
+                variance: Variance::Low,
+            }));
         });
         sim.run();
+    }
+
+    #[test]
+    fn telemetry_spans_each_sproc_with_tenant_and_target() {
+        use dpdpu_telemetry::Telemetry;
+        let t = Telemetry::install();
+        let mut sim = Sim::new();
+        let (dpu, host) = pools();
+        let sched = Scheduler::new(
+            dpu,
+            host,
+            SchedPolicy::Drr {
+                quantum_cycles: 25_000,
+            },
+            vec![1, 1],
+        );
+        sim.spawn(async move {
+            let mut rxs = Vec::new();
+            for i in 0..6 {
+                rxs.push(sched.submit(SprocSpec {
+                    tenant: i % 2,
+                    cycles: 25_000,
+                    variance: Variance::Low,
+                }));
+            }
+            for rx in rxs {
+                rx.await.unwrap();
+            }
+        });
+        sim.run();
+        Telemetry::uninstall();
+
+        let spans = t.tracer().spans();
+        let sprocs: Vec<_> = spans.iter().filter(|s| s.name == "sproc").collect();
+        assert_eq!(sprocs.len(), 6);
+        for s in &sprocs {
+            assert_eq!(s.track, "sproc-sched");
+            assert!(s.attrs.iter().any(|(k, _)| k == "tenant"));
+            assert!(s.attrs.iter().any(|(k, _)| k == "target"));
+            assert!(s.end > s.start);
+        }
+        // Both tenants appear.
+        assert!(sprocs
+            .iter()
+            .any(|s| s.attrs.contains(&("tenant".into(), "0".into()))));
+        assert!(sprocs
+            .iter()
+            .any(|s| s.attrs.contains(&("tenant".into(), "1".into()))));
     }
 
     #[test]
@@ -410,13 +496,19 @@ mod tests {
         let (dpu, host) = pools();
         let sched = Scheduler::new(dpu, host, SchedPolicy::Fcfs, vec![1]);
         sim.spawn(async move {
-            let a = sched
-                .submit(SprocSpec { tenant: 0, cycles: 1_000, variance: Variance::Low });
+            let a = sched.submit(SprocSpec {
+                tenant: 0,
+                cycles: 1_000,
+                variance: Variance::Low,
+            });
             a.await.unwrap();
             let idle_at = now();
             // Second wave after the dispatcher exited.
-            let b = sched
-                .submit(SprocSpec { tenant: 0, cycles: 1_000, variance: Variance::Low });
+            let b = sched.submit(SprocSpec {
+                tenant: 0,
+                cycles: 1_000,
+                variance: Variance::Low,
+            });
             let done = b.await.unwrap();
             assert!(done.finished_at > idle_at);
             assert_eq!(sched.backlog(), 0);

@@ -59,7 +59,11 @@ impl fmt::Display for Report {
         for (kind, util) in &self.accel_utilization {
             writeln!(f, "accel {kind:?}: {:.1}% busy", util * 100.0)?;
         }
-        writeln!(f, "ssd: {} reads, {} writes", self.ssd_reads, self.ssd_writes)?;
+        writeln!(
+            f,
+            "ssd: {} reads, {} writes",
+            self.ssd_reads, self.ssd_writes
+        )?;
         writeln!(f, "pcie host<->dpu: {} bytes", self.pcie_bytes)?;
         write!(f, "dpu memory used: {} bytes", self.dpu_mem_used)
     }

@@ -31,12 +31,11 @@ impl Dpdpu {
     /// file service and its host front end, and initialises the CE.
     /// Must be called inside a running simulation (pollers are spawned).
     pub fn start(platform: Rc<Platform>) -> Rc<Self> {
+        if let Some(t) = dpdpu_telemetry::Telemetry::current() {
+            platform.register_telemetry(&t);
+        }
         let fs = ExtentFs::format(BlockDevice::new(platform.ssd.clone(), 1 << 24));
-        let storage = FileService::new(
-            fs,
-            platform.dpu_cpu.clone(),
-            platform.dpu_ssd_pcie.clone(),
-        );
+        let storage = FileService::new(fs, platform.dpu_cpu.clone(), platform.dpu_ssd_pcie.clone());
         let front_end = HostFrontEnd::new(
             platform.host_cpu.clone(),
             platform.host_dpu_pcie.clone(),
@@ -162,7 +161,11 @@ mod tests {
         sim.spawn(async {
             let dpdpu = Dpdpu::start_default();
             let id = dpdpu.front_end.create("shared").await.unwrap();
-            dpdpu.front_end.write(id, 0, vec![7u8; 1_000]).await.unwrap();
+            dpdpu
+                .front_end
+                .write(id, 0, vec![7u8; 1_000])
+                .await
+                .unwrap();
             // Visible from the DPU side (unified file system).
             let data = dpdpu.storage.read(id, 0, 1_000).await.unwrap();
             assert_eq!(data, vec![7u8; 1_000]);
@@ -180,12 +183,19 @@ mod tests {
             let rt = Dpdpu::start_default();
             rt.register_sproc("noop", |_rt: Rc<Dpdpu>, arg: Bytes| async move { arg })
                 .unwrap();
-            let out = rt.sprocs.invoke("noop", Bytes::from_static(b"x")).await.unwrap();
+            let out = rt
+                .sprocs
+                .invoke("noop", Bytes::from_static(b"x"))
+                .await
+                .unwrap();
             assert_eq!(out, Bytes::from_static(b"x"));
         });
         // Would spin forever if the Rc cycle existed.
         let end = sim.run();
-        assert!(end < dpdpu_des::SECONDS, "sim must quiesce promptly, ended at {end}");
+        assert!(
+            end < dpdpu_des::SECONDS,
+            "sim must quiesce promptly, ended at {end}"
+        );
     }
 
     #[test]
@@ -210,8 +220,7 @@ mod tests {
             );
 
             let pages: Vec<(u64, u64)> = (0..8).map(|i| (i * 8_192, 8_192)).collect();
-            let (input, compressed) =
-                dpdpu.read_compress_send(id, &pages, &tx).await.unwrap();
+            let (input, compressed) = dpdpu.read_compress_send(id, &pages, &tx).await.unwrap();
             assert_eq!(input, 8 * 8_192);
             assert!(compressed < input, "natural text must compress");
             drop(tx);

@@ -93,14 +93,21 @@ mod tests {
         let mut sim = Sim::new();
         sim.spawn(async {
             let reg = SprocRegistry::new();
-            reg.register("echo", |arg: Bytes| async move { arg }).unwrap();
+            reg.register("echo", |arg: Bytes| async move { arg })
+                .unwrap();
             reg.register("len", |arg: Bytes| async move {
                 Bytes::from(arg.len().to_le_bytes().to_vec())
             })
             .unwrap();
-            let out = reg.invoke("echo", Bytes::from_static(b"ping")).await.unwrap();
+            let out = reg
+                .invoke("echo", Bytes::from_static(b"ping"))
+                .await
+                .unwrap();
             assert_eq!(out, Bytes::from_static(b"ping"));
-            let out = reg.invoke("len", Bytes::from_static(b"four")).await.unwrap();
+            let out = reg
+                .invoke("len", Bytes::from_static(b"four"))
+                .await
+                .unwrap();
             assert_eq!(u64::from_le_bytes(out[..8].try_into().unwrap()), 4);
             assert_eq!(reg.names(), vec!["echo".to_string(), "len".to_string()]);
         });

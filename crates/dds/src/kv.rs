@@ -85,7 +85,10 @@ impl KvStore {
             if offset + 12 + len as u64 > size {
                 break; // torn tail record: discard (ack never left the DPU)
             }
-            let entry = IndexEntry { value_offset: offset + 12, value_len: len };
+            let entry = IndexEntry {
+                value_offset: offset + 12,
+                value_len: len,
+            };
             store.index_insert(key, entry);
             offset += 12 + len as u64;
         }
@@ -162,7 +165,10 @@ impl KvStore {
         let offset = self.tail.get();
         self.tail.set(offset + rec.len() as u64);
         self.service.write(self.log, offset, &rec).await?;
-        let entry = IndexEntry { value_offset: offset + 12, value_len: value.len() as u32 };
+        let entry = IndexEntry {
+            value_offset: offset + 12,
+            value_len: value.len() as u32,
+        };
         self.index_insert(key, entry);
         Ok(())
     }
@@ -191,8 +197,10 @@ impl KvStore {
         match entry {
             None => Ok(None),
             Some(e) => {
-                let data =
-                    self.service.read(self.log, e.value_offset, e.value_len as u64).await?;
+                let data = self
+                    .service
+                    .read(self.log, e.value_offset, e.value_len as u64)
+                    .await?;
                 Ok(Some(Bytes::from(data)))
             }
         }
@@ -200,7 +208,10 @@ impl KvStore {
 
     /// Number of keys in each partition `(dpu, host)`.
     pub fn partition_sizes(&self) -> (usize, usize) {
-        (self.dpu_index.borrow().len(), self.host_index.borrow().len())
+        (
+            self.dpu_index.borrow().len(),
+            self.host_index.borrow().len(),
+        )
     }
 
     /// Bytes appended to the hybrid log so far.
@@ -222,7 +233,9 @@ mod tests {
 
     async fn store(p: &Rc<Platform>, budget: u64) -> Rc<KvStore> {
         let svc = FileService::new(fs_for(p), p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
-        KvStore::create(svc, p.dpu_mem.clone(), budget, "kv.log").await.unwrap()
+        KvStore::create(svc, p.dpu_mem.clone(), budget, "kv.log")
+            .await
+            .unwrap()
     }
 
     #[test]
@@ -233,8 +246,14 @@ mod tests {
             let kv = store(&p, 1 << 20).await;
             kv.put(1, b"alpha").await.unwrap();
             kv.put(2, b"beta").await.unwrap();
-            assert_eq!(kv.get(1).await.unwrap().unwrap(), Bytes::from_static(b"alpha"));
-            assert_eq!(kv.get(2).await.unwrap().unwrap(), Bytes::from_static(b"beta"));
+            assert_eq!(
+                kv.get(1).await.unwrap().unwrap(),
+                Bytes::from_static(b"alpha")
+            );
+            assert_eq!(
+                kv.get(2).await.unwrap().unwrap(),
+                Bytes::from_static(b"beta")
+            );
             assert_eq!(kv.get(3).await.unwrap(), None);
         });
         sim.run();

@@ -49,10 +49,7 @@ pub type Udf = std::rc::Rc<dyn Fn(&[u8]) -> Option<OffloadPlan>>;
 
 /// Executes an offloaded file op on the DPU file service, returning the
 /// read payload (empty for writes).
-pub async fn execute(
-    service: &FileService,
-    op: FileOpDesc,
-) -> Result<Bytes, FsError> {
+pub async fn execute(service: &FileService, op: FileOpDesc) -> Result<Bytes, FsError> {
     match op {
         FileOpDesc::Read { file, offset, len } => {
             Ok(Bytes::from(service.read(file, offset, len).await?))
@@ -86,7 +83,11 @@ mod tests {
                 let text = std::str::from_utf8(msg).ok()?;
                 if let Some(rest) = text.strip_prefix('R') {
                     let offset: u64 = rest.parse().ok()?;
-                    Some(OffloadPlan::File(FileOpDesc::Read { file, offset, len: 4 }))
+                    Some(OffloadPlan::File(FileOpDesc::Read {
+                        file,
+                        offset,
+                        len: 4,
+                    }))
                 } else if let Some(rest) = text.strip_prefix('W') {
                     let (off, payload) = rest.split_once(':')?;
                     Some(OffloadPlan::File(FileOpDesc::Write {
@@ -100,16 +101,24 @@ mod tests {
             });
 
             let plan = udf(b"W0:abcd").unwrap();
-            let OffloadPlan::File(op) = plan else { panic!("expected file op") };
+            let OffloadPlan::File(op) = plan else {
+                panic!("expected file op")
+            };
             execute(&svc, op).await.unwrap();
 
             let plan = udf(b"R0").unwrap();
-            let OffloadPlan::File(op) = plan else { panic!("expected file op") };
+            let OffloadPlan::File(op) = plan else {
+                panic!("expected file op")
+            };
             let data = execute(&svc, op).await.unwrap();
             assert_eq!(&data[..], b"abcd");
 
             assert_eq!(udf(b"X??"), Some(OffloadPlan::ToHost));
-            assert_eq!(udf(&[0xFF, 0xFE]), None, "non-utf8 is not a storage request");
+            assert_eq!(
+                udf(&[0xFF, 0xFE]),
+                None,
+                "non-utf8 is not a storage request"
+            );
         });
         sim.run();
     }

@@ -107,7 +107,10 @@ impl PageServer {
                 .borrow_mut()
                 .entry(page_id)
                 .or_default()
-                .push(LogRecord { offset, delta: Bytes::from(delta) });
+                .push(LogRecord {
+                    offset,
+                    delta: Bytes::from(delta),
+                });
             pos += 16 + len as u64;
         }
         Ok(ps)
@@ -164,12 +167,7 @@ impl PageServer {
 
     /// Appends one WAL record: durable in the WAL file, then queued for
     /// replay. The page becomes dirty until replay catches up.
-    pub async fn append_log(
-        &self,
-        page_id: u64,
-        offset: u32,
-        delta: Bytes,
-    ) -> Result<(), FsError> {
+    pub async fn append_log(&self, page_id: u64, offset: u32, delta: Bytes) -> Result<(), FsError> {
         assert!(
             (offset as usize + delta.len()) <= self.page_size,
             "log record exceeds page bounds"
@@ -214,14 +212,20 @@ impl PageServer {
     /// Panics if the page is dirty — the traffic director must not route
     /// dirty pages here.
     pub async fn get_page_dpu(&self, page_id: u64) -> Result<Bytes, FsError> {
-        assert!(self.is_clean(page_id), "director routed a dirty page to the DPU");
+        assert!(
+            self.is_clean(page_id),
+            "director routed a dirty page to the DPU"
+        );
         let offset = page_id * self.page_size as u64;
         if let Some(cache) = &self.cache {
             if let Some(data) = cache.get(self.pages, offset) {
                 return Ok(Bytes::from(data));
             }
         }
-        let data = self.service.read(self.pages, offset, self.page_size as u64).await?;
+        let data = self
+            .service
+            .read(self.pages, offset, self.page_size as u64)
+            .await?;
         if let Some(cache) = &self.cache {
             cache.put(self.pages, offset, data.clone());
         }
@@ -235,7 +239,10 @@ impl PageServer {
             return Ok(());
         };
         let base = page_id * self.page_size as u64;
-        let mut image = self.service.read(self.pages, base, self.page_size as u64).await?;
+        let mut image = self
+            .service
+            .read(self.pages, base, self.page_size as u64)
+            .await?;
         for rec in &records {
             host_cpu.exec(REPLAY_CYCLES_PER_RECORD).await;
             let start = rec.offset as usize;
@@ -252,15 +259,15 @@ impl PageServer {
 
     /// Serves a page via the host: replay first (the host owns the
     /// pending log), then return the fresh image.
-    pub async fn get_page_host(
-        &self,
-        page_id: u64,
-        host_cpu: &CpuPool,
-    ) -> Result<Bytes, FsError> {
+    pub async fn get_page_host(&self, page_id: u64, host_cpu: &CpuPool) -> Result<Bytes, FsError> {
         self.replay_page(page_id, host_cpu).await?;
         let data = self
             .service
-            .read(self.pages, page_id * self.page_size as u64, self.page_size as u64)
+            .read(
+                self.pages,
+                page_id * self.page_size as u64,
+                self.page_size as u64,
+            )
             .await?;
         Ok(Bytes::from(data))
     }
@@ -299,7 +306,9 @@ mod tests {
         sim.spawn(async {
             let p = Platform::default_bf2();
             let ps = server(&p).await;
-            ps.append_log(5, 100, Bytes::from_static(b"hello")).await.unwrap();
+            ps.append_log(5, 100, Bytes::from_static(b"hello"))
+                .await
+                .unwrap();
             assert!(!ps.is_clean(5));
             assert_eq!(ps.dirty_pages(), 1);
             ps.replay_page(5, &p.host_cpu).await.unwrap();
@@ -317,8 +326,12 @@ mod tests {
         sim.spawn(async {
             let p = Platform::default_bf2();
             let ps = server(&p).await;
-            ps.append_log(2, 0, Bytes::from_static(b"AB")).await.unwrap();
-            ps.append_log(2, 2, Bytes::from_static(b"CD")).await.unwrap();
+            ps.append_log(2, 0, Bytes::from_static(b"AB"))
+                .await
+                .unwrap();
+            ps.append_log(2, 2, Bytes::from_static(b"CD"))
+                .await
+                .unwrap();
             let before = p.host_cpu.busy_ns();
             let page = ps.get_page_host(2, &p.host_cpu).await.unwrap();
             assert_eq!(&page[0..4], b"ABCD");
@@ -334,8 +347,12 @@ mod tests {
         sim.spawn(async {
             let p = Platform::default_bf2();
             let ps = server(&p).await;
-            ps.append_log(1, 10, Bytes::from_static(b"xxxx")).await.unwrap();
-            ps.append_log(1, 12, Bytes::from_static(b"YY")).await.unwrap();
+            ps.append_log(1, 10, Bytes::from_static(b"xxxx"))
+                .await
+                .unwrap();
+            ps.append_log(1, 12, Bytes::from_static(b"YY"))
+                .await
+                .unwrap();
             let page = ps.get_page_host(1, &p.host_cpu).await.unwrap();
             assert_eq!(&page[10..14], b"xxYY");
         });
@@ -368,7 +385,9 @@ mod tests {
             assert_eq!(cache.hits.get(), 1);
             // Log arrival invalidates; after replay the fresh image is
             // served (no stale cache).
-            ps.append_log(4, 0, Bytes::from_static(b"NEW")).await.unwrap();
+            ps.append_log(4, 0, Bytes::from_static(b"NEW"))
+                .await
+                .unwrap();
             let page = ps.get_page_host(4, &p.host_cpu).await.unwrap();
             assert_eq!(&page[0..3], b"NEW");
             let again = ps.get_page_dpu(4).await.unwrap();
@@ -386,8 +405,12 @@ mod tests {
             let svc = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
             {
                 let ps = PageServer::create(svc.clone(), 64, 8_192).await.unwrap();
-                ps.append_log(3, 10, Bytes::from_static(b"abc")).await.unwrap();
-                ps.append_log(9, 0, Bytes::from_static(b"zz")).await.unwrap();
+                ps.append_log(3, 10, Bytes::from_static(b"abc"))
+                    .await
+                    .unwrap();
+                ps.append_log(9, 0, Bytes::from_static(b"zz"))
+                    .await
+                    .unwrap();
                 // Crash before any replay.
             }
             let ps = PageServer::recover(svc, 8_192, None).await.unwrap();
@@ -409,8 +432,12 @@ mod tests {
             let svc = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
             {
                 let ps = PageServer::create(svc.clone(), 64, 8_192).await.unwrap();
-                ps.append_log(1, 0, Bytes::from_static(b"AAAA")).await.unwrap();
-                ps.append_log(1, 2, Bytes::from_static(b"BB")).await.unwrap();
+                ps.append_log(1, 0, Bytes::from_static(b"AAAA"))
+                    .await
+                    .unwrap();
+                ps.append_log(1, 2, Bytes::from_static(b"BB"))
+                    .await
+                    .unwrap();
                 // Apply, then crash WITHOUT checkpointing.
                 ps.replay_page(1, &p.host_cpu).await.unwrap();
             }
@@ -432,14 +459,22 @@ mod tests {
             let svc = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
             {
                 let ps = PageServer::create(svc.clone(), 64, 8_192).await.unwrap();
-                ps.append_log(5, 0, Bytes::from_static(b"old")).await.unwrap();
+                ps.append_log(5, 0, Bytes::from_static(b"old"))
+                    .await
+                    .unwrap();
                 ps.replay_page(5, &p.host_cpu).await.unwrap();
                 ps.checkpoint().await.unwrap();
                 // One more record after the checkpoint, then crash.
-                ps.append_log(6, 0, Bytes::from_static(b"new")).await.unwrap();
+                ps.append_log(6, 0, Bytes::from_static(b"new"))
+                    .await
+                    .unwrap();
             }
             let ps = PageServer::recover(svc, 8_192, None).await.unwrap();
-            assert_eq!(ps.dirty_pages(), 1, "only the post-checkpoint record redoes");
+            assert_eq!(
+                ps.dirty_pages(),
+                1,
+                "only the post-checkpoint record redoes"
+            );
             assert!(ps.is_clean(5));
             let page = ps.get_page_dpu(5).await.unwrap();
             assert_eq!(&page[0..3], b"old");
@@ -482,7 +517,9 @@ mod tests {
         sim.spawn(async {
             let p = Platform::default_bf2();
             let ps = server(&p).await;
-            let _ = ps.append_log(0, 8_190, Bytes::from_static(b"toolong")).await;
+            let _ = ps
+                .append_log(0, 8_190, Bytes::from_static(b"toolong"))
+                .await;
         });
         sim.run();
     }

@@ -78,7 +78,12 @@ impl Request {
                 b.put_u64_le(*req_id);
                 b.put_u64_le(*page_id);
             }
-            Request::AppendLog { req_id, page_id, offset, delta } => {
+            Request::AppendLog {
+                req_id,
+                page_id,
+                offset,
+                delta,
+            } => {
                 b.put_u8(4);
                 b.put_u64_le(*req_id);
                 b.put_u64_le(*page_id);
@@ -96,18 +101,33 @@ impl Request {
         let tag = c.u8()?;
         let req_id = c.u64()?;
         match tag {
-            1 => Ok(Request::KvGet { req_id, key: c.u64()? }),
+            1 => Ok(Request::KvGet {
+                req_id,
+                key: c.u64()?,
+            }),
             2 => {
                 let key = c.u64()?;
                 let len = c.u32()? as usize;
-                Ok(Request::KvPut { req_id, key, value: c.bytes(len)? })
+                Ok(Request::KvPut {
+                    req_id,
+                    key,
+                    value: c.bytes(len)?,
+                })
             }
-            3 => Ok(Request::GetPage { req_id, page_id: c.u64()? }),
+            3 => Ok(Request::GetPage {
+                req_id,
+                page_id: c.u64()?,
+            }),
             4 => {
                 let page_id = c.u64()?;
                 let offset = c.u32()?;
                 let len = c.u32()? as usize;
-                Ok(Request::AppendLog { req_id, page_id, offset, delta: c.bytes(len)? })
+                Ok(Request::AppendLog {
+                    req_id,
+                    page_id,
+                    offset,
+                    delta: c.bytes(len)?,
+                })
             }
             t => Err(ProtoError::BadTag(t)),
         }
@@ -175,7 +195,10 @@ impl Response {
             1 => {
                 let req_id = c.u64()?;
                 let len = c.u32()? as usize;
-                Ok(Response::Data { req_id, data: c.bytes(len)? })
+                Ok(Response::Data {
+                    req_id,
+                    data: c.bytes(len)?,
+                })
             }
             2 => Ok(Response::NotFound { req_id: c.u64()? }),
             3 => Ok(Response::Ok { req_id: c.u64()? }),
@@ -277,11 +300,15 @@ impl<'a> Cursor<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, ProtoError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, ProtoError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn bytes(&mut self, n: usize) -> Result<Bytes, ProtoError> {
@@ -297,8 +324,15 @@ mod tests {
     fn requests_round_trip() {
         let cases = vec![
             Request::KvGet { req_id: 1, key: 42 },
-            Request::KvPut { req_id: 2, key: 7, value: Bytes::from_static(b"hello") },
-            Request::GetPage { req_id: 3, page_id: 99 },
+            Request::KvPut {
+                req_id: 2,
+                key: 7,
+                value: Bytes::from_static(b"hello"),
+            },
+            Request::GetPage {
+                req_id: 3,
+                page_id: 99,
+            },
             Request::AppendLog {
                 req_id: 4,
                 page_id: 12,
@@ -314,7 +348,10 @@ mod tests {
     #[test]
     fn responses_round_trip() {
         let cases = vec![
-            Response::Data { req_id: 1, data: Bytes::from_static(b"payload") },
+            Response::Data {
+                req_id: 1,
+                data: Bytes::from_static(b"payload"),
+            },
             Response::NotFound { req_id: 2 },
             Response::Ok { req_id: 3 },
         ];
@@ -332,9 +369,13 @@ mod tests {
             Err(ProtoError::BadTag(99))
         );
         // Declared length longer than the buffer.
-        let mut put = Request::KvPut { req_id: 1, key: 1, value: Bytes::from_static(b"abcd") }
-            .encode()
-            .to_vec();
+        let mut put = Request::KvPut {
+            req_id: 1,
+            key: 1,
+            value: Bytes::from_static(b"abcd"),
+        }
+        .encode()
+        .to_vec();
         let cut = put.len() - 2;
         put.truncate(cut);
         assert_eq!(Request::decode(&put), Err(ProtoError::Truncated));

@@ -82,11 +82,7 @@ impl Dds {
     /// file service, and instantiates both application integrations.
     pub async fn build(platform: Rc<Platform>, config: DdsConfig) -> Rc<Self> {
         let fs = ExtentFs::format(BlockDevice::new(platform.ssd.clone(), 1 << 24));
-        let service = FileService::new(
-            fs,
-            platform.dpu_cpu.clone(),
-            platform.dpu_ssd_pcie.clone(),
-        );
+        let service = FileService::new(fs, platform.dpu_cpu.clone(), platform.dpu_ssd_pcie.clone());
         let kv = KvStore::create(
             service.clone(),
             platform.dpu_mem.clone(),
@@ -107,10 +103,9 @@ impl Dds {
         } else {
             None
         };
-        let pages =
-            PageServer::with_cache(service, config.num_pages, config.page_size, cache)
-                .await
-                .expect("fresh fs cannot fail");
+        let pages = PageServer::with_cache(service, config.num_pages, config.page_size, cache)
+            .await
+            .expect("fresh fs cannot fail");
         Rc::new(Dds {
             platform,
             director: TrafficDirector::new(config.offload_enabled),
@@ -139,9 +134,23 @@ impl Dds {
 
     /// Handles one already-received request, charging the serving path.
     pub async fn handle(&self, req: Request) -> Response {
+        let req_kind = match &req {
+            Request::KvGet { .. } => "KvGet",
+            Request::KvPut { .. } => "KvPut",
+            Request::GetPage { .. } => "GetPage",
+            Request::AppendLog { .. } => "AppendLog",
+        };
+        let mut req_span = dpdpu_telemetry::span("dpu", "dds-server", format!("req:{req_kind}"));
         // Parse + director lookup on the DPU.
         self.platform.dpu_cpu.exec(DPU_PARSE_CYCLES).await;
         let route = self.director.route(self.wants_dpu(&req));
+        req_span.attr("route", format!("{route:?}"));
+        if let Some(c) = dpdpu_telemetry::counter(
+            "dds_requests",
+            &[("kind", req_kind), ("route", &format!("{route:?}"))],
+        ) {
+            c.inc();
+        }
         match route {
             Route::Dpu => {
                 self.served_dpu.inc();
@@ -157,7 +166,10 @@ impl Dds {
                 self.platform.host_cpu.exec(HOST_APP_CYCLES).await;
                 let resp = self.exec(req).await;
                 // Response descends back through the DPU.
-                self.platform.host_dpu_pcie.dma(resp.encode().len() as u64).await;
+                self.platform
+                    .host_dpu_pcie
+                    .dma(resp.encode().len() as u64)
+                    .await;
                 resp
             }
         }
@@ -180,12 +192,19 @@ impl Dds {
                 let data = if self.pages.is_clean(page_id) {
                     self.pages.get_page_dpu(page_id).await
                 } else {
-                    self.pages.get_page_host(page_id, &self.platform.host_cpu).await
+                    self.pages
+                        .get_page_host(page_id, &self.platform.host_cpu)
+                        .await
                 }
                 .expect("page read failed");
                 Response::Data { req_id, data }
             }
-            Request::AppendLog { req_id, page_id, offset, delta } => {
+            Request::AppendLog {
+                req_id,
+                page_id,
+                offset,
+                delta,
+            } => {
                 self.pages
                     .append_log(page_id, offset, delta)
                     .await
@@ -247,7 +266,11 @@ impl DdsClient {
                 }
             });
         }
-        Rc::new(DdsClient { tx, pending, next_id: std::cell::Cell::new(1) })
+        Rc::new(DdsClient {
+            tx,
+            pending,
+            next_id: std::cell::Cell::new(1),
+        })
     }
 
     fn fresh_id(&self) -> u64 {
@@ -278,7 +301,14 @@ impl DdsClient {
 
     /// KV put.
     pub async fn kv_put(&self, key: u64, value: Bytes) {
-        match self.call(|req_id| Request::KvPut { req_id, key, value: value.clone() }).await {
+        match self
+            .call(|req_id| Request::KvPut {
+                req_id,
+                key,
+                value: value.clone(),
+            })
+            .await
+        {
             Response::Ok { .. } => {}
             other => panic!("unexpected put response {other:?}"),
         }
@@ -286,7 +316,10 @@ impl DdsClient {
 
     /// GetPage.
     pub async fn get_page(&self, page_id: u64) -> Bytes {
-        match self.call(|req_id| Request::GetPage { req_id, page_id }).await {
+        match self
+            .call(|req_id| Request::GetPage { req_id, page_id })
+            .await
+        {
             Response::Data { data, .. } => data,
             other => panic!("unexpected page response {other:?}"),
         }
@@ -295,7 +328,12 @@ impl DdsClient {
     /// Ship one WAL record.
     pub async fn append_log(&self, page_id: u64, offset: u32, delta: Bytes) {
         let resp = self
-            .call(|req_id| Request::AppendLog { req_id, page_id, offset, delta: delta.clone() })
+            .call(|req_id| Request::AppendLog {
+                req_id,
+                page_id,
+                offset,
+                delta: delta.clone(),
+            })
             .await;
         match resp {
             Response::Ok { .. } => {}
@@ -323,7 +361,10 @@ mod tests {
             flag.set(true);
         });
         sim.run();
-        assert!(done.get(), "simulation deadlocked before the test body completed");
+        assert!(
+            done.get(),
+            "simulation deadlocked before the test body completed"
+        );
     }
 
     /// Builds server + connected client inside a running sim.
@@ -362,8 +403,14 @@ mod tests {
             let (_dds, client, _p) = testbed(DdsConfig::default()).await;
             client.kv_put(1, Bytes::from_static(b"value-1")).await;
             client.kv_put(2, Bytes::from_static(b"value-2")).await;
-            assert_eq!(client.kv_get(1).await.unwrap(), Bytes::from_static(b"value-1"));
-            assert_eq!(client.kv_get(2).await.unwrap(), Bytes::from_static(b"value-2"));
+            assert_eq!(
+                client.kv_get(1).await.unwrap(),
+                Bytes::from_static(b"value-1")
+            );
+            assert_eq!(
+                client.kv_get(2).await.unwrap(),
+                Bytes::from_static(b"value-2")
+            );
             assert_eq!(client.kv_get(42).await, None);
         });
     }
@@ -372,7 +419,9 @@ mod tests {
     fn page_server_end_to_end() {
         run_async(async {
             let (dds, client, _p) = testbed(DdsConfig::default()).await;
-            client.append_log(3, 16, Bytes::from_static(b"wal-bytes")).await;
+            client
+                .append_log(3, 16, Bytes::from_static(b"wal-bytes"))
+                .await;
             assert!(!dds.pages.is_clean(3));
             // Pages are larger than one TCP segment: this exercises the
             // length-prefixed framing layer.
@@ -412,7 +461,10 @@ mod tests {
     #[test]
     fn offload_disabled_sends_everything_to_host() {
         run_async(async {
-            let config = DdsConfig { offload_enabled: false, ..DdsConfig::default() };
+            let config = DdsConfig {
+                offload_enabled: false,
+                ..DdsConfig::default()
+            };
             let (dds, client, _p) = testbed(config).await;
             client.kv_put(1, Bytes::from_static(b"v")).await;
             client.kv_get(1).await;
@@ -430,7 +482,10 @@ mod tests {
             let out = Rc::new(std::cell::Cell::new(f64::NAN));
             let out2 = out.clone();
             run_async(async move {
-                let config = DdsConfig { offload_enabled: offload, ..DdsConfig::default() };
+                let config = DdsConfig {
+                    offload_enabled: offload,
+                    ..DdsConfig::default()
+                };
                 let (_dds, client, p) = testbed(config).await;
                 for k in 0..32u64 {
                     client.kv_put(k, Bytes::from(vec![k as u8; 256])).await;
@@ -458,7 +513,10 @@ mod tests {
     #[test]
     fn dpu_cache_accelerates_hot_get_page() {
         run_async(async {
-            let config = DdsConfig { dpu_cache_pages: 32, ..DdsConfig::default() };
+            let config = DdsConfig {
+                dpu_cache_pages: 32,
+                ..DdsConfig::default()
+            };
             let (dds, client, p) = testbed(config).await;
             // Warm one hot page.
             client.get_page(5).await;
@@ -473,7 +531,10 @@ mod tests {
             let t1 = dpdpu_des::now();
             client.get_page(99).await;
             let cold = dpdpu_des::now() - t1;
-            assert!(warm < cold, "cached page must be faster: warm={warm} cold={cold}");
+            assert!(
+                warm < cold,
+                "cached page must be faster: warm={warm} cold={cold}"
+            );
             assert_eq!(dds.pages.dirty_pages(), 0);
         });
     }

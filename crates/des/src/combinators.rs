@@ -46,7 +46,10 @@ impl<F: Future> Future for Timeout<F> {
 /// Runs `fut`, giving up after `ns` of virtual time. On timeout the inner
 /// future is dropped (cancelled).
 pub fn timeout<F: Future>(ns: Time, fut: F) -> Timeout<F> {
-    Timeout { fut: Box::pin(fut), timer: sleep(ns) }
+    Timeout {
+        fut: Box::pin(fut),
+        timer: sleep(ns),
+    }
 }
 
 /// Future returned by [`race`].
@@ -73,7 +76,10 @@ impl<A: Future, B: Future> Future for Race<A, B> {
 /// Polls both futures; completes with whichever finishes first, dropping
 /// the loser. The left future wins ties.
 pub fn race<A: Future, B: Future>(a: A, b: B) -> Race<A, B> {
-    Race { a: Box::pin(a), b: Box::pin(b) }
+    Race {
+        a: Box::pin(a),
+        b: Box::pin(b),
+    }
 }
 
 /// Awaits every join handle, returning outputs in input order.

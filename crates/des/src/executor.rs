@@ -34,11 +34,19 @@ struct TaskWaker {
 
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.list.woken.lock().expect("wake list poisoned").push(self.task);
+        self.list
+            .woken
+            .lock()
+            .expect("wake list poisoned")
+            .push(self.task);
     }
 
     fn wake_by_ref(self: &Arc<Self>) {
-        self.list.woken.lock().expect("wake list poisoned").push(self.task);
+        self.list
+            .woken
+            .lock()
+            .expect("wake list poisoned")
+            .push(self.task);
     }
 }
 
@@ -79,9 +87,11 @@ impl SimShared {
     fn register_timer(&self, deadline: Time, waker: Waker) {
         let seq = self.timer_seq.get();
         self.timer_seq.set(seq + 1);
-        self.timers
-            .borrow_mut()
-            .push(Reverse(TimerEntry { deadline, seq, waker }));
+        self.timers.borrow_mut().push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            waker,
+        }));
     }
 }
 
@@ -92,9 +102,9 @@ thread_local! {
 fn with_shared<R>(f: impl FnOnce(&SimShared) -> R) -> R {
     CURRENT.with(|c| {
         let cur = c.borrow();
-        let shared = cur
-            .as_ref()
-            .expect("dpdpu-des: not inside a running Sim (did you call now()/sleep() outside Sim::run?)");
+        let shared = cur.as_ref().expect(
+            "dpdpu-des: not inside a running Sim (did you call now()/sleep() outside Sim::run?)",
+        );
         f(shared)
     })
 }
@@ -194,7 +204,9 @@ impl Sim {
                         break;
                     }
                     debug_assert!(entry.deadline >= self.shared.now.get());
-                    self.shared.now.set(entry.deadline.max(self.shared.now.get()));
+                    self.shared
+                        .now
+                        .set(entry.deadline.max(self.shared.now.get()));
                     entry.waker.wake();
                 }
                 None => break,
@@ -226,7 +238,12 @@ impl Sim {
 
     fn drain_woken(&mut self) {
         let woken: Vec<usize> = {
-            let mut list = self.shared.wake_list.woken.lock().expect("wake list poisoned");
+            let mut list = self
+                .shared
+                .wake_list
+                .woken
+                .lock()
+                .expect("wake list poisoned");
             std::mem::take(&mut *list)
         };
         for id in woken {
@@ -351,13 +368,21 @@ impl Future for Sleep {
 
 /// Suspends the current task for `ns` nanoseconds of virtual time.
 pub fn sleep(ns: Time) -> Sleep {
-    Sleep { deadline: None, duration: ns, absolute: false }
+    Sleep {
+        deadline: None,
+        duration: ns,
+        absolute: false,
+    }
 }
 
 /// Suspends the current task until absolute virtual time `t` (no-op if `t`
 /// is in the past).
 pub fn sleep_until(t: Time) -> Sleep {
-    Sleep { deadline: None, duration: t, absolute: true }
+    Sleep {
+        deadline: None,
+        duration: t,
+        absolute: true,
+    }
 }
 
 /// Yields to other runnable tasks without advancing time.
@@ -508,7 +533,11 @@ mod tests {
             }
         });
         sim.run();
-        assert!(sim.tasks.len() < 10, "slots should be recycled, got {}", sim.tasks.len());
+        assert!(
+            sim.tasks.len() < 10,
+            "slots should be recycled, got {}",
+            sim.tasks.len()
+        );
     }
 
     #[test]

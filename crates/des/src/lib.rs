@@ -33,6 +33,7 @@ mod channel;
 mod combinators;
 mod executor;
 mod oneshot;
+pub mod probe;
 mod semaphore;
 mod server;
 mod stats;
@@ -44,5 +45,5 @@ pub use executor::{now, sleep, sleep_until, spawn, yield_now, JoinHandle, Sim};
 pub use oneshot::{oneshot, OneshotReceiver, OneshotSender};
 pub use semaphore::{Permit, Semaphore};
 pub use server::Server;
-pub use stats::{Counter, Histogram};
+pub use stats::{Counter, Gauge, Histogram};
 pub use time::{cycles_to_ns, transmit_ns, Time, MICROS, MILLIS, SECONDS};

@@ -37,9 +37,15 @@ pub struct Cancelled;
 
 /// Creates a oneshot channel.
 pub fn oneshot<T>() -> (OneshotSender<T>, OneshotReceiver<T>) {
-    let inner = Rc::new(RefCell::new(Inner { state: State::Empty, waker: None }));
+    let inner = Rc::new(RefCell::new(Inner {
+        state: State::Empty,
+        waker: None,
+    }));
     (
-        OneshotSender { inner: inner.clone(), sent: false },
+        OneshotSender {
+            inner: inner.clone(),
+            sent: false,
+        },
         OneshotReceiver { inner },
     )
 }

@@ -1,0 +1,114 @@
+//! Instrumentation hook for the executor's service centres.
+//!
+//! The DES substrate sits below every engine crate, so it cannot depend
+//! on `dpdpu-telemetry` (which depends on this crate). Instead it
+//! exposes one narrow, zero-cost-when-disabled hook: an installable
+//! [`Probe`] that receives completed (track, name, start, end)
+//! intervals from [`crate::Server`]. The telemetry crate installs its
+//! tracer here; nothing else in the workspace needs to.
+//!
+//! The enabled flag is a plain thread-local `Cell<bool>` so the
+//! disabled-path cost in `Server::process` is one predictable branch —
+//! no `RefCell` borrow, no virtual call.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use crate::time::Time;
+
+/// Receiver for instrumentation events from the DES substrate.
+pub trait Probe {
+    /// A resource named `track` spent `start..end` doing `name`
+    /// (e.g. `("cpu-dpu", "wait")` or `("accel-Compress", "serve")`).
+    fn span(&self, track: &str, name: &'static str, start: Time, end: Time);
+}
+
+thread_local! {
+    static PROBE: RefCell<Option<Rc<dyn Probe>>> = const { RefCell::new(None) };
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs `probe` as the thread's instrumentation sink (replacing any
+/// previous one). Pass `None` to disable.
+pub fn set_probe(probe: Option<Rc<dyn Probe>>) {
+    ENABLED.with(|e| e.set(probe.is_some()));
+    PROBE.with(|p| *p.borrow_mut() = probe);
+}
+
+/// True when a probe is installed. Instrumented code should consult this
+/// before computing timestamps so the disabled path stays branch-only.
+#[inline]
+pub fn probe_enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Delivers one interval to the installed probe, if any.
+#[inline]
+pub fn emit_span(track: &str, name: &'static str, start: Time, end: Time) {
+    if !probe_enabled() {
+        return;
+    }
+    PROBE.with(|p| {
+        if let Some(probe) = p.borrow().as_ref() {
+            probe.span(track, name, start, end);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{sleep, Sim};
+    use crate::server::Server;
+
+    #[derive(Default)]
+    struct Recorder {
+        events: RefCell<Vec<(String, &'static str, Time, Time)>>,
+    }
+
+    impl Probe for Recorder {
+        fn span(&self, track: &str, name: &'static str, start: Time, end: Time) {
+            self.events
+                .borrow_mut()
+                .push((track.to_string(), name, start, end));
+        }
+    }
+
+    #[test]
+    fn server_emits_wait_and_serve_spans() {
+        let rec = Rc::new(Recorder::default());
+        set_probe(Some(rec.clone()));
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let server = Server::new("disk", 1);
+            let s2 = server.clone();
+            let h = crate::executor::spawn(async move { s2.process(100).await });
+            sleep(10).await; // second request arrives mid-service
+            server.process(100).await;
+            h.await;
+        });
+        sim.run();
+        set_probe(None);
+
+        let events = rec.events.borrow();
+        let serves: Vec<_> = events.iter().filter(|e| e.1 == "serve").collect();
+        let waits: Vec<_> = events.iter().filter(|e| e.1 == "wait").collect();
+        assert_eq!(serves.len(), 2, "one serve span per request: {events:?}");
+        // The second request queued from t=10 until the slot freed at 100.
+        assert_eq!(waits.len(), 1, "only the blocked request waits: {events:?}");
+        assert_eq!((waits[0].2, waits[0].3), (10, 100));
+        assert!(events.iter().all(|e| e.0 == "disk"));
+    }
+
+    #[test]
+    fn disabled_probe_costs_nothing_and_records_nothing() {
+        set_probe(None);
+        assert!(!probe_enabled());
+        emit_span("x", "y", 0, 1); // must be a no-op, not a panic
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            Server::new("s", 1).process(5).await;
+        });
+        sim.run();
+    }
+}

@@ -33,7 +33,9 @@ impl SemInner {
     /// Hands available permits to waiters in FIFO order.
     fn grant(&mut self) {
         while self.permits > 0 {
-            let Some(front) = self.waiters.front() else { break };
+            let Some(front) = self.waiters.front() else {
+                break;
+            };
             if front.state.get() == WaitState::Cancelled {
                 self.waiters.pop_front();
                 continue;
@@ -59,13 +61,20 @@ impl Semaphore {
     /// Creates a semaphore with `permits` initial permits.
     pub fn new(permits: usize) -> Self {
         Semaphore {
-            inner: Rc::new(RefCell::new(SemInner { permits, waiters: VecDeque::new() })),
+            inner: Rc::new(RefCell::new(SemInner {
+                permits,
+                waiters: VecDeque::new(),
+            })),
         }
     }
 
     /// Waits for a permit; the returned [`Permit`] releases on drop.
     pub fn acquire(&self) -> Acquire {
-        Acquire { sem: self.inner.clone(), waiter: None, done: false }
+        Acquire {
+            sem: self.inner.clone(),
+            waiter: None,
+            done: false,
+        }
     }
 
     /// Takes a permit if one is immediately available (and no earlier waiter
@@ -74,7 +83,9 @@ impl Semaphore {
         let mut inner = self.inner.borrow_mut();
         if inner.permits > 0 && inner.waiters.is_empty() {
             inner.permits -= 1;
-            Some(Permit { sem: self.inner.clone() })
+            Some(Permit {
+                sem: self.inner.clone(),
+            })
         } else {
             None
         }
@@ -133,7 +144,9 @@ impl Future for Acquire {
                     inner.permits -= 1;
                     drop(inner);
                     self.done = true;
-                    return Poll::Ready(Permit { sem: self.sem.clone() });
+                    return Poll::Ready(Permit {
+                        sem: self.sem.clone(),
+                    });
                 }
                 let waiter = Rc::new(Waiter {
                     state: Rc::new(Cell::new(WaitState::Waiting)),
@@ -147,7 +160,9 @@ impl Future for Acquire {
             Some(waiter) => match waiter.state.get() {
                 WaitState::Granted => {
                     self.done = true;
-                    Poll::Ready(Permit { sem: self.sem.clone() })
+                    Poll::Ready(Permit {
+                        sem: self.sem.clone(),
+                    })
                 }
                 WaitState::Waiting => {
                     *waiter.waker.borrow_mut() = Some(cx.waker().clone());

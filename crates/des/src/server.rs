@@ -9,7 +9,8 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use crate::executor::sleep;
+use crate::executor::{now, sleep};
+use crate::probe;
 use crate::semaphore::{Permit, Semaphore};
 use crate::time::Time;
 
@@ -48,8 +49,25 @@ impl Server {
     /// Occupies one slot for `service_ns` of virtual time (FIFO queueing in
     /// front of the slots).
     pub async fn process(&self, service_ns: Time) {
+        // Timestamps are only taken when a probe is installed, keeping the
+        // common (untraced) path free of clock reads.
+        let queued_at = if probe::probe_enabled() {
+            Some(now())
+        } else {
+            None
+        };
         let _permit = self.sem.acquire().await;
+        if let Some(t0) = queued_at {
+            let t1 = now();
+            if t1 > t0 {
+                probe::emit_span(&self.name, "wait", t0, t1);
+            }
+        }
+        let started = queued_at.map(|_| now());
         sleep(service_ns).await;
+        if let Some(t0) = started {
+            probe::emit_span(&self.name, "serve", t0, now());
+        }
         self.busy_ns.set(self.busy_ns.get() + service_ns);
         self.completed.set(self.completed.get() + 1);
     }

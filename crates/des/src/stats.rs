@@ -36,6 +36,41 @@ impl Counter {
     }
 }
 
+/// A point-in-time level that can move both ways (queue depths, free
+/// slots, credit balances). Unlike [`Counter`] it is signed-delta and
+/// float-valued so utilisation fractions fit too.
+#[derive(Default)]
+pub struct Gauge {
+    value: Cell<f64>,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the level.
+    pub fn set(&self, v: f64) {
+        self.value.set(v);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: f64) {
+        self.value.set(self.value.get() + d);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> f64 {
+        self.value.get()
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.value.set(0.0);
+    }
+}
+
 /// Records individual samples and reports exact order statistics.
 ///
 /// Simulation experiments are bounded (at most a few million samples), so we
@@ -99,8 +134,8 @@ impl Histogram {
             samples.sort_unstable();
             self.sorted.set(true);
         }
-        let rank = ((q.clamp(0.0, 1.0) * samples.len() as f64).ceil() as usize)
-            .clamp(1, samples.len());
+        let rank =
+            ((q.clamp(0.0, 1.0) * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
         Some(samples[rank - 1])
     }
 
@@ -166,5 +201,66 @@ mod tests {
         h.record(1);
         assert_eq!(h.min(), Some(1));
         assert_eq!(h.p50(), Some(1)); // nearest-rank of 2 samples at q=0.5
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_all_none() {
+        let h = Histogram::new();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), None, "q={q}");
+        }
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = Histogram::new();
+        h.record(42);
+        for q in [0.0, 0.001, 0.5, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), Some(42), "q={q}");
+        }
+        assert_eq!(h.min(), Some(42));
+        assert_eq!(h.max(), Some(42));
+        assert!((h.mean() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_q() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(-1.0), Some(1));
+        assert_eq!(h.quantile(2.0), Some(3));
+    }
+
+    #[test]
+    fn reset_restores_empty_semantics() {
+        let h = Histogram::new();
+        h.record(7);
+        h.record(9);
+        assert_eq!(h.p50(), Some(7));
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.mean(), 0.0);
+        // Recording after reset starts a fresh distribution.
+        h.record(3);
+        assert_eq!(h.quantile(1.0), Some(3));
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(4.0);
+        g.add(1.5);
+        g.add(-2.0);
+        assert!((g.get() - 3.5).abs() < 1e-12);
+        g.reset();
+        assert_eq!(g.get(), 0.0);
     }
 }

@@ -2,11 +2,16 @@
 //! re-execution. Random task structures (sleep trees, channel pipelines,
 //! semaphore contention) must produce identical event orders — observed
 //! through completion timestamps — across runs.
+//!
+//! Cases are generated from a seeded PRNG rather than a property-testing
+//! framework (the offline build has no proptest); every failure is
+//! reproducible from the loop's case index.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use dpdpu_des::{channel, now, sleep, spawn, Semaphore, Sim};
 
@@ -18,13 +23,13 @@ struct Recipe {
     sem_permits: u8,
 }
 
-fn recipe() -> impl Strategy<Value = Recipe> {
-    (
-        proptest::collection::vec(0u16..500, 1..20),
-        1u8..6,
-        1u8..4,
-    )
-        .prop_map(|(delays, fanout, sem_permits)| Recipe { delays, fanout, sem_permits })
+fn recipe(rng: &mut StdRng) -> Recipe {
+    let n = rng.random_range(1..20usize);
+    Recipe {
+        delays: (0..n).map(|_| rng.random_range(0..500u16)).collect(),
+        fanout: rng.random_range(1..6u8),
+        sem_permits: rng.random_range(1..4u8),
+    }
 }
 
 /// Runs the recipe, returning the trace of (task id, completion time).
@@ -65,24 +70,32 @@ fn execute(r: &Recipe) -> Vec<(u32, u64)> {
     Rc::try_unwrap(trace).expect("sim ended").into_inner()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn execution_is_bit_deterministic(r in recipe()) {
+#[test]
+fn execution_is_bit_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xDE5_0001);
+    for case in 0..32 {
+        let r = recipe(&mut rng);
         let a = execute(&r);
         let b = execute(&r);
-        prop_assert_eq!(&a, &b, "two runs diverged");
-        prop_assert_eq!(a.len(), r.delays.len() * r.fanout as usize);
+        assert_eq!(a, b, "case {case}: two runs diverged ({r:?})");
+        assert_eq!(
+            a.len(),
+            r.delays.len() * r.fanout as usize,
+            "case {case}: lost completions ({r:?})"
+        );
     }
+}
 
-    /// Completion times never decrease along the trace (the channel
-    /// preserves virtual-time order of sends).
-    #[test]
-    fn trace_times_are_monotone(r in recipe()) {
+/// Completion times never decrease along the trace (the channel
+/// preserves virtual-time order of sends).
+#[test]
+fn trace_times_are_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xDE5_0002);
+    for case in 0..32 {
+        let r = recipe(&mut rng);
         let trace = execute(&r);
         for w in trace.windows(2) {
-            prop_assert!(w[0].1 <= w[1].1, "time went backwards: {w:?}");
+            assert!(w[0].1 <= w[1].1, "case {case}: time went backwards: {w:?}");
         }
     }
 }

@@ -174,8 +174,7 @@ mod tests {
     fn asic_beats_cpu_by_an_order_of_magnitude() {
         // Figure 1's claim, checked directly against the calibration.
         use crate::costs;
-        let asic_ns_per_mb =
-            transmit_ns(1_000_000, costs::BF2_COMPRESS_ASIC_BYTES_PER_SEC * 8);
+        let asic_ns_per_mb = transmit_ns(1_000_000, costs::BF2_COMPRESS_ASIC_BYTES_PER_SEC * 8);
         let epyc_ns_per_mb = dpdpu_des::cycles_to_ns(
             1_000_000 * costs::DEFLATE_CYCLES_PER_BYTE_X86,
             3_000_000_000,

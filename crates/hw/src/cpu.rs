@@ -19,7 +19,10 @@ impl CpuPool {
     /// Creates a pool of `cores` cores at `clock_hz`.
     pub fn new(name: impl Into<String>, cores: usize, clock_hz: u64) -> Rc<Self> {
         assert!(clock_hz > 0, "clock rate must be positive");
-        Rc::new(CpuPool { server: Server::new(name, cores), clock_hz })
+        Rc::new(CpuPool {
+            server: Server::new(name, cores),
+            clock_hz,
+        })
     }
 
     /// Pool name.

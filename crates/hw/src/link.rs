@@ -61,7 +61,10 @@ impl<T: 'static> Link<T> {
     /// frames in order.
     pub fn new(name: impl Into<String>, cfg: LinkConfig) -> (Rc<Self>, Receiver<T>) {
         assert!(cfg.bits_per_sec > 0, "link rate must be positive");
-        assert!((0.0..=1.0).contains(&cfg.loss_rate), "loss rate must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&cfg.loss_rate),
+            "loss rate must be in [0,1]"
+        );
         let (tx, rx) = channel();
         (
             Rc::new(Link {
@@ -92,8 +95,8 @@ impl<T: 'static> Link<T> {
     pub async fn send(self: &Rc<Self>, frame: T, bytes: u64) {
         self.wire.process(self.transmit_ns(bytes)).await;
         self.bytes_sent.add(bytes);
-        let lost = self.cfg.loss_rate > 0.0
-            && self.rng.borrow_mut().random_bool(self.cfg.loss_rate);
+        let lost =
+            self.cfg.loss_rate > 0.0 && self.rng.borrow_mut().random_bool(self.cfg.loss_rate);
         if lost {
             self.dropped.inc();
             return;
@@ -123,7 +126,12 @@ mod tests {
     use dpdpu_des::{now, Sim};
 
     fn test_cfg() -> LinkConfig {
-        LinkConfig { bits_per_sec: 8_000_000_000, propagation_ns: 1_000, loss_rate: 0.0, seed: 1 }
+        LinkConfig {
+            bits_per_sec: 8_000_000_000,
+            propagation_ns: 1_000,
+            loss_rate: 0.0,
+            seed: 1,
+        }
     }
 
     #[test]
@@ -178,7 +186,7 @@ mod tests {
                 }
                 (got, link.dropped.get())
             });
-            let collect = sim.spawn(async move { h.await });
+            let collect = sim.spawn(h);
             sim.run();
             drop(collect);
         };
@@ -193,7 +201,12 @@ mod tests {
                 link.send(i, 10).await;
             }
             let mut n = 0;
-            while dpdpu_des::timeout(1_000_000, rx.recv()).await.ok().flatten().is_some() {
+            while dpdpu_des::timeout(1_000_000, rx.recv())
+                .await
+                .ok()
+                .flatten()
+                .is_some()
+            {
                 n += 1;
             }
             assert_eq!(n + link.dropped.get(), 100);

@@ -78,14 +78,20 @@ impl Memory {
     pub fn try_reserve(&self, bytes: u64) -> Result<MemoryReservation, MemoryError> {
         let used = self.inner.used.get();
         if bytes > self.inner.capacity - used {
-            return Err(MemoryError { requested: bytes, available: self.inner.capacity - used });
+            return Err(MemoryError {
+                requested: bytes,
+                available: self.inner.capacity - used,
+            });
         }
         let now_used = used + bytes;
         self.inner.used.set(now_used);
         if now_used > self.inner.peak.get() {
             self.inner.peak.set(now_used);
         }
-        Ok(MemoryReservation { pool: self.inner.clone(), bytes })
+        Ok(MemoryReservation {
+            pool: self.inner.clone(),
+            bytes,
+        })
     }
 
     /// True if `bytes` more would fit right now.
@@ -96,7 +102,9 @@ impl Memory {
 
 impl std::fmt::Debug for MemoryReservation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MemoryReservation").field("bytes", &self.bytes).finish()
+        f.debug_struct("MemoryReservation")
+            .field("bytes", &self.bytes)
+            .finish()
     }
 }
 
@@ -117,7 +125,10 @@ impl MemoryReservation {
     pub fn grow(&mut self, extra: u64) -> Result<(), MemoryError> {
         let used = self.pool.used.get();
         if extra > self.pool.capacity - used {
-            return Err(MemoryError { requested: extra, available: self.pool.capacity - used });
+            return Err(MemoryError {
+                requested: extra,
+                available: self.pool.capacity - used,
+            });
         }
         self.pool.used.set(used + extra);
         if used + extra > self.pool.peak.get() {
@@ -155,7 +166,13 @@ mod tests {
         let mem = Memory::new(100);
         let _r = mem.try_reserve(70).unwrap();
         let err = mem.try_reserve(50).unwrap_err();
-        assert_eq!(err, MemoryError { requested: 50, available: 30 });
+        assert_eq!(
+            err,
+            MemoryError {
+                requested: 50,
+                available: 30
+            }
+        );
     }
 
     #[test]

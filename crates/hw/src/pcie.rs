@@ -66,6 +66,16 @@ impl PcieLink {
     pub fn busy_ns(&self) -> u64 {
         self.lane.busy_ns()
     }
+
+    /// Transfers queued for the DMA engine right now.
+    pub fn queue_len(&self) -> usize {
+        self.lane.queue_len()
+    }
+
+    /// Link name.
+    pub fn name(&self) -> &str {
+        self.lane.name()
+    }
 }
 
 #[cfg(test)]

@@ -51,7 +51,12 @@ impl Platform {
         for spec in &dpu.accels {
             accels.insert(
                 spec.kind,
-                Accelerator::new(spec.kind, spec.contexts, spec.fixed_latency_ns, spec.bytes_per_sec),
+                Accelerator::new(
+                    spec.kind,
+                    spec.contexts,
+                    spec.fixed_latency_ns,
+                    spec.bytes_per_sec,
+                ),
             );
         }
         Rc::new(Platform {
@@ -92,6 +97,88 @@ impl Platform {
         self.accels.get(&kind).cloned()
     }
 
+    /// Registers this platform's resources with a telemetry session:
+    /// span tracks are grouped under their owning device ("host", "dpu",
+    /// "ssd", "fabric"), capacity gauges land in the metrics registry,
+    /// and utilisation/queue-depth sources feed the timeline sampler.
+    pub fn register_telemetry(self: &Rc<Self>, t: &dpdpu_telemetry::Telemetry) {
+        use dpdpu_des::now;
+
+        // Span tracks → devices (Chrome: one process per device, one
+        // thread per resource).
+        t.assign_track(self.host_cpu.name(), "host");
+        t.assign_track(self.dpu_cpu.name(), "dpu");
+        for kind in self.accels.keys() {
+            t.assign_track(format!("accel-{kind:?}"), "dpu");
+        }
+        let (ssd_rd, ssd_wr) = self.ssd.track_names();
+        t.assign_track(ssd_rd, "ssd");
+        t.assign_track(ssd_wr, "ssd");
+        for link in [&self.host_dpu_pcie, &self.dpu_ssd_pcie, &self.host_ssd_pcie] {
+            t.assign_track(link.name(), "fabric");
+        }
+
+        // Static capacity gauges.
+        let reg = t.registry();
+        reg.gauge("cores", &[("pool", self.host_cpu.name())])
+            .set(self.host_cpu.cores() as f64);
+        reg.gauge("cores", &[("pool", self.dpu_cpu.name())])
+            .set(self.dpu_cpu.cores() as f64);
+        for (kind, accel) in &self.accels {
+            reg.gauge("accel_contexts", &[("kind", &format!("{kind:?}"))])
+                .set(accel.contexts() as f64);
+        }
+
+        // Timeline sources: cumulative utilisation + instantaneous queue
+        // depth per resource. Closures run inside the sim, so `now()` is
+        // available; `max(1)` avoids 0/0 at t=0.
+        let host_cpu = self.host_cpu.clone();
+        let host_name = self.host_cpu.name().to_string();
+        t.register_source("host", format!("util:{host_name}"), move || {
+            host_cpu.utilization(now().max(1))
+        });
+        let host_cpu = self.host_cpu.clone();
+        t.register_source("host", format!("queue:{host_name}"), move || {
+            host_cpu.queue_len() as f64
+        });
+        let dpu_cpu = self.dpu_cpu.clone();
+        let dpu_name = self.dpu_cpu.name().to_string();
+        t.register_source("dpu", format!("util:{dpu_name}"), move || {
+            dpu_cpu.utilization(now().max(1))
+        });
+        let dpu_cpu = self.dpu_cpu.clone();
+        t.register_source("dpu", format!("queue:{dpu_name}"), move || {
+            dpu_cpu.queue_len() as f64
+        });
+        for (kind, accel) in &self.accels {
+            let a = accel.clone();
+            t.register_source("dpu", format!("util:accel-{kind:?}"), move || {
+                a.utilization(now().max(1))
+            });
+            let a = accel.clone();
+            t.register_source("dpu", format!("queue:accel-{kind:?}"), move || {
+                a.queue_len() as f64
+            });
+        }
+        let ssd = self.ssd.clone();
+        t.register_source("ssd", "queue:nvme", move || ssd.queue_len() as f64);
+        let ssd = self.ssd.clone();
+        t.register_source("ssd", "util:nvme", move || {
+            ssd.busy_ns() as f64 / now().max(1) as f64
+        });
+        for link in [&self.host_dpu_pcie, &self.dpu_ssd_pcie, &self.host_ssd_pcie] {
+            let name = link.name().to_string();
+            let l = link.clone();
+            t.register_source("fabric", format!("util:{name}"), move || {
+                l.busy_ns() as f64 / now().max(1) as f64
+            });
+            let l = link.clone();
+            t.register_source("fabric", format!("queue:{name}"), move || {
+                l.queue_len() as f64
+            });
+        }
+    }
+
     /// Resets every CPU/accelerator counter (between experiment phases).
     pub fn reset_stats(&self) {
         self.host_cpu.reset_stats();
@@ -121,6 +208,44 @@ mod tests {
         let p = Platform::new(HostSpec::epyc(), DpuSpec::bluefield3());
         assert!(p.accel(AccelKind::RegEx).is_none());
         assert!(p.accel(AccelKind::Compression).is_some());
+    }
+
+    #[test]
+    fn telemetry_registration_covers_every_resource() {
+        use dpdpu_telemetry::Telemetry;
+        let t = Telemetry::install();
+        let p = Platform::default_bf2();
+        p.register_telemetry(&t);
+
+        // Tracks grouped under their devices.
+        assert_eq!(t.process_for(p.host_cpu.name()), "host");
+        assert_eq!(t.process_for(p.dpu_cpu.name()), "dpu");
+        assert_eq!(t.process_for("host-dpu"), "fabric");
+        let (rd, _) = p.ssd.track_names();
+        assert_eq!(t.process_for(&rd), "ssd");
+
+        // Capacity gauges present.
+        let gauges = t.registry().gauge_values();
+        assert!(gauges
+            .iter()
+            .any(|(k, v)| k.starts_with("cores{") && *v > 0.0));
+
+        // Sampler sources produce data once the sim runs.
+        let mut sim = Sim::new();
+        let p2 = p.clone();
+        sim.spawn(async move {
+            let sampler = dpdpu_telemetry::start_sampler(1_000);
+            p2.dpu_cpu.exec(30_000).await;
+            sampler.stop();
+        });
+        sim.run();
+        Telemetry::uninstall();
+        let samples = t.samples();
+        assert!(!samples.is_empty());
+        assert!(samples
+            .iter()
+            .any(|s| s.name.starts_with("util:") && s.value > 0.0));
+        assert!(samples.iter().any(|s| s.name.starts_with("queue:")));
     }
 
     #[test]

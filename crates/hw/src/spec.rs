@@ -198,12 +198,22 @@ pub struct HostSpec {
 impl HostSpec {
     /// AMD EPYC-class server (the paper's Figure 1 x86 baseline).
     pub fn epyc() -> Self {
-        HostSpec { name: "EPYC", cores: 64, clock_hz: 3_000_000_000, mem_bytes: 256 << 30 }
+        HostSpec {
+            name: "EPYC",
+            cores: 64,
+            clock_hz: 3_000_000_000,
+            mem_bytes: 256 << 30,
+        }
     }
 
     /// Arm server (the paper's Figure 1 Arm baseline).
     pub fn arm_server() -> Self {
-        HostSpec { name: "Arm", cores: 64, clock_hz: 2_500_000_000, mem_bytes: 256 << 30 }
+        HostSpec {
+            name: "Arm",
+            cores: 64,
+            clock_hz: 2_500_000_000,
+            mem_bytes: 256 << 30,
+        }
     }
 }
 

@@ -88,6 +88,25 @@ impl Ssd {
         self.bytes_written.add(bytes);
     }
 
+    /// Names of the internal read/write serializer tracks (the span
+    /// tracks this device emits under telemetry).
+    pub fn track_names(&self) -> (String, String) {
+        (
+            self.read_bw.name().to_string(),
+            self.write_bw.name().to_string(),
+        )
+    }
+
+    /// Requests queued for an NVMe submission slot right now.
+    pub fn queue_len(&self) -> usize {
+        self.queue.queue_len()
+    }
+
+    /// Total busy nanoseconds across both direction serializers.
+    pub fn busy_ns(&self) -> u64 {
+        self.read_bw.busy_ns() + self.write_bw.busy_ns()
+    }
+
     /// Uncontended read latency for `bytes` (for analytic checks).
     pub fn read_service_ns(&self, bytes: u64) -> Time {
         self.read_lat_ns + transmit_ns(bytes, self.read_bytes_per_sec * 8)

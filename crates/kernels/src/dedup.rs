@@ -22,7 +22,11 @@ pub struct ChunkerConfig {
 
 impl Default for ChunkerConfig {
     fn default() -> Self {
-        ChunkerConfig { min_size: 2 * 1024, avg_size: 8 * 1024, max_size: 64 * 1024 }
+        ChunkerConfig {
+            min_size: 2 * 1024,
+            avg_size: 8 * 1024,
+            max_size: 64 * 1024,
+        }
     }
 }
 
@@ -54,7 +58,10 @@ fn gear_table() -> [u64; 256] {
 
 /// Splits `data` into content-defined chunks.
 pub fn chunk(data: &[u8], cfg: ChunkerConfig) -> Vec<Chunk> {
-    assert!(cfg.avg_size.is_power_of_two(), "avg_size must be a power of two");
+    assert!(
+        cfg.avg_size.is_power_of_two(),
+        "avg_size must be a power of two"
+    );
     assert!(cfg.min_size <= cfg.avg_size && cfg.avg_size <= cfg.max_size);
     let table = gear_table();
     let mask = (cfg.avg_size - 1) as u64;
@@ -67,7 +74,11 @@ pub fn chunk(data: &[u8], cfg: ChunkerConfig) -> Vec<Chunk> {
         let len = i - start + 1;
         let cut = (len >= cfg.min_size && (hash & mask) == 0) || len >= cfg.max_size;
         if cut {
-            chunks.push(Chunk { offset: start, len, digest: sha256(&data[start..=i]) });
+            chunks.push(Chunk {
+                offset: start,
+                len,
+                digest: sha256(&data[start..=i]),
+            });
             start = i + 1;
             hash = 0;
         }

@@ -10,17 +10,28 @@ pub struct BitWriter {
 impl BitWriter {
     #[allow(dead_code)]
     pub fn new() -> Self {
-        BitWriter { out: Vec::new(), acc: 0, nbits: 0 }
+        BitWriter {
+            out: Vec::new(),
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     pub fn with_capacity(cap: usize) -> Self {
-        BitWriter { out: Vec::with_capacity(cap), acc: 0, nbits: 0 }
+        BitWriter {
+            out: Vec::with_capacity(cap),
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     /// Writes the low `n` bits of `value` (n <= 32).
     pub fn write_bits(&mut self, value: u32, n: u32) {
         debug_assert!(n <= 32);
-        debug_assert!(n == 32 || value < (1u32 << n), "value {value} too wide for {n} bits");
+        debug_assert!(
+            n == 32 || value < (1u32 << n),
+            "value {value} too wide for {n} bits"
+        );
         self.acc |= (value as u64) << self.nbits;
         self.nbits += n;
         while self.nbits >= 8 {
@@ -59,7 +70,12 @@ pub struct OutOfBits;
 
 impl<'a> BitReader<'a> {
     pub fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, acc: 0, nbits: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            acc: 0,
+            nbits: 0,
+        }
     }
 
     fn refill(&mut self) {
@@ -79,7 +95,11 @@ impl<'a> BitReader<'a> {
                 return Err(OutOfBits);
             }
         }
-        let mask = if n == 32 { u64::MAX >> 32 } else { (1u64 << n) - 1 };
+        let mask = if n == 32 {
+            u64::MAX >> 32
+        } else {
+            (1u64 << n) - 1
+        };
         let v = (self.acc & mask) as u32;
         self.acc >>= n;
         self.nbits -= n;
@@ -91,7 +111,11 @@ impl<'a> BitReader<'a> {
     pub fn peek_bits(&mut self, n: u32) -> u32 {
         debug_assert!(n <= 32);
         self.refill();
-        let mask = if n >= 32 { u64::MAX >> 32 } else { (1u64 << n) - 1 };
+        let mask = if n >= 32 {
+            u64::MAX >> 32
+        } else {
+            (1u64 << n) - 1
+        };
         (self.acc & mask) as u32
     }
 

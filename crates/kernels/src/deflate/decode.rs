@@ -2,7 +2,7 @@
 
 use super::bitstream::BitReader;
 use super::encode::MAGIC;
-use super::huffman::{Decoder, DecodeSymbolError};
+use super::huffman::{DecodeSymbolError, Decoder};
 use super::{DIST_TABLE, EOB, LENGTH_TABLE, NUM_DIST, NUM_LITLEN, WINDOW_SIZE};
 
 /// Decompression failures (corrupt or truncated input).
@@ -88,7 +88,8 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecodeError> {
             }
             let (lbase, lbits) = LENGTH_TABLE[lidx];
             let lextra = if lbits > 0 {
-                r.read_bits(lbits as u32).map_err(|_| DecodeError::UnexpectedEof)?
+                r.read_bits(lbits as u32)
+                    .map_err(|_| DecodeError::UnexpectedEof)?
             } else {
                 0
             };
@@ -100,7 +101,8 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecodeError> {
             }
             let (dbase, dbits) = DIST_TABLE[dsym];
             let dextra = if dbits > 0 {
-                r.read_bits(dbits as u32).map_err(|_| DecodeError::UnexpectedEof)?
+                r.read_bits(dbits as u32)
+                    .map_err(|_| DecodeError::UnexpectedEof)?
             } else {
                 0
             };

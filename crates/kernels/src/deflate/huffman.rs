@@ -41,7 +41,10 @@ pub fn build_code_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
 
     let mut leaves: Vec<Item> = active
         .iter()
-        .map(|&i| Item { weight: freqs[i], leaves: vec![i] })
+        .map(|&i| Item {
+            weight: freqs[i],
+            leaves: vec![i],
+        })
         .collect();
     // Sort by weight, breaking ties by symbol for determinism.
     leaves.sort_by_key(|it| (it.weight, it.leaves[0]));
@@ -54,7 +57,10 @@ pub fn build_code_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
         for pair in &mut iter {
             let mut leaves_union = pair[0].leaves.clone();
             leaves_union.extend_from_slice(&pair[1].leaves);
-            packages.push(Item { weight: pair[0].weight + pair[1].weight, leaves: leaves_union });
+            packages.push(Item {
+                weight: pair[0].weight + pair[1].weight,
+                leaves: leaves_union,
+            });
         }
         let mut merged = Vec::with_capacity(leaves.len() + packages.len());
         let (mut i, mut j) = (0, 0);
@@ -80,7 +86,10 @@ pub fn build_code_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
         }
     }
     debug_assert!(lengths.iter().all(|&l| l <= max_len));
-    debug_assert!(kraft_exact(&lengths), "package-merge produced a non-complete code");
+    debug_assert!(
+        kraft_exact(&lengths),
+        "package-merge produced a non-complete code"
+    );
     lengths
 }
 
@@ -124,7 +133,10 @@ impl Encoder {
                 codes[sym] = reverse_bits(c, len);
             }
         }
-        Encoder { codes, lengths: lengths.to_vec() }
+        Encoder {
+            codes,
+            lengths: lengths.to_vec(),
+        }
     }
 
     /// Emits `sym`'s code.
@@ -242,7 +254,10 @@ mod tests {
         }
         for limit in [5u8, 6, 8, 15] {
             let lengths = build_code_lengths(&freqs, limit);
-            assert!(lengths.iter().all(|&l| l <= limit), "limit {limit}: {lengths:?}");
+            assert!(
+                lengths.iter().all(|&l| l <= limit),
+                "limit {limit}: {lengths:?}"
+            );
             assert!(kraft_exact(&lengths));
         }
     }
@@ -256,7 +271,11 @@ mod tests {
         let symbols: Vec<u16> = (0..10_000u32)
             .map(|i| {
                 let s = (i * 7 + i / 13) % 10;
-                if s == 7 { 0 } else { s as u16 } // symbol 7 has no code
+                if s == 7 {
+                    0
+                } else {
+                    s as u16
+                } // symbol 7 has no code
             })
             .collect();
         let mut w = BitWriter::new();

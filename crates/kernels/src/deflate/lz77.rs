@@ -92,7 +92,10 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
         }
 
         if best_len >= MIN_MATCH {
-            tokens.push(Token::Match { len: best_len as u16, dist: best_dist as u16 });
+            tokens.push(Token::Match {
+                len: best_len as u16,
+                dist: best_dist as u16,
+            });
             // Insert hash entries for every covered position so later
             // matches can reference inside this one.
             let end = i + best_len;
@@ -128,7 +131,10 @@ pub fn reconstruct(tokens: &[Token]) -> Result<Vec<u8>, BadReference> {
                 let dist = dist as usize;
                 let len = len as usize;
                 if dist == 0 || dist > out.len() {
-                    return Err(BadReference { dist, have: out.len() });
+                    return Err(BadReference {
+                        dist,
+                        have: out.len(),
+                    });
                 }
                 let start = out.len() - dist;
                 // Overlapping copies are legal (dist < len repeats).
@@ -186,7 +192,11 @@ mod tests {
         // "aaaa..." compresses to a literal + one overlapping match.
         let data = vec![b'a'; 1000];
         let tokens = tokenize(&data);
-        assert!(tokens.len() < 20, "RLE should collapse: {} tokens", tokens.len());
+        assert!(
+            tokens.len() < 20,
+            "RLE should collapse: {} tokens",
+            tokens.len()
+        );
         round_trip(&data);
     }
 

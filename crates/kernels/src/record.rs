@@ -28,7 +28,12 @@ pub struct Schema {
 impl Schema {
     /// Builds a schema from `(name, type)` pairs.
     pub fn new(columns: Vec<(&str, ColumnType)>) -> Self {
-        Schema { columns: columns.into_iter().map(|(n, t)| (n.to_string(), t)).collect() }
+        Schema {
+            columns: columns
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+        }
     }
 
     /// Number of columns.
@@ -53,7 +58,9 @@ impl Schema {
 
     /// Projects a subset of columns into a new schema.
     pub fn project(&self, cols: &[usize]) -> Schema {
-        Schema { columns: cols.iter().map(|&i| self.columns[i].clone()).collect() }
+        Schema {
+            columns: cols.iter().map(|&i| self.columns[i].clone()).collect(),
+        }
     }
 }
 
@@ -157,7 +164,10 @@ impl std::error::Error for PageError {}
 impl Batch {
     /// Empty batch over a schema.
     pub fn empty(schema: Schema) -> Self {
-        Batch { schema, rows: Vec::new() }
+        Batch {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Row count.
@@ -228,20 +238,22 @@ impl Batch {
                     ColumnType::Text => {
                         let start = pos;
                         take(&mut pos, 4)?;
-                        let len = u32::from_le_bytes(
-                            page[start..pos].try_into().expect("4 bytes"),
-                        ) as usize;
+                        let len = u32::from_le_bytes(page[start..pos].try_into().expect("4 bytes"))
+                            as usize;
                         let s = pos;
                         take(&mut pos, len)?;
-                        let text = std::str::from_utf8(&page[s..pos])
-                            .map_err(|_| PageError::BadUtf8)?;
+                        let text =
+                            std::str::from_utf8(&page[s..pos]).map_err(|_| PageError::BadUtf8)?;
                         values.push(Value::Text(text.to_string()));
                     }
                 }
             }
             rows.push(Record::new(values));
         }
-        Ok(Batch { schema: schema.clone(), rows })
+        Ok(Batch {
+            schema: schema.clone(),
+            rows,
+        })
     }
 }
 
@@ -277,7 +289,10 @@ pub mod gen {
                 ])
             })
             .collect();
-        Batch { schema: orders_schema(), rows }
+        Batch {
+            schema: orders_schema(),
+            rows,
+        }
     }
 }
 

@@ -35,7 +35,10 @@ impl Regex {
     /// Parses and compiles `pattern`.
     pub fn new(pattern: &str) -> Result<Self, ParseError> {
         let ast = parse(pattern)?;
-        Ok(Regex { program: compile(&ast), pattern: pattern.to_string() })
+        Ok(Regex {
+            program: compile(&ast),
+            pattern: pattern.to_string(),
+        })
     }
 
     /// The source pattern.

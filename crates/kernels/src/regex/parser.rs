@@ -11,7 +11,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "regex parse error at {}: {}", self.position, self.message)
+        write!(
+            f,
+            "regex parse error at {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -120,7 +124,10 @@ struct Parser<'a> {
 
 /// Parses a pattern into an [`Ast`].
 pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
-    let mut p = Parser { input: pattern.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: pattern.as_bytes(),
+        pos: 0,
+    };
     let ast = p.alternate()?;
     if p.pos != p.input.len() {
         return Err(p.error("unexpected character"));
@@ -130,7 +137,10 @@ pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
 
 impl<'a> Parser<'a> {
     fn error(&self, message: &str) -> ParseError {
-        ParseError { message: message.to_string(), position: self.pos }
+        ParseError {
+            message: message.to_string(),
+            position: self.pos,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -198,7 +208,11 @@ impl<'a> Parser<'a> {
         if matches!(atom, Ast::StartAnchor | Ast::EndAnchor) {
             return Err(self.error("cannot repeat an anchor"));
         }
-        Ok(Ast::Repeat { node: Box::new(atom), min, max })
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+        })
     }
 
     fn counted(&mut self) -> Result<(u32, Option<u32>), ParseError> {
@@ -338,7 +352,9 @@ impl<'a> Parser<'a> {
                 self.bump(); // '-'
                 let hi = match self.bump() {
                     None => return Err(self.error("unterminated range")),
-                    Some(b'\\') => self.bump().ok_or_else(|| self.error("trailing backslash"))?,
+                    Some(b'\\') => self
+                        .bump()
+                        .ok_or_else(|| self.error("trailing backslash"))?,
                     Some(h) => h,
                 };
                 if hi < lo {
@@ -374,21 +390,27 @@ mod tests {
 
     #[test]
     fn class_membership() {
-        let Ast::Class(c) = parse("[a-cx]").unwrap() else { panic!("expected class") };
+        let Ast::Class(c) = parse("[a-cx]").unwrap() else {
+            panic!("expected class")
+        };
         assert!(c.contains(b'a') && c.contains(b'b') && c.contains(b'c') && c.contains(b'x'));
         assert!(!c.contains(b'd'));
     }
 
     #[test]
     fn negated_class() {
-        let Ast::Class(c) = parse("[^0-9]").unwrap() else { panic!("expected class") };
+        let Ast::Class(c) = parse("[^0-9]").unwrap() else {
+            panic!("expected class")
+        };
         assert!(!c.contains(b'5'));
         assert!(c.contains(b'a'));
     }
 
     #[test]
     fn literal_dash_at_end_of_class() {
-        let Ast::Class(c) = parse("[a-]").unwrap() else { panic!("expected class") };
+        let Ast::Class(c) = parse("[a-]").unwrap() else {
+            panic!("expected class")
+        };
         assert!(c.contains(b'a') && c.contains(b'-'));
     }
 
@@ -396,15 +418,27 @@ mod tests {
     fn counted_forms() {
         assert!(matches!(
             parse("a{3}").unwrap(),
-            Ast::Repeat { min: 3, max: Some(3), .. }
+            Ast::Repeat {
+                min: 3,
+                max: Some(3),
+                ..
+            }
         ));
         assert!(matches!(
             parse("a{2,}").unwrap(),
-            Ast::Repeat { min: 2, max: None, .. }
+            Ast::Repeat {
+                min: 2,
+                max: None,
+                ..
+            }
         ));
         assert!(matches!(
             parse("a{2,5}").unwrap(),
-            Ast::Repeat { min: 2, max: Some(5), .. }
+            Ast::Repeat {
+                min: 2,
+                max: Some(5),
+                ..
+            }
         ));
     }
 

@@ -146,7 +146,14 @@ impl Program {
             // unless a match is already pinned.
             if matched.is_none() {
                 let gen = pos.wrapping_mul(2); // unique per closure pass
-                self.add_thread(&mut clist, &mut seen, gen, pos, len, Thread { pc: 0, start: pos });
+                self.add_thread(
+                    &mut clist,
+                    &mut seen,
+                    gen,
+                    pos,
+                    len,
+                    Thread { pc: 0, start: pos },
+                );
             }
             if clist.is_empty() {
                 break;
@@ -170,7 +177,10 @@ impl Program {
                                     gen,
                                     pos + 1,
                                     len,
-                                    Thread { pc: th.pc + 1, start: th.start },
+                                    Thread {
+                                        pc: th.pc + 1,
+                                        start: th.start,
+                                    },
                                 );
                             }
                         }
@@ -211,12 +221,32 @@ impl Program {
             }
             Inst::AssertStart => {
                 if pos == 0 {
-                    self.add_thread(list, seen, gen, pos, len, Thread { pc: th.pc + 1, ..th });
+                    self.add_thread(
+                        list,
+                        seen,
+                        gen,
+                        pos,
+                        len,
+                        Thread {
+                            pc: th.pc + 1,
+                            ..th
+                        },
+                    );
                 }
             }
             Inst::AssertEnd => {
                 if pos == len {
-                    self.add_thread(list, seen, gen, pos, len, Thread { pc: th.pc + 1, ..th });
+                    self.add_thread(
+                        list,
+                        seen,
+                        gen,
+                        pos,
+                        len,
+                        Thread {
+                            pc: th.pc + 1,
+                            ..th
+                        },
+                    );
                 }
             }
             Inst::Class(_) | Inst::Match => list.push(th),

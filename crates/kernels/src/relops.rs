@@ -97,7 +97,12 @@ impl Predicate {
 pub fn filter(batch: &Batch, predicate: &Predicate) -> Batch {
     Batch {
         schema: batch.schema.clone(),
-        rows: batch.rows.iter().filter(|r| predicate.eval(r)).cloned().collect(),
+        rows: batch
+            .rows
+            .iter()
+            .filter(|r| predicate.eval(r))
+            .cloned()
+            .collect(),
     }
 }
 
@@ -163,7 +168,12 @@ struct AggState {
 
 impl AggState {
     fn new() -> Self {
-        AggState { count: 0, sum: 0.0, min: None, max: None }
+        AggState {
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        }
     }
 
     fn update(&mut self, v: &Value) {
@@ -193,9 +203,11 @@ impl AggState {
             AggFunc::Sum => Value::Float(self.sum),
             AggFunc::Min => self.min.clone().unwrap_or(Value::Int(0)),
             AggFunc::Max => self.max.clone().unwrap_or(Value::Int(0)),
-            AggFunc::Avg => {
-                Value::Float(if self.count == 0 { 0.0 } else { self.sum / self.count as f64 })
-            }
+            AggFunc::Avg => Value::Float(if self.count == 0 {
+                0.0
+            } else {
+                self.sum / self.count as f64
+            }),
         }
     }
 }
@@ -208,7 +220,11 @@ pub fn aggregate(batch: &Batch, specs: &[AggSpec]) -> Vec<Value> {
             st.update(row.get(spec.col));
         }
     }
-    specs.iter().zip(states.iter()).map(|(s, st)| st.result(s.func)).collect()
+    specs
+        .iter()
+        .zip(states.iter())
+        .map(|(s, st)| st.result(s.func))
+        .collect()
 }
 
 /// Hashable group key (Int or Text columns).
@@ -223,7 +239,11 @@ enum Key {
 ///
 /// # Panics
 /// Panics if the group column is Float64 (not a valid grouping type).
-pub fn aggregate_by(batch: &Batch, group_col: usize, specs: &[AggSpec]) -> Vec<(Value, Vec<Value>)> {
+pub fn aggregate_by(
+    batch: &Batch,
+    group_col: usize,
+    specs: &[AggSpec],
+) -> Vec<(Value, Vec<Value>)> {
     assert!(
         batch.schema.column_type(group_col) != ColumnType::Float64,
         "cannot group by a float column"
@@ -250,8 +270,11 @@ pub fn aggregate_by(batch: &Batch, group_col: usize, specs: &[AggSpec]) -> Vec<(
                 Key::Int(i) => Value::Int(i),
                 Key::Text(s) => Value::Text(s),
             };
-            let vals =
-                specs.iter().zip(states.iter()).map(|(s, st)| st.result(s.func)).collect();
+            let vals = specs
+                .iter()
+                .zip(states.iter())
+                .map(|(s, st)| st.result(s.func))
+                .collect();
             (key, vals)
         })
         .collect()
@@ -279,8 +302,7 @@ mod tests {
     #[test]
     fn compound_predicates() {
         let batch = gen::orders(1_000, 2);
-        let p = amount_over(3_000.0)
-            .and(Predicate::cmp(3, CmpOp::Eq, Value::Text("paid".into())));
+        let p = amount_over(3_000.0).and(Predicate::cmp(3, CmpOp::Eq, Value::Text("paid".into())));
         let out = filter(&batch, &p);
         for row in &out.rows {
             assert!(matches!(row.get(3), Value::Text(s) if s == "paid"));
@@ -315,11 +337,26 @@ mod tests {
         let out = aggregate(
             &batch,
             &[
-                AggSpec { func: AggFunc::Count, col: 0 },
-                AggSpec { func: AggFunc::Sum, col: 2 },
-                AggSpec { func: AggFunc::Min, col: 2 },
-                AggSpec { func: AggFunc::Max, col: 2 },
-                AggSpec { func: AggFunc::Avg, col: 2 },
+                AggSpec {
+                    func: AggFunc::Count,
+                    col: 0,
+                },
+                AggSpec {
+                    func: AggFunc::Sum,
+                    col: 2,
+                },
+                AggSpec {
+                    func: AggFunc::Min,
+                    col: 2,
+                },
+                AggSpec {
+                    func: AggFunc::Max,
+                    col: 2,
+                },
+                AggSpec {
+                    func: AggFunc::Avg,
+                    col: 2,
+                },
             ],
         );
         assert_eq!(out[0], Value::Int(500));
@@ -336,7 +373,14 @@ mod tests {
     #[test]
     fn grouped_aggregation_partitions_rows() {
         let batch = gen::orders(1_000, 6);
-        let groups = aggregate_by(&batch, 3, &[AggSpec { func: AggFunc::Count, col: 0 }]);
+        let groups = aggregate_by(
+            &batch,
+            3,
+            &[AggSpec {
+                func: AggFunc::Count,
+                col: 0,
+            }],
+        );
         assert_eq!(groups.len(), 4); // four statuses
         let total: i64 = groups
             .iter()
@@ -369,7 +413,13 @@ mod tests {
     #[test]
     fn aggregate_empty_batch() {
         let batch = crate::record::Batch::empty(gen::orders_schema());
-        let out = aggregate(&batch, &[AggSpec { func: AggFunc::Count, col: 0 }]);
+        let out = aggregate(
+            &batch,
+            &[AggSpec {
+                func: AggFunc::Count,
+                col: 0,
+            }],
+        );
         assert_eq!(out[0], Value::Int(0));
         assert!(aggregate_by(&batch, 3, &[]).is_empty());
     }

@@ -13,21 +13,172 @@ use rand::{RngExt, SeedableRng};
 /// A compact vocabulary; common function words first so Zipf weighting
 /// lands on them.
 const VOCAB: &[&str] = &[
-    "the", "of", "and", "to", "a", "in", "that", "is", "was", "for", "it", "with", "as", "his",
-    "on", "be", "at", "by", "had", "not", "are", "but", "from", "or", "have", "an", "they",
-    "which", "one", "you", "were", "her", "all", "she", "there", "would", "their", "we", "him",
-    "been", "has", "when", "who", "will", "more", "no", "if", "out", "so", "said", "what", "up",
-    "its", "about", "into", "than", "them", "can", "only", "other", "new", "some", "could",
-    "time", "these", "two", "may", "then", "do", "first", "any", "my", "now", "such", "like",
-    "our", "over", "man", "me", "even", "most", "made", "after", "also", "did", "many", "before",
-    "must", "through", "years", "where", "much", "your", "way", "well", "down", "should",
-    "because", "each", "just", "those", "people", "how", "too", "little", "state", "good",
-    "very", "make", "world", "still", "own", "see", "men", "work", "long", "get", "here",
-    "between", "both", "life", "being", "under", "never", "day", "same", "another", "know",
-    "while", "last", "might", "us", "great", "old", "year", "off", "come", "since", "against",
-    "go", "came", "right", "used", "take", "three", "system", "data", "storage", "network",
-    "compute", "query", "record", "page", "index", "cloud", "server", "engine", "process",
-    "memory", "device", "access", "transfer", "request", "response", "latency", "bandwidth",
+    "the",
+    "of",
+    "and",
+    "to",
+    "a",
+    "in",
+    "that",
+    "is",
+    "was",
+    "for",
+    "it",
+    "with",
+    "as",
+    "his",
+    "on",
+    "be",
+    "at",
+    "by",
+    "had",
+    "not",
+    "are",
+    "but",
+    "from",
+    "or",
+    "have",
+    "an",
+    "they",
+    "which",
+    "one",
+    "you",
+    "were",
+    "her",
+    "all",
+    "she",
+    "there",
+    "would",
+    "their",
+    "we",
+    "him",
+    "been",
+    "has",
+    "when",
+    "who",
+    "will",
+    "more",
+    "no",
+    "if",
+    "out",
+    "so",
+    "said",
+    "what",
+    "up",
+    "its",
+    "about",
+    "into",
+    "than",
+    "them",
+    "can",
+    "only",
+    "other",
+    "new",
+    "some",
+    "could",
+    "time",
+    "these",
+    "two",
+    "may",
+    "then",
+    "do",
+    "first",
+    "any",
+    "my",
+    "now",
+    "such",
+    "like",
+    "our",
+    "over",
+    "man",
+    "me",
+    "even",
+    "most",
+    "made",
+    "after",
+    "also",
+    "did",
+    "many",
+    "before",
+    "must",
+    "through",
+    "years",
+    "where",
+    "much",
+    "your",
+    "way",
+    "well",
+    "down",
+    "should",
+    "because",
+    "each",
+    "just",
+    "those",
+    "people",
+    "how",
+    "too",
+    "little",
+    "state",
+    "good",
+    "very",
+    "make",
+    "world",
+    "still",
+    "own",
+    "see",
+    "men",
+    "work",
+    "long",
+    "get",
+    "here",
+    "between",
+    "both",
+    "life",
+    "being",
+    "under",
+    "never",
+    "day",
+    "same",
+    "another",
+    "know",
+    "while",
+    "last",
+    "might",
+    "us",
+    "great",
+    "old",
+    "year",
+    "off",
+    "come",
+    "since",
+    "against",
+    "go",
+    "came",
+    "right",
+    "used",
+    "take",
+    "three",
+    "system",
+    "data",
+    "storage",
+    "network",
+    "compute",
+    "query",
+    "record",
+    "page",
+    "index",
+    "cloud",
+    "server",
+    "engine",
+    "process",
+    "memory",
+    "device",
+    "access",
+    "transfer",
+    "request",
+    "response",
+    "latency",
+    "bandwidth",
 ];
 
 /// Generates approximately `target_bytes` of natural-language-like text
@@ -86,7 +237,10 @@ mod tests {
         let text = natural_text(256 * 1024, 42);
         let packed = compress(&text);
         let ratio = text.len() as f64 / packed.len() as f64;
-        assert!(ratio > 2.0, "natural text should compress >2x, got {ratio:.2}");
+        assert!(
+            ratio > 2.0,
+            "natural text should compress >2x, got {ratio:.2}"
+        );
         assert_eq!(decompress(&packed).unwrap(), text);
     }
 

@@ -21,9 +21,17 @@ impl Zipf {
     /// YCSB default). Deterministic for a given seed.
     pub fn new(n: u64, alpha: f64, seed: u64) -> Self {
         assert!(n > 0, "domain must be non-empty");
-        assert!(alpha > 0.0 && alpha != 1.0, "alpha must be positive and != 1");
+        assert!(
+            alpha > 0.0 && alpha != 1.0,
+            "alpha must be positive and != 1"
+        );
         let t = ((n as f64).powf(1.0 - alpha) - alpha) / (1.0 - alpha);
-        Zipf { n, alpha, rng: StdRng::seed_from_u64(seed), t }
+        Zipf {
+            n,
+            alpha,
+            rng: StdRng::seed_from_u64(seed),
+            t,
+        }
     }
 
     /// Draws the next key.
@@ -40,8 +48,8 @@ impl Zipf {
             };
             let rank = k.floor().max(1.0).min(self.n as f64) as u64;
             // Accept with probability f(rank)/envelope(rank).
-            let accept = (rank as f64).powf(-self.alpha)
-                / if k <= 1.0 { 1.0 } else { k.powf(-self.alpha) };
+            let accept =
+                (rank as f64).powf(-self.alpha) / if k <= 1.0 { 1.0 } else { k.powf(-self.alpha) };
             if self.rng.random::<f64>() < accept {
                 return rank - 1;
             }

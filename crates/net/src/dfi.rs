@@ -66,7 +66,12 @@ impl<T: RdmaTransport> Flow<T> {
     /// granularity).
     pub fn new(transport: Rc<T>, buffer_capacity: u64) -> Self {
         assert!(buffer_capacity > 0, "flow buffer must be non-empty");
-        Flow { transport, buffer_capacity, buffered: 0, stats: FlowStats::default() }
+        Flow {
+            transport,
+            buffer_capacity,
+            buffered: 0,
+            stats: FlowStats::default(),
+        }
     }
 
     /// Pushes one record of `bytes`; ships the buffer when full.
@@ -190,6 +195,9 @@ mod tests {
         });
         sim.run();
         let (verbs, off) = out.get();
-        assert!(off < verbs, "offloaded flow must use less host CPU: {verbs} vs {off}");
+        assert!(
+            off < verbs,
+            "offloaded flow must use less host CPU: {verbs} vs {off}"
+        );
     }
 }

@@ -36,7 +36,10 @@ enum NicMsg {
         payload: Option<Bytes>,
         op_id: u64,
     },
-    Response { bytes: u64, op_id: u64 },
+    Response {
+        bytes: u64,
+        op_id: u64,
+    },
 }
 
 impl NicMsg {
@@ -114,8 +117,7 @@ fn make_qp(
     let stats = Rc::new(RdmaStats::default());
     let recv_state: Rc<RefCell<RecvState>> = Rc::new(RefCell::new(RecvState::default()));
     let matcher_recv = recv_state.clone();
-    let (nic_tx, mut nic_rx) =
-        channel::<(NicMsg, dpdpu_des::OneshotSender<Completion>)>();
+    let (nic_tx, mut nic_rx) = channel::<(NicMsg, dpdpu_des::OneshotSender<Completion>)>();
 
     // Local NIC engine: serializes WQE processing per QP, sends on the
     // wire, and signals completions.
@@ -163,7 +165,12 @@ fn make_qp(
                                 responses.insert(op_id, bytes);
                             }
                         }
-                        NicMsg::Request { kind, bytes, op_id, payload } => {
+                        NicMsg::Request {
+                            kind,
+                            bytes,
+                            op_id,
+                            payload,
+                        } => {
                             // Passive side: the NIC serves remote ops in
                             // hardware with zero local CPU.
                             sleep(costs::RDMA_NIC_OP_NS).await;
@@ -175,14 +182,14 @@ fn make_qp(
                                     Some(tx) => {
                                         let _ = tx.send(payload);
                                     }
-                                    None => {
-                                        matcher_recv.borrow_mut().pending.push_back(payload)
-                                    }
+                                    None => matcher_recv.borrow_mut().pending.push_back(payload),
                                 }
                             }
-                            let resp_bytes =
-                                if kind == RdmaOpKind::Read { bytes } else { 0 };
-                            let msg = NicMsg::Response { bytes: resp_bytes, op_id };
+                            let resp_bytes = if kind == RdmaOpKind::Read { bytes } else { 0 };
+                            let msg = NicMsg::Response {
+                                bytes: resp_bytes,
+                                op_id,
+                            };
                             let wire = msg.wire_bytes();
                             matcher_link.send(msg, wire).await;
                         }
@@ -211,7 +218,13 @@ fn make_qp(
         });
     }
 
-    Rc::new(RdmaQp { cpu, nic_tx, next_op: std::cell::Cell::new(0), recv_state, stats })
+    Rc::new(RdmaQp {
+        cpu,
+        nic_tx,
+        next_op: std::cell::Cell::new(0),
+        recv_state,
+        stats,
+    })
 }
 
 impl RdmaQp {
@@ -226,7 +239,15 @@ impl RdmaQp {
         let (tx, rx) = oneshot();
         if self
             .nic_tx
-            .send((NicMsg::Request { kind, bytes, payload, op_id }, tx))
+            .send((
+                NicMsg::Request {
+                    kind,
+                    bytes,
+                    payload,
+                    op_id,
+                },
+                tx,
+            ))
             .is_err()
         {
             panic!("NIC engine gone");
@@ -298,7 +319,11 @@ mod tests {
             assert_eq!(a.stats.bytes.get(), 8_192);
         });
         sim.run();
-        assert_eq!(remote_busy.get(), 0, "one-sided ops must not touch remote CPU");
+        assert_eq!(
+            remote_busy.get(),
+            0,
+            "one-sided ops must not touch remote CPU"
+        );
     }
 
     #[test]

@@ -114,7 +114,11 @@ pub fn offload_qp(
         });
     }
 
-    Rc::new(OffloadedQp { host_cpu, ring, stats })
+    Rc::new(OffloadedQp {
+        host_cpu,
+        ring,
+        stats,
+    })
 }
 
 impl OffloadedQp {
@@ -125,7 +129,11 @@ impl OffloadedQp {
     pub async fn post(&self, kind: RdmaOpKind, bytes: u64) {
         self.host_cpu.exec(costs::NE_RING_ENQUEUE_CYCLES).await;
         let (tx, rx) = oneshot();
-        self.ring.borrow_mut().push_back(RingEntry { kind, bytes, done: tx });
+        self.ring.borrow_mut().push_back(RingEntry {
+            kind,
+            bytes,
+            done: tx,
+        });
         let _ = rx.await;
         // Batched completion-ring poll, far cheaper than a CQ poll.
         self.host_cpu.exec(costs::NE_RING_ENQUEUE_CYCLES / 4).await;
@@ -161,10 +169,13 @@ mod tests {
         let remote = CpuPool::new("remote", 8, 3_000_000_000);
         let pcie = PcieLink::new("pcie", 16_000_000_000);
         // The DPU issues the real verbs.
-        let (dpu_side_qp, _remote_qp) =
-            rdma_pair(dpu_cpu.clone(), remote, LinkConfig::rack_100g());
+        let (dpu_side_qp, _remote_qp) = rdma_pair(dpu_cpu.clone(), remote, LinkConfig::rack_100g());
         let qp = offload_qp(host_cpu.clone(), dpu_cpu.clone(), pcie, dpu_side_qp);
-        Testbed { host_cpu, dpu_cpu, qp }
+        Testbed {
+            host_cpu,
+            dpu_cpu,
+            qp,
+        }
     }
 
     #[test]
@@ -270,7 +281,10 @@ mod tests {
             let t0 = now();
             tb.qp.write(4_096).await;
             let lat = now() - t0;
-            assert!(lat < 50_000, "one op should complete in <50µs, took {lat}ns");
+            assert!(
+                lat < 50_000,
+                "one op should complete in <50µs, took {lat}ns"
+            );
         });
         sim.run();
     }

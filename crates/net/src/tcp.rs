@@ -87,15 +87,16 @@ pub struct TcpSide {
 impl TcpSide {
     /// A host-kernel side.
     pub fn host(host_cpu: Rc<CpuPool>) -> Self {
-        TcpSide { stack: TcpStack::HostKernel, host_cpu, dpu_cpu: None, pcie: None }
+        TcpSide {
+            stack: TcpStack::HostKernel,
+            host_cpu,
+            dpu_cpu: None,
+            pcie: None,
+        }
     }
 
     /// A DPU-offloaded side.
-    pub fn offloaded(
-        host_cpu: Rc<CpuPool>,
-        dpu_cpu: Rc<CpuPool>,
-        pcie: Rc<PcieLink>,
-    ) -> Self {
+    pub fn offloaded(host_cpu: Rc<CpuPool>, dpu_cpu: Rc<CpuPool>, pcie: Rc<PcieLink>) -> Self {
         TcpSide {
             stack: TcpStack::DpuOffload,
             host_cpu,
@@ -135,6 +136,14 @@ impl TcpSide {
         }
     }
 
+    /// Device this side's stack spends cycles on (telemetry process).
+    fn device(&self) -> &'static str {
+        match self.stack {
+            TcpStack::HostKernel => "host",
+            TcpStack::DpuOffload => "dpu",
+        }
+    }
+
     /// Host-side cost of handing one message across the app boundary
     /// (syscall-free ring ops when offloaded; folded into segment cost on
     /// the kernel path) plus payload DMA for the offloaded path.
@@ -157,13 +166,22 @@ enum Segment {
     Syn,
     /// Connection accept.
     SynAck,
-    Data { seq: u64, payload: Bytes },
+    Data {
+        seq: u64,
+        payload: Bytes,
+    },
     /// Cumulative ACK + advertised receive window (bytes the receiver
     /// can still buffer beyond `ack`). `update` marks a pure window
     /// update (no new data acknowledged) — excluded from duplicate-ACK
     /// counting, as in real TCP.
-    Ack { ack: u64, wnd: u64, update: bool },
-    Fin { seq: u64 },
+    Ack {
+        ack: u64,
+        wnd: u64,
+        update: bool,
+    },
+    Fin {
+        seq: u64,
+    },
     FinAck,
 }
 
@@ -253,7 +271,9 @@ pub fn tcp_stream(
     link_cfg: LinkConfig,
     params: TcpParams,
 ) -> (TcpSender, TcpReceiver) {
-    tcp_mux(src, dst, link_cfg, params, 1).pop().expect("one stream")
+    tcp_mux(src, dst, link_cfg, params, 1)
+        .pop()
+        .expect("one stream")
 }
 
 /// Creates `streams` simplex TCP connections from `src` to `dst` that
@@ -269,8 +289,13 @@ pub fn tcp_mux(
 ) -> Vec<(TcpSender, TcpReceiver)> {
     assert!(streams > 0, "need at least one stream");
     let (data_link, mut data_rx) = Link::new("tcp-data", link_cfg);
-    let (ack_link, mut ack_rx) =
-        Link::new("tcp-ack", LinkConfig { loss_rate: 0.0, ..link_cfg });
+    let (ack_link, mut ack_rx) = Link::new(
+        "tcp-ack",
+        LinkConfig {
+            loss_rate: 0.0,
+            ..link_cfg
+        },
+    );
 
     let mut out = Vec::with_capacity(streams);
     let mut data_demux: Vec<Sender<Segment>> = Vec::with_capacity(streams);
@@ -291,7 +316,10 @@ pub fn tcp_mux(
         {
             let stats = stats.clone();
             let src = src.clone();
-            let port = SegPort { link: data_link.clone(), conn };
+            let port = SegPort {
+                link: data_link.clone(),
+                conn,
+            };
             spawn(async move {
                 sender_task(src, port, app_in_rx, ack_evt_rx, params, stats).await;
             });
@@ -322,15 +350,24 @@ pub fn tcp_mux(
         {
             let stats = stats.clone();
             let dst = dst.clone();
-            let port = SegPort { link: ack_link.clone(), conn };
+            let port = SegPort {
+                link: ack_link.clone(),
+                conn,
+            };
             spawn(async move {
-                receiver_task(dst, port, data_seg_rx, wnd_rx, app_out_tx, params, stats)
-                    .await;
+                receiver_task(dst, port, data_seg_rx, wnd_rx, app_out_tx, params, stats).await;
             });
         }
         out.push((
-            TcpSender { app_tx: app_in_tx, stats: stats.clone() },
-            TcpReceiver { app_rx: app_out_rx, wnd_tx, stats },
+            TcpSender {
+                app_tx: app_in_tx,
+                stats: stats.clone(),
+            },
+            TcpReceiver {
+                app_rx: app_out_rx,
+                wnd_tx,
+                stats,
+            },
         ));
     }
 
@@ -424,9 +461,7 @@ async fn sender_task(
                 // Effective window: congestion AND receiver flow control.
                 let wnd = (s.cwnd.min(max_wnd) as u64).min(s.snd_wnd);
                 match s.unsent.front() {
-                    Some((_, payload))
-                        if in_flight_bytes + payload.len() as u64 <= wnd =>
-                    {
+                    Some((_, payload)) if in_flight_bytes + payload.len() as u64 <= wnd => {
                         let (seq, payload) = s.unsent.pop_front().expect("front checked");
                         s.snd_nxt = seq + payload.len() as u64;
                         s.inflight.insert(seq, payload.clone());
@@ -474,6 +509,8 @@ async fn sender_task(
             Evt::App(Some(data)) => {
                 // Segment the message at the MSS; the host boundary cost
                 // (ring + DMA on the offloaded path) is paid per message.
+                let _span = dpdpu_telemetry::span(side.device(), "tcp-tx", "send_msg")
+                    .with("bytes", data.len());
                 side.app_boundary(data.len() as u64).await;
                 let mut s = st.borrow_mut();
                 let mut base = s
@@ -507,8 +544,7 @@ async fn sender_task(
                     } else if ack > s.snd_una {
                         s.snd_una = ack;
                         s.dup_acks = 0;
-                        let keys: Vec<u64> =
-                            s.inflight.range(..ack).map(|(k, _)| *k).collect();
+                        let keys: Vec<u64> = s.inflight.range(..ack).map(|(k, _)| *k).collect();
                         for k in keys {
                             s.inflight.remove(&k);
                         }
@@ -604,11 +640,17 @@ async fn receiver_task(
 
     loop {
         // Drain deliverable payloads into free ring slots.
-        while let Some(permit) = if undelivered.is_empty() { None } else { credits.try_acquire() }
-        {
+        while let Some(permit) = if undelivered.is_empty() {
+            None
+        } else {
+            credits.try_acquire()
+        } {
             let payload = undelivered.pop_front().expect("non-empty checked");
             stats.bytes_delivered.add(payload.len() as u64);
+            let span = dpdpu_telemetry::span(side.device(), "tcp-rx", "deliver_msg")
+                .with("bytes", payload.len());
             side.app_boundary(payload.len() as u64).await;
+            drop(span);
             if let Some(out) = &app_out {
                 let _ = out.send((payload, permit));
             }
@@ -649,8 +691,12 @@ async fn receiver_task(
                 side.charge_ack().await;
                 stats.acks_sent.inc();
                 advertised = wnd(&credits, &undelivered);
-                port.send(Segment::Ack { ack: rcv_nxt, wnd: advertised, update: false })
-                    .await;
+                port.send(Segment::Ack {
+                    ack: rcv_nxt,
+                    wnd: advertised,
+                    update: false,
+                })
+                .await;
             }
             Either::Left(Some(Segment::Syn)) => {
                 side.charge_ack().await;
@@ -674,8 +720,12 @@ async fn receiver_task(
                 if advertised < mss && new_wnd >= mss {
                     side.charge_ack().await;
                     advertised = new_wnd;
-                    port.send(Segment::Ack { ack: rcv_nxt, wnd: new_wnd, update: true })
-                        .await;
+                    port.send(Segment::Ack {
+                        ack: rcv_nxt,
+                        wnd: new_wnd,
+                        update: true,
+                    })
+                    .await;
                 }
             }
             Either::Right(None) => {
@@ -749,8 +799,14 @@ mod tests {
             // (≈3.4 µs per 8 KB segment on one 3 GHz core ≈ 19 Gbps) —
             // the very inefficiency Figure 3 motivates. Aggregate line
             // rate needs parallel flows; see the fig3 harness.
-            assert!(gbps > 12.0, "expected a CPU-bound ~19 Gbps flow, got {gbps:.1}");
-            assert!(gbps < 25.0, "single flow cannot beat its CPU bound, got {gbps:.1}");
+            assert!(
+                gbps > 12.0,
+                "expected a CPU-bound ~19 Gbps flow, got {gbps:.1}"
+            );
+            assert!(
+                gbps < 25.0,
+                "single flow cannot beat its CPU bound, got {gbps:.1}"
+            );
         });
         sim.run();
     }
@@ -791,8 +847,12 @@ mod tests {
             let out2 = out.clone();
             sim.spawn(async move {
                 let (src, dst) = host_sides();
-                let (tx, mut rx) =
-                    tcp_stream(src, dst, fast_link().with_loss(loss, 5), TcpParams::default());
+                let (tx, mut rx) = tcp_stream(
+                    src,
+                    dst,
+                    fast_link().with_loss(loss, 5),
+                    TcpParams::default(),
+                );
                 for _ in 0..500 {
                     tx.send(Bytes::from(vec![7u8; 8_192]));
                 }
@@ -979,7 +1039,10 @@ mod tests {
         let d2 = done.clone();
         sim.spawn(async move {
             let (src, dst) = host_sides();
-            let params = TcpParams { recv_ring_slots: 4, ..TcpParams::default() };
+            let params = TcpParams {
+                recv_ring_slots: 4,
+                ..TcpParams::default()
+            };
             let (tx, mut rx) = tcp_stream(src, dst, fast_link(), params);
             let stats = tx.stats.clone();
             const MSGS: u64 = 40;
@@ -1005,7 +1068,11 @@ mod tests {
             assert_eq!(n, MSGS);
             // Whole transfer is paced by the consumer: >= MSGS * 100 µs.
             assert!(now() >= MSGS * 100_000, "finished too fast: {}", now());
-            assert_eq!(stats.retransmits.get(), 0, "window control needs no retransmits");
+            assert_eq!(
+                stats.retransmits.get(),
+                0,
+                "window control needs no retransmits"
+            );
             d2.set(true);
         });
         sim.run();
@@ -1019,7 +1086,10 @@ mod tests {
         let d2 = done.clone();
         sim.spawn(async move {
             let (src, dst) = host_sides();
-            let params = TcpParams { recv_ring_slots: 2, ..TcpParams::default() };
+            let params = TcpParams {
+                recv_ring_slots: 2,
+                ..TcpParams::default()
+            };
             let (tx, mut rx) = tcp_stream(src, dst, fast_link(), params);
             for i in 0..10u8 {
                 tx.send(Bytes::from(vec![i; 8_192]));

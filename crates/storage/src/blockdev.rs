@@ -24,7 +24,11 @@ pub struct BlockDevice {
 impl BlockDevice {
     /// Creates a device over an SSD timing model.
     pub fn new(ssd: Rc<Ssd>, capacity_blocks: u64) -> Rc<Self> {
-        Rc::new(BlockDevice { ssd, blocks: RefCell::new(HashMap::new()), capacity_blocks })
+        Rc::new(BlockDevice {
+            ssd,
+            blocks: RefCell::new(HashMap::new()),
+            capacity_blocks,
+        })
     }
 
     /// Device capacity in blocks.
@@ -68,7 +72,9 @@ impl BlockDevice {
         assert!(lba < self.capacity_blocks, "lba {lba} out of range");
         assert_eq!(data.len(), BLOCK_SIZE, "block writes are full blocks");
         self.ssd.write(BLOCK_SIZE as u64).await;
-        self.blocks.borrow_mut().insert(lba, data.to_vec().into_boxed_slice());
+        self.blocks
+            .borrow_mut()
+            .insert(lba, data.to_vec().into_boxed_slice());
     }
 
     /// Writes `data` (a multiple of the block size) at consecutive blocks

@@ -98,7 +98,10 @@ impl PageCache {
             return;
         }
         debug_assert_eq!(offset % self.page_size, 0, "cache offsets are page-aligned");
-        debug_assert!(data.len() as u64 <= self.page_size, "page larger than cache slot");
+        debug_assert!(
+            data.len() as u64 <= self.page_size,
+            "page larger than cache slot"
+        );
         let key = (file.0, offset);
         let t = self.tick();
         let mut map = self.map.borrow_mut();
@@ -106,7 +109,9 @@ impl PageCache {
         if map.insert(key, (data, t)).is_none() {
             while map.len() > self.capacity_pages {
                 // Pop stale queue entries until a live LRU victim appears.
-                let Some((victim, stamp)) = order.pop_front() else { break };
+                let Some((victim, stamp)) = order.pop_front() else {
+                    break;
+                };
                 let live = map.get(&victim).map(|(_, s)| *s == stamp).unwrap_or(false);
                 if live {
                     map.remove(&victim);
@@ -162,7 +167,12 @@ impl CachedFileService {
     /// Wraps `service` with `cache`, charging lookups to `cpu`.
     pub fn new(service: Rc<FileService>, cache: Rc<PageCache>, cpu: Rc<CpuPool>) -> Rc<Self> {
         let page_size = cache.page_size;
-        Rc::new(CachedFileService { service, cache, cpu, page_size })
+        Rc::new(CachedFileService {
+            service,
+            cache,
+            cpu,
+            page_size,
+        })
     }
 
     /// The cache (for statistics).
@@ -257,7 +267,10 @@ mod tests {
             let b = cached.read_page(file, 0).await.unwrap();
             let warm = now() - t1;
             assert_eq!(a, b);
-            assert!(warm * 10 < cold, "hit must be >10x faster: cold={cold} warm={warm}");
+            assert!(
+                warm * 10 < cold,
+                "hit must be >10x faster: cold={cold} warm={warm}"
+            );
             assert_eq!(cached.cache().hits.get(), 1);
             assert_eq!(cached.cache().misses.get(), 1);
         });
@@ -277,7 +290,11 @@ mod tests {
             let cached = CachedFileService::new(svc, cache, p.dpu_cpu.clone());
             assert_eq!(cached.read_page(file, 0).await.unwrap()[0], 1);
             cached.write_page(file, 0, &vec![2u8; 8_192]).await.unwrap();
-            assert_eq!(cached.read_page(file, 0).await.unwrap()[0], 2, "no stale read");
+            assert_eq!(
+                cached.read_page(file, 0).await.unwrap()[0],
+                2,
+                "no stale read"
+            );
         });
         sim.run();
     }

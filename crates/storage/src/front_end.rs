@@ -24,11 +24,25 @@ const IDLE_POLL_NS: Time = 1_000;
 const POLL_BATCH: usize = 32;
 
 enum FileOp {
-    Create { name: String },
-    Open { name: String },
-    Read { id: FileId, offset: u64, len: u64 },
-    Write { id: FileId, offset: u64, data: Vec<u8> },
-    Delete { name: String },
+    Create {
+        name: String,
+    },
+    Open {
+        name: String,
+    },
+    Read {
+        id: FileId,
+        offset: u64,
+        len: u64,
+    },
+    Write {
+        id: FileId,
+        offset: u64,
+        data: Vec<u8>,
+    },
+    Delete {
+        name: String,
+    },
 }
 
 enum FileReply {
@@ -85,40 +99,47 @@ impl HostFrontEnd {
                         let service = service.clone();
                         let pcie = pcie.clone();
                         spawn(async move {
-                        let reply = match entry.op {
-                            FileOp::Create { name } => {
-                                service.create(&name).await.map(FileReply::Id)
-                            }
-                            FileOp::Open { name } => {
-                                service.open(&name).await.map(FileReply::Id)
-                            }
-                            FileOp::Read { id, offset, len } => {
-                                match service.read(id, offset, len).await {
-                                    Ok(data) => {
-                                        // Payload lands in host memory.
-                                        pcie.dma(data.len() as u64).await;
-                                        Ok(FileReply::Data(data))
-                                    }
-                                    Err(e) => Err(e),
+                            let reply = match entry.op {
+                                FileOp::Create { name } => {
+                                    service.create(&name).await.map(FileReply::Id)
                                 }
-                            }
-                            FileOp::Write { id, offset, data } => {
-                                // Payload is pulled from host memory first.
-                                pcie.dma(data.len() as u64).await;
-                                service.write(id, offset, &data).await.map(|()| FileReply::Unit)
-                            }
-                            FileOp::Delete { name } => {
-                                service.delete(&name).await.map(|()| FileReply::Unit)
-                            }
-                        };
-                        pcie.dma(DESC_BYTES).await;
-                        let _ = entry.done.send(reply);
+                                FileOp::Open { name } => {
+                                    service.open(&name).await.map(FileReply::Id)
+                                }
+                                FileOp::Read { id, offset, len } => {
+                                    match service.read(id, offset, len).await {
+                                        Ok(data) => {
+                                            // Payload lands in host memory.
+                                            pcie.dma(data.len() as u64).await;
+                                            Ok(FileReply::Data(data))
+                                        }
+                                        Err(e) => Err(e),
+                                    }
+                                }
+                                FileOp::Write { id, offset, data } => {
+                                    // Payload is pulled from host memory first.
+                                    pcie.dma(data.len() as u64).await;
+                                    service
+                                        .write(id, offset, &data)
+                                        .await
+                                        .map(|()| FileReply::Unit)
+                                }
+                                FileOp::Delete { name } => {
+                                    service.delete(&name).await.map(|()| FileReply::Unit)
+                                }
+                            };
+                            pcie.dma(DESC_BYTES).await;
+                            let _ = entry.done.send(reply);
                         });
                     }
                 }
             });
         }
-        Rc::new(HostFrontEnd { host_cpu, ring, ops: Counter::new() })
+        Rc::new(HostFrontEnd {
+            host_cpu,
+            ring,
+            ops: Counter::new(),
+        })
     }
 
     async fn submit(&self, op: FileOp) -> Result<FileReply, FsError> {
@@ -132,7 +153,12 @@ impl HostFrontEnd {
 
     /// Creates a file.
     pub async fn create(&self, name: &str) -> Result<FileId, FsError> {
-        match self.submit(FileOp::Create { name: name.to_string() }).await? {
+        match self
+            .submit(FileOp::Create {
+                name: name.to_string(),
+            })
+            .await?
+        {
             FileReply::Id(id) => Ok(id),
             _ => unreachable!("create returns an id"),
         }
@@ -140,7 +166,12 @@ impl HostFrontEnd {
 
     /// Opens a file.
     pub async fn open(&self, name: &str) -> Result<FileId, FsError> {
-        match self.submit(FileOp::Open { name: name.to_string() }).await? {
+        match self
+            .submit(FileOp::Open {
+                name: name.to_string(),
+            })
+            .await?
+        {
             FileReply::Id(id) => Ok(id),
             _ => unreachable!("open returns an id"),
         }
@@ -164,7 +195,12 @@ impl HostFrontEnd {
 
     /// Deletes a file.
     pub async fn delete(&self, name: &str) -> Result<(), FsError> {
-        match self.submit(FileOp::Delete { name: name.to_string() }).await? {
+        match self
+            .submit(FileOp::Delete {
+                name: name.to_string(),
+            })
+            .await?
+        {
             FileReply::Unit => Ok(()),
             _ => unreachable!("delete returns unit"),
         }
@@ -234,9 +270,9 @@ mod tests {
             let handles: Vec<_> = (0..32)
                 .map(|i| {
                     let fe = fe.clone();
-                    dpdpu_des::spawn(async move {
-                        fe.read(id, i * 8_192, 8_192).await.unwrap().len()
-                    })
+                    dpdpu_des::spawn(
+                        async move { fe.read(id, i * 8_192, 8_192).await.unwrap().len() },
+                    )
                 })
                 .collect();
             let lens = join_all(handles).await;

@@ -136,20 +136,38 @@ impl ExtentFs {
         let id = self.next_id.get();
         self.next_id.set(id + 1);
         dir.insert(name.to_string(), id);
-        self.inodes.borrow_mut().insert(id, Inode { size: 0, extents: Vec::new() });
+        self.inodes.borrow_mut().insert(
+            id,
+            Inode {
+                size: 0,
+                extents: Vec::new(),
+            },
+        );
         Ok(FileId(id))
     }
 
     /// Looks up a file by name.
     pub fn open(&self, name: &str) -> Result<FileId, FsError> {
-        self.dir.borrow().get(name).map(|&id| FileId(id)).ok_or(FsError::NotFound)
+        self.dir
+            .borrow()
+            .get(name)
+            .map(|&id| FileId(id))
+            .ok_or(FsError::NotFound)
     }
 
     /// Deletes a file, returning its blocks to the allocator.
     pub fn delete(&self, name: &str) -> Result<(), FsError> {
-        let id = self.dir.borrow_mut().remove(name).ok_or(FsError::NotFound)?;
+        let id = self
+            .dir
+            .borrow_mut()
+            .remove(name)
+            .ok_or(FsError::NotFound)?;
         self.write_locks.borrow_mut().remove(&id);
-        let inode = self.inodes.borrow_mut().remove(&id).expect("inode for dir entry");
+        let inode = self
+            .inodes
+            .borrow_mut()
+            .remove(&id)
+            .expect("inode for dir entry");
         let mut free = self.free.borrow_mut();
         for e in inode.extents {
             for b in 0..e.blocks {
@@ -162,7 +180,11 @@ impl ExtentFs {
 
     /// Current size of a file in bytes.
     pub fn size(&self, id: FileId) -> Result<u64, FsError> {
-        self.inodes.borrow().get(&id.0).map(|i| i.size).ok_or(FsError::NotFound)
+        self.inodes
+            .borrow()
+            .get(&id.0)
+            .map(|i| i.size)
+            .ok_or(FsError::NotFound)
     }
 
     /// Number of files.
@@ -190,7 +212,10 @@ impl ExtentFs {
                     free.swap_remove(pos);
                     return Ok(e);
                 }
-                free[pos] = Extent { lba: e.lba + blocks, blocks: e.blocks - blocks };
+                free[pos] = Extent {
+                    lba: e.lba + blocks,
+                    blocks: e.blocks - blocks,
+                };
                 return Ok(Extent { lba: e.lba, blocks });
             }
         }
@@ -213,7 +238,10 @@ impl ExtentFs {
         // read-modify-write shared blocks and must not interleave.
         let lock = {
             let mut locks = self.write_locks.borrow_mut();
-            locks.entry(id.0).or_insert_with(|| Semaphore::new(1)).clone()
+            locks
+                .entry(id.0)
+                .or_insert_with(|| Semaphore::new(1))
+                .clone()
         };
         let _guard = lock.acquire().await;
         let end = offset + data.len() as u64;
@@ -242,7 +270,10 @@ impl ExtentFs {
             let (lba, run) = {
                 let inodes = self.inodes.borrow();
                 let inode = inodes.get(&id.0).expect("checked above");
-                (inode.lba_of(block_idx), inode.contiguous_run(block_idx, u64::MAX))
+                (
+                    inode.lba_of(block_idx),
+                    inode.contiguous_run(block_idx, u64::MAX),
+                )
             };
             if in_block == 0 && take == BLOCK_SIZE {
                 // Aligned: batch as many contiguous full blocks as we can.
@@ -283,7 +314,10 @@ impl ExtentFs {
             let (lba, run) = {
                 let inodes = self.inodes.borrow();
                 let inode = inodes.get(&id.0).expect("size() checked existence");
-                (inode.lba_of(block_idx), inode.contiguous_run(block_idx, blocks_needed))
+                (
+                    inode.lba_of(block_idx),
+                    inode.contiguous_run(block_idx, blocks_needed),
+                )
             };
             let chunk = self.dev.read_blocks(lba, run).await;
             let skip = in_block as usize;
@@ -358,7 +392,14 @@ mod tests {
             let id = fs.create("f").unwrap();
             fs.write(id, 0, b"0123456789").await.unwrap();
             let err = fs.read(id, 5, 10).await.unwrap_err();
-            assert_eq!(err, FsError::BadRange { offset: 5, len: 10, size: 10 });
+            assert_eq!(
+                err,
+                FsError::BadRange {
+                    offset: 5,
+                    len: 10,
+                    size: 10
+                }
+            );
         });
     }
 
@@ -405,7 +446,10 @@ mod tests {
         sim.spawn(async {
             let fs = ExtentFs::format(BlockDevice::new(Ssd::new("t"), 4));
             let id = fs.create("f").unwrap();
-            let err = fs.write(id, 0, &vec![0u8; BLOCK_SIZE * 8]).await.unwrap_err();
+            let err = fs
+                .write(id, 0, &vec![0u8; BLOCK_SIZE * 8])
+                .await
+                .unwrap_err();
             assert_eq!(err, FsError::NoSpace);
         });
         sim.run();
@@ -421,14 +465,16 @@ mod tests {
             for i in 0..16u64 {
                 let fs = fs.clone();
                 handles.push(dpdpu_des::spawn(async move {
-                    fs.write(id, i * 100, &vec![i as u8 + 1; 100]).await.unwrap();
+                    fs.write(id, i * 100, &[i as u8 + 1; 100]).await.unwrap();
                 }));
             }
             dpdpu_des::join_all(handles).await;
             let data = fs.read(id, 0, 1_600).await.unwrap();
             for i in 0..16usize {
                 assert!(
-                    data[i * 100..(i + 1) * 100].iter().all(|&b| b == i as u8 + 1),
+                    data[i * 100..(i + 1) * 100]
+                        .iter()
+                        .all(|&b| b == i as u8 + 1),
                     "append {i} lost in RMW race"
                 );
             }

@@ -23,7 +23,12 @@ pub struct FileService {
 impl FileService {
     /// Creates the service over a formatted file system.
     pub fn new(fs: Rc<ExtentFs>, dpu_cpu: Rc<CpuPool>, dpu_ssd_pcie: Rc<PcieLink>) -> Rc<Self> {
-        Rc::new(FileService { fs, dpu_cpu, dpu_ssd_pcie, ops: Counter::new() })
+        Rc::new(FileService {
+            fs,
+            dpu_cpu,
+            dpu_ssd_pcie,
+            ops: Counter::new(),
+        })
     }
 
     /// The file system (for integration layers that need the mapping).
@@ -47,6 +52,7 @@ impl FileService {
 
     /// Reads a byte range; payload crosses DPU↔SSD PCIe.
     pub async fn read(&self, id: FileId, offset: u64, len: u64) -> Result<Vec<u8>, FsError> {
+        let _span = dpdpu_telemetry::span("dpu", "file-service", "read").with("bytes", len);
         self.dpu_cpu.exec(costs::SPDK_IO_CYCLES_PER_OP).await;
         let data = self.fs.read(id, offset, len).await?;
         self.dpu_ssd_pcie.dma(len).await;
@@ -56,6 +62,7 @@ impl FileService {
 
     /// Writes a byte range; payload crosses DPU↔SSD PCIe.
     pub async fn write(&self, id: FileId, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        let _span = dpdpu_telemetry::span("dpu", "file-service", "write").with("bytes", data.len());
         self.dpu_cpu.exec(costs::SPDK_IO_CYCLES_PER_OP).await;
         self.dpu_ssd_pcie.dma(data.len() as u64).await;
         self.fs.write(id, offset, data).await?;
@@ -108,7 +115,13 @@ impl HostKernelPath {
         host_ssd_pcie: Rc<PcieLink>,
         cycles_per_op: u64,
     ) -> Rc<Self> {
-        Rc::new(HostKernelPath { fs, host_cpu, host_ssd_pcie, cycles_per_op, ops: Counter::new() })
+        Rc::new(HostKernelPath {
+            fs,
+            host_cpu,
+            host_ssd_pcie,
+            cycles_per_op,
+            ops: Counter::new(),
+        })
     }
 
     /// The file system.
@@ -118,6 +131,7 @@ impl HostKernelPath {
 
     /// Kernel-path read.
     pub async fn read(&self, id: FileId, offset: u64, len: u64) -> Result<Vec<u8>, FsError> {
+        let _span = dpdpu_telemetry::span("host", "kernel-io", "read").with("bytes", len);
         self.host_cpu.exec(self.cycles_per_op).await;
         let data = self.fs.read(id, offset, len).await?;
         self.host_ssd_pcie.dma(len).await;
@@ -129,6 +143,7 @@ impl HostKernelPath {
 
     /// Kernel-path write.
     pub async fn write(&self, id: FileId, offset: u64, data: &[u8]) -> Result<(), FsError> {
+        let _span = dpdpu_telemetry::span("host", "kernel-io", "write").with("bytes", data.len());
         self.host_cpu.exec(self.cycles_per_op).await;
         self.host_ssd_pcie.dma(data.len() as u64).await;
         self.fs.write(id, offset, data).await?;
@@ -212,7 +227,8 @@ mod tests {
         let out2 = out.clone();
         sim.spawn(async move {
             let (p, fs) = setup();
-            let classic = HostKernelPath::new(fs.clone(), p.host_cpu.clone(), p.host_ssd_pcie.clone());
+            let classic =
+                HostKernelPath::new(fs.clone(), p.host_cpu.clone(), p.host_ssd_pcie.clone());
             let uring = HostKernelPath::io_uring(fs, p.host_cpu.clone(), p.host_ssd_pcie.clone());
             let id = classic.create("f").await.unwrap();
             classic.write(id, 0, &vec![0u8; 8192]).await.unwrap();
@@ -230,7 +246,10 @@ mod tests {
         sim.run();
         let (classic, uring) = out.get();
         let ratio = classic as f64 / uring as f64;
-        assert!((1.0..1.2).contains(&ratio), "similar cost expected, ratio={ratio}");
+        assert!(
+            (1.0..1.2).contains(&ratio),
+            "similar cost expected, ratio={ratio}"
+        );
     }
 
     #[test]

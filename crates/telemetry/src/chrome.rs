@@ -1,0 +1,215 @@
+//! Chrome `trace_event` exporter.
+//!
+//! Produces the JSON Object Format (`{"traceEvents": [...]}`) that
+//! `chrome://tracing` and Perfetto load directly. Mapping:
+//!
+//! * device ("host", "dpu", …) → trace **process** (`pid`), named via
+//!   `process_name` metadata;
+//! * resource within a device (cpu pool, accelerator, link, engine) →
+//!   trace **thread** (`tid`), named via `thread_name` metadata;
+//! * span → `"ph":"X"` complete event with `ts`/`dur` in microseconds
+//!   (fractional — virtual time is nanosecond-granular);
+//! * sampler timeline → `"ph":"C"` counter events.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{escape, number};
+use crate::Telemetry;
+
+/// Renders the full trace for `t`.
+pub(crate) fn export(t: &Telemetry) -> String {
+    let spans = t.tracer().spans();
+    let samples = t.samples();
+
+    // Deterministic pid/tid assignment: sorted device names, then sorted
+    // track names within each device.
+    let mut pids: BTreeMap<String, u64> = BTreeMap::new();
+    let mut tids: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for s in &spans {
+        pids.entry(s.process.clone()).or_insert(0);
+        tids.entry((s.process.clone(), s.track.clone()))
+            .or_insert(0);
+    }
+    for s in &samples {
+        pids.entry(s.process.clone()).or_insert(0);
+    }
+    for (i, (_, pid)) in pids.iter_mut().enumerate() {
+        *pid = i as u64 + 1;
+    }
+    let mut next_tid: BTreeMap<String, u64> = BTreeMap::new();
+    for ((process, _), tid) in tids.iter_mut() {
+        let n = next_tid.entry(process.clone()).or_insert(0);
+        *n += 1;
+        *tid = *n;
+    }
+
+    let mut events: Vec<String> = Vec::new();
+
+    for (process, pid) in &pids {
+        events.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":{pid},"tid":0,"args":{{"name":"{}"}}}}"#,
+            escape(process)
+        ));
+    }
+    for ((process, track), tid) in &tids {
+        let pid = pids[process];
+        events.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{}"}}}}"#,
+            escape(track)
+        ));
+    }
+
+    for s in &spans {
+        let pid = pids[&s.process];
+        let tid = tids[&(s.process.clone(), s.track.clone())];
+        let ts = s.start as f64 / 1_000.0;
+        let dur = s.end.saturating_sub(s.start) as f64 / 1_000.0;
+        let mut args = String::new();
+        for (k, v) in &s.attrs {
+            if !args.is_empty() {
+                args.push(',');
+            }
+            let _ = write!(args, r#""{}":"{}""#, escape(k), escape(v));
+        }
+        events.push(format!(
+            r#"{{"name":"{}","ph":"X","pid":{pid},"tid":{tid},"ts":{},"dur":{},"args":{{{args}}}}}"#,
+            escape(&s.name),
+            number(ts),
+            number(dur),
+        ));
+    }
+
+    for s in &samples {
+        let pid = pids[&s.process];
+        events.push(format!(
+            r#"{{"name":"{}","ph":"C","pid":{pid},"tid":0,"ts":{},"args":{{"value":{}}}}}"#,
+            escape(&s.name),
+            number(s.t as f64 / 1_000.0),
+            number(s.value),
+        ));
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::json::Json;
+    use crate::{record_span, span, start_sampler, Telemetry};
+    use dpdpu_des::{sleep, Sim};
+
+    /// Structural validation shared with the acceptance test in
+    /// `dpdpu-bench`: the export parses, has the object-format shell, and
+    /// every event carries the fields its phase requires.
+    fn validate(text: &str) -> Json {
+        let doc = Json::parse(text).expect("chrome trace must be valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array is required");
+        for e in events {
+            let ph = e
+                .get("ph")
+                .and_then(Json::as_str)
+                .expect("every event has ph");
+            assert!(e.get("name").and_then(Json::as_str).is_some());
+            assert!(e.get("pid").and_then(Json::as_f64).is_some());
+            match ph {
+                "X" => {
+                    assert!(e.get("ts").and_then(Json::as_f64).is_some());
+                    assert!(e.get("dur").and_then(Json::as_f64).unwrap() >= 0.0);
+                }
+                "C" => {
+                    assert!(e
+                        .get("args")
+                        .unwrap()
+                        .get("value")
+                        .and_then(Json::as_f64)
+                        .is_some());
+                }
+                "M" => {
+                    assert!(e
+                        .get("args")
+                        .unwrap()
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .is_some());
+                }
+                other => panic!("unexpected phase {other:?}"),
+            }
+        }
+        doc
+    }
+
+    #[test]
+    fn export_is_wellformed_and_complete() {
+        let t = Telemetry::install();
+        t.assign_track("nic", "dpu");
+        let tick = std::rc::Rc::new(std::cell::Cell::new(0.0f64));
+        let tick2 = tick.clone();
+        t.register_source("dpu", "util:nic", move || tick2.get());
+
+        let mut sim = Sim::new();
+        sim.spawn(async move {
+            let sampler = start_sampler(50);
+            {
+                let _s = span("dpu", "engine", "request").with("tenant", "a\"b");
+                sleep(120).await;
+            }
+            record_span("host", "kernel", "syscall", 10, 40, &[("op", "read")]);
+            tick.set(0.75);
+            sleep(50).await;
+            sampler.stop();
+        });
+        sim.run();
+        Telemetry::uninstall();
+
+        let text = t.chrome_trace();
+        let doc = validate(&text);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 2);
+        let req = xs
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("request"))
+            .unwrap();
+        assert_eq!(req.get("dur").unwrap().as_f64(), Some(0.12)); // 120 ns = 0.12 µs
+        assert_eq!(
+            req.get("args").unwrap().get("tenant").unwrap().as_str(),
+            Some("a\"b")
+        );
+
+        let counters = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .count();
+        assert!(counters >= 2, "sampler ticks must appear as counter events");
+
+        // Two devices → two process_name records with distinct pids.
+        let procs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("process_name"))
+            .collect();
+        assert_eq!(procs.len(), 2);
+        let pids: std::collections::BTreeSet<u64> = procs
+            .iter()
+            .map(|e| e.get("pid").unwrap().as_f64().unwrap() as u64)
+            .collect();
+        assert_eq!(pids.len(), 2);
+    }
+
+    #[test]
+    fn empty_session_still_exports_valid_json() {
+        let t = Telemetry::install();
+        Telemetry::uninstall();
+        validate(&t.chrome_trace());
+    }
+}

@@ -1,0 +1,209 @@
+//! # dpdpu-telemetry — observability for the DPDPU simulation stack
+//!
+//! Everything in this crate is keyed on **virtual time** ([`dpdpu_des::Time`],
+//! nanoseconds): spans cover virtual intervals, the sampler ticks on the
+//! simulated clock, and exported traces show simulated — not wall-clock —
+//! behaviour. The paper's argument is about where cycles, bytes, and queue
+//! time go across host CPUs, DPU cores, accelerators, and the fabric; this
+//! crate is how the repo shows that.
+//!
+//! Four pieces:
+//!
+//! * a **span tracer** ([`span`], [`record_span`]) with nesting and per-span
+//!   attributes, zero-cost when no [`Telemetry`] is installed;
+//! * a **metrics registry** ([`Registry`]) of named, labeled counters,
+//!   gauges, and histograms built on the `dpdpu_des::stats` primitives;
+//! * a **timeline sampler** ([`Telemetry::register_source`],
+//!   [`start_sampler`]) polling per-resource utilisation and queue depth at
+//!   a configurable virtual-time interval;
+//! * **exporters**: Chrome `trace_event` JSON ([`Telemetry::chrome_trace`],
+//!   loadable in `chrome://tracing` / Perfetto — one "process" per device,
+//!   one "thread" per resource) and a plain-text summary table
+//!   ([`Telemetry::summary`]).
+//!
+//! ## Usage
+//!
+//! ```
+//! use dpdpu_telemetry::{self as telemetry, Telemetry};
+//!
+//! let t = Telemetry::install();
+//! let mut sim = dpdpu_des::Sim::new();
+//! sim.spawn(async {
+//!     let _s = telemetry::span("dpu", "compute-engine", "compress");
+//!     dpdpu_des::sleep(1_000).await;
+//! });
+//! sim.run();
+//! let json = t.chrome_trace();
+//! assert!(json.contains("compress"));
+//! Telemetry::uninstall();
+//! ```
+//!
+//! Installation is thread-local, matching the single-threaded DES executor.
+//! While installed, `dpdpu_des::Server` queue/service intervals are captured
+//! automatically through the `dpdpu_des::probe` hook.
+
+mod chrome;
+pub mod json;
+mod metrics;
+mod sampler;
+mod span;
+mod summary;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use dpdpu_des::probe::{self, Probe};
+use dpdpu_des::Time;
+
+pub use metrics::Registry;
+pub use sampler::{start_sampler, CounterSample, SamplerHandle};
+pub use span::{record_span, span, SpanGuard, SpanRecord, Tracer};
+
+/// One telemetry session: tracer + registry + sampler state.
+///
+/// Create with [`Telemetry::install`]; everything recorded while installed
+/// accumulates here and can be exported at any point.
+pub struct Telemetry {
+    tracer: Tracer,
+    registry: Registry,
+    sampler: sampler::SampleStore,
+    /// Maps a resource track (server name) to its owning device
+    /// ("host", "dpu", ...). Unassigned tracks land under [`SIM_PROCESS`].
+    track_process: RefCell<std::collections::HashMap<String, String>>,
+}
+
+/// Device name used for tracks nobody claimed.
+pub const SIM_PROCESS: &str = "sim";
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<Telemetry>>> = const { RefCell::new(None) };
+}
+
+/// Adapter feeding `dpdpu_des` server intervals into the current session.
+struct DesProbe;
+
+impl Probe for DesProbe {
+    fn span(&self, track: &str, name: &'static str, start: Time, end: Time) {
+        if let Some(t) = Telemetry::current() {
+            let process = t.process_for(track);
+            t.tracer
+                .record(&process, track, name, start, end, Vec::new());
+        }
+    }
+}
+
+impl Telemetry {
+    /// Creates a fresh session and installs it as the thread's current one
+    /// (replacing any previous session). Also hooks the DES probe so
+    /// `Server` queue/service intervals are captured.
+    pub fn install() -> Rc<Telemetry> {
+        let t = Rc::new(Telemetry {
+            tracer: Tracer::new(),
+            registry: Registry::new(),
+            sampler: sampler::SampleStore::new(),
+            track_process: RefCell::new(std::collections::HashMap::new()),
+        });
+        CURRENT.with(|c| *c.borrow_mut() = Some(t.clone()));
+        probe::set_probe(Some(Rc::new(DesProbe)));
+        t
+    }
+
+    /// Removes the current session and the DES probe. Instrumented code
+    /// reverts to its zero-cost disabled path.
+    pub fn uninstall() {
+        probe::set_probe(None);
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    }
+
+    /// The thread's current session, if one is installed.
+    pub fn current() -> Option<Rc<Telemetry>> {
+        CURRENT.with(|c| c.borrow().clone())
+    }
+
+    /// True when a session is installed.
+    pub fn is_enabled() -> bool {
+        CURRENT.with(|c| c.borrow().is_some())
+    }
+
+    /// The span tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub(crate) fn sampler(&self) -> &sampler::SampleStore {
+        &self.sampler
+    }
+
+    /// Declares that resource `track` belongs to device `process`, so its
+    /// spans group under that device in the Chrome trace.
+    pub fn assign_track(&self, track: impl Into<String>, process: impl Into<String>) {
+        self.track_process
+            .borrow_mut()
+            .insert(track.into(), process.into());
+    }
+
+    /// Device owning `track` ([`SIM_PROCESS`] when unassigned).
+    pub fn process_for(&self, track: &str) -> String {
+        self.track_process
+            .borrow()
+            .get(track)
+            .cloned()
+            .unwrap_or_else(|| SIM_PROCESS.to_string())
+    }
+
+    /// Registers a timeline source: `sample` is polled by the sampler on
+    /// every tick and its value becomes a counter track named `name` under
+    /// device `process`.
+    pub fn register_source(
+        &self,
+        process: impl Into<String>,
+        name: impl Into<String>,
+        sample: impl Fn() -> f64 + 'static,
+    ) {
+        self.sampler
+            .register(process.into(), name.into(), Box::new(sample));
+    }
+
+    /// All samples collected so far.
+    pub fn samples(&self) -> Vec<CounterSample> {
+        self.sampler.samples()
+    }
+
+    /// Exports everything recorded so far as Chrome `trace_event` JSON.
+    pub fn chrome_trace(&self) -> String {
+        chrome::export(self)
+    }
+
+    /// Writes [`Telemetry::chrome_trace`] to `path`.
+    pub fn write_chrome_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.chrome_trace())
+    }
+
+    /// Renders the plain-text summary table: span aggregates, metric
+    /// values, and per-resource timeline statistics.
+    pub fn summary(&self) -> String {
+        summary::render(self)
+    }
+}
+
+/// Convenience: get-or-create a counter in the current session's registry.
+/// Returns `None` when telemetry is disabled, so callers can write
+/// `if let Some(c) = telemetry::counter(..) { c.inc() }` or simply ignore.
+pub fn counter(name: &str, labels: &[(&str, &str)]) -> Option<Rc<dpdpu_des::Counter>> {
+    Telemetry::current().map(|t| t.registry.counter(name, labels))
+}
+
+/// Convenience: get-or-create a gauge in the current session's registry.
+pub fn gauge(name: &str, labels: &[(&str, &str)]) -> Option<Rc<dpdpu_des::Gauge>> {
+    Telemetry::current().map(|t| t.registry.gauge(name, labels))
+}
+
+/// Convenience: get-or-create a histogram in the current session's registry.
+pub fn histogram(name: &str, labels: &[(&str, &str)]) -> Option<Rc<dpdpu_des::Histogram>> {
+    Telemetry::current().map(|t| t.registry.histogram(name, labels))
+}

@@ -39,10 +39,7 @@ fn main() {
 
 /// Transport-generic shuffle: identical application code over verbs or
 /// NE rings. Returns (elapsed ns, bytes shipped, buffers shipped).
-async fn shuffle<T: RdmaTransport>(
-    flows: &mut [Flow<T>],
-    host: &Rc<CpuPool>,
-) -> (u64, u64, u64) {
+async fn shuffle<T: RdmaTransport>(flows: &mut [Flow<T>], host: &Rc<CpuPool>) -> (u64, u64, u64) {
     let table = gen::orders(ROWS, 2026);
     let t0 = now();
     host.exec(ROWS as u64 * 40).await; // partition hash + copy out

@@ -42,7 +42,10 @@ fn run(offload: bool) -> (f64, f64) {
         let platform = Platform::default_bf2();
         let dds = Dds::build(
             platform.clone(),
-            DdsConfig { offload_enabled: offload, ..DdsConfig::default() },
+            DdsConfig {
+                offload_enabled: offload,
+                ..DdsConfig::default()
+            },
         )
         .await;
 

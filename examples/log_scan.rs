@@ -30,7 +30,11 @@ fn main() {
         LOG_LINES,
         log.len()
     );
-    for dpu in [DpuSpec::bluefield2(), DpuSpec::bluefield3(), DpuSpec::intel_ipu()] {
+    for dpu in [
+        DpuSpec::bluefield2(),
+        DpuSpec::bluefield3(),
+        DpuSpec::intel_ipu(),
+    ] {
         scan_on(dpu, log.clone());
     }
 }
@@ -62,9 +66,8 @@ fn scan_on(dpu: DpuSpec, log: Vec<u8>) {
 
         // Scan where the data lives: read through the file service, then
         // the RegEx DP kernel — ASIC first, CPU fallback (Figure 6).
-        let regex = Rc::new(
-            dpdpu::kernels::regex::Regex::new(r"(ERROR|FATAL) [a-z_]+=\w+").unwrap(),
-        );
+        let regex =
+            Rc::new(dpdpu::kernels::regex::Regex::new(r"(ERROR|FATAL) [a-z_]+=\w+").unwrap());
         let op = KernelOp::RegexScan { regex };
         let t0 = now();
         let data = rt.storage.read(file, 0, log.len() as u64).await.unwrap();
@@ -84,7 +87,9 @@ fn scan_on(dpu: DpuSpec, log: Vec<u8>) {
             ),
             Err(e) => panic!("scan failed: {e}"),
         };
-        let KernelOutput::Count(matches) = result else { unreachable!() };
+        let KernelOutput::Count(matches) = result else {
+            unreachable!()
+        };
         println!(
             "{name:<12} {matches:>4} matches in {:>8.3} ms on {device}",
             (now() - t0) as f64 / 1e6

@@ -24,7 +24,10 @@ fn main() {
         let platform = Platform::default_bf2();
         let dds = Dds::build(
             platform.clone(),
-            DdsConfig { num_pages: PAGES, ..DdsConfig::default() },
+            DdsConfig {
+                num_pages: PAGES,
+                ..DdsConfig::default()
+            },
         )
         .await;
 
@@ -64,7 +67,9 @@ fn main() {
                 rng.random_range(PAGES / 5..PAGES)
             };
             let offset = rng.random_range(0..8_000u32);
-            let delta: Vec<u8> = (0..rng.random_range(8..64usize)).map(|_| rng.random()).collect();
+            let delta: Vec<u8> = (0..rng.random_range(8..64usize))
+                .map(|_| rng.random())
+                .collect();
             expected[page as usize][offset as usize..offset as usize + delta.len()]
                 .copy_from_slice(&delta);
             client.append_log(page, offset, Bytes::from(delta)).await;
@@ -88,13 +93,19 @@ fn main() {
             );
         }
         let elapsed = (now() - t0).max(1);
-        println!("\nserved {GETS} GetPage requests in {:.2} ms (virtual)", elapsed as f64 / 1e6);
+        println!(
+            "\nserved {GETS} GetPage requests in {:.2} ms (virtual)",
+            elapsed as f64 / 1e6
+        );
         println!(
             "  routed: {} to the DPU, {} to the host (replay)",
             dds.served_dpu.get(),
             dds.served_host.get()
         );
-        println!("  WAL records replayed on host: {}", dds.pages.replayed.get());
+        println!(
+            "  WAL records replayed on host: {}",
+            dds.pages.replayed.get()
+        );
         println!(
             "  host cores consumed during reads: {:.3}",
             platform.host_cpu.cores_consumed(elapsed)

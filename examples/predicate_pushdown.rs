@@ -29,7 +29,10 @@ const NUM_PAGES: usize = 64;
 fn main() {
     let wire_full = run(false);
     let wire_pushed = run(true);
-    println!("\npushdown sent {:.1}x fewer bytes over the network", wire_full as f64 / wire_pushed as f64);
+    println!(
+        "\npushdown sent {:.1}x fewer bytes over the network",
+        wire_full as f64 / wire_pushed as f64
+    );
 }
 
 fn run(pushdown: bool) -> u64 {
@@ -45,7 +48,11 @@ fn run(pushdown: bool) -> u64 {
         let mut offsets = Vec::new();
         let mut cursor = 0u64;
         for chunk in table.rows.chunks(ROWS_PER_PAGE) {
-            let page = Batch { schema: table.schema.clone(), rows: chunk.to_vec() }.encode_page();
+            let page = Batch {
+                schema: table.schema.clone(),
+                rows: chunk.to_vec(),
+            }
+            .encode_page();
             rt.storage.write(file, cursor, &page).await.unwrap();
             offsets.push((cursor, page.len() as u64));
             cursor += page.len() as u64;
@@ -66,8 +73,11 @@ fn run(pushdown: bool) -> u64 {
 
         // WHERE status = 'paid' AND amount > 5000.
         let predicate = Rc::new(
-            Predicate::cmp(3, CmpOp::Eq, Value::Text("paid".into()))
-                .and(Predicate::cmp(2, CmpOp::Gt, Value::Float(5_000.0))),
+            Predicate::cmp(3, CmpOp::Eq, Value::Text("paid".into())).and(Predicate::cmp(
+                2,
+                CmpOp::Gt,
+                Value::Float(5_000.0),
+            )),
         );
 
         let t0 = now();
@@ -81,7 +91,9 @@ fn run(pushdown: bool) -> u64 {
                 let out = rt
                     .compute
                     .run(
-                        &KernelOp::Filter { predicate: predicate.clone() },
+                        &KernelOp::Filter {
+                            predicate: predicate.clone(),
+                        },
                         &KernelInput::Batch(batch),
                         Placement::Scheduled,
                     )
@@ -112,7 +124,10 @@ fn run(pushdown: bool) -> u64 {
             let n = u32::from_le_bytes(buffer[pos..pos + 4].try_into().unwrap()) as usize;
             // Decode this page to find its byte length.
             let page = Batch::decode_page(&schema, &buffer[pos..]).unwrap();
-            let mut probe = Batch { schema: schema.clone(), rows: page.rows.clone() };
+            let mut probe = Batch {
+                schema: schema.clone(),
+                rows: page.rows.clone(),
+            };
             probe.rows.truncate(n);
             let page_len = probe.encode_page().len();
             qualifying += if pushdown {
@@ -125,7 +140,11 @@ fn run(pushdown: bool) -> u64 {
         let elapsed = now() - t0;
         println!(
             "{}: {} qualifying rows, {} wire bytes, {:.2} ms",
-            if pushdown { "pushdown (filter on DPU)" } else { "baseline (ship all pages)" },
+            if pushdown {
+                "pushdown (filter on DPU)"
+            } else {
+                "baseline (ship all pages)"
+            },
             qualifying,
             wire_bytes,
             elapsed as f64 / 1e6,

@@ -28,9 +28,16 @@ fn main() {
         let file = rt.front_end.create("demo.db").await.unwrap();
         let payload = dpdpu::kernels::text::natural_text(64 * 1024, 7);
         rt.front_end.write(file, 0, payload.clone()).await.unwrap();
-        let back = rt.front_end.read(file, 0, payload.len() as u64).await.unwrap();
+        let back = rt
+            .front_end
+            .read(file, 0, payload.len() as u64)
+            .await
+            .unwrap();
         assert_eq!(back, payload);
-        println!("storage: wrote + read {} bytes through the front end", payload.len());
+        println!(
+            "storage: wrote + read {} bytes through the front end",
+            payload.len()
+        );
 
         // Compute Engine: compress those bytes on the DPU's compression
         // ASIC (scheduled placement picks it automatically).
@@ -52,7 +59,11 @@ fn main() {
             payload.len(),
             compressed.len(),
             payload.len() as f64 / compressed.len() as f64,
-            if rt.compute.asic_jobs.get() > 0 { "the ASIC" } else { "a CPU" },
+            if rt.compute.asic_jobs.get() > 0 {
+                "the ASIC"
+            } else {
+                "a CPU"
+            },
         );
 
         // Sprocs: register and invoke a checksum procedure (Figure 6's

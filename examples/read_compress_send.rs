@@ -8,7 +8,13 @@
 //!
 //! ```sh
 //! cargo run --example read_compress_send
+//! cargo run --example read_compress_send -- --trace-out /tmp/rcs.json
 //! ```
+//!
+//! With `--trace-out <path>` the BlueField-2 run executes under a
+//! telemetry session: the Chrome `trace_event` JSON (loadable in
+//! `chrome://tracing` / Perfetto) lands at the given path and the
+//! plain-text telemetry summary is printed after the run.
 
 use bytes::Bytes;
 use dpdpu::compute::{ExecTarget, KernelError, KernelInput, KernelKind, KernelOp, Placement};
@@ -16,27 +22,56 @@ use dpdpu::core::Dpdpu;
 use dpdpu::des::{now, spawn, Sim};
 use dpdpu::hw::{CpuPool, DpuSpec, HostSpec, LinkConfig, Platform};
 use dpdpu::net::tcp::{tcp_stream, TcpParams, TcpSide};
+use dpdpu::telemetry::Telemetry;
 
 const PAGE: u64 = 8_192;
 const PAGES: u64 = 32;
 
 fn main() {
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out requires a path argument");
+                    std::process::exit(2);
+                });
+                trace_out = Some(path.into());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: read_compress_send [--trace-out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     // Run the same sproc on two DPUs: BlueField-2 (has the compression
     // ASIC) and a hypothetical DPU without one — the fallback path of
-    // Figure 6 lines 21-25.
-    for (label, dpu) in [
+    // Figure 6 lines 21-25. The trace, when requested, covers the first.
+    for (i, (label, dpu)) in [
         ("BlueField-2 (ASIC available)", DpuSpec::bluefield2()),
         ("Intel IPU (ASIC available)", DpuSpec::intel_ipu()),
-    ] {
-        run_on(label, dpu);
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let trace = if i == 0 { trace_out.as_deref() } else { None };
+        run_on(label, dpu, trace);
     }
 }
 
-fn run_on(label: &str, dpu: DpuSpec) {
+fn run_on(label: &str, dpu: DpuSpec, trace_out: Option<&std::path::Path>) {
     let label = label.to_string();
+    let session = trace_out.map(|_| Telemetry::install());
+    let traced = session.is_some();
     let mut sim = Sim::new();
     sim.spawn(async move {
+        // Dpdpu::start registers the platform's resources with the
+        // installed telemetry session (tracks, gauges, timeline sources).
         let rt = Dpdpu::start(Platform::new(HostSpec::epyc(), dpu));
+        let sampler = traced.then(|| dpdpu::telemetry::start_sampler(20_000));
 
         // Seed the "SSD" with compressible pages.
         let file = rt.storage.create("pages.db").await.unwrap();
@@ -71,7 +106,11 @@ fn run_on(label: &str, dpu: DpuSpec) {
                 // async compression: try the ASIC ("dpu_asic"), fall back
                 // to a DPU core ("dpu_cpu") when unavailable.
                 let out = match dpk
-                    .call(&KernelOp::Compress, &input, Placement::Specified(ExecTarget::DpuAsic))
+                    .call(
+                        &KernelOp::Compress,
+                        &input,
+                        Placement::Specified(ExecTarget::DpuAsic),
+                    )
                     .await
                 {
                     Ok(out) => out,
@@ -118,6 +157,17 @@ fn run_on(label: &str, dpu: DpuSpec) {
             "  client received {received} messages; host cores consumed: {:.4}\n",
             rt.platform.host_cpu.cores_consumed(now().max(1))
         );
+        if let Some(sampler) = sampler {
+            sampler.stop();
+        }
     });
     sim.run();
+    if let Some(t) = session {
+        Telemetry::uninstall();
+        let path = trace_out.expect("session implies a path");
+        t.write_chrome_trace(path)
+            .expect("failed to write chrome trace");
+        println!("{}", t.summary());
+        println!("chrome trace written to {}\n", path.display());
+    }
 }

@@ -25,19 +25,21 @@
 //! sim.run();
 //! ```
 
+/// Compute Engine: DP kernels, placement, sproc scheduling.
+pub use dpdpu_compute as compute;
+/// The assembled DPDPU runtime.
+pub use dpdpu_core as core;
+/// DDS: the DPU-optimized disaggregated storage server.
+pub use dpdpu_dds as dds;
 /// Deterministic virtual-time simulation substrate.
 pub use dpdpu_des as des;
 /// Calibrated device models (CPUs, accelerators, NICs, PCIe, SSDs).
 pub use dpdpu_hw as hw;
 /// Real data-path kernels (DEFLATE, AES, SHA-256, regex, dedup, relops).
 pub use dpdpu_kernels as kernels;
-/// Compute Engine: DP kernels, placement, sproc scheduling.
-pub use dpdpu_compute as compute;
 /// Network Engine: TCP and RDMA, host vs DPU-offloaded.
 pub use dpdpu_net as net;
 /// Storage Engine: file system, DPU file service, front end, persistence.
 pub use dpdpu_storage as storage;
-/// DDS: the DPU-optimized disaggregated storage server.
-pub use dpdpu_dds as dds;
-/// The assembled DPDPU runtime.
-pub use dpdpu_core as core;
+/// Telemetry: virtual-time spans, metrics, timelines, Chrome-trace export.
+pub use dpdpu_telemetry as telemetry;

@@ -27,7 +27,9 @@ fn two_tenants_share_cores_and_asic() {
         let sched = Scheduler::new(
             p.dpu_cpu.clone(),
             p.host_cpu.clone(),
-            SchedPolicy::Drr { quantum_cycles: 50_000 },
+            SchedPolicy::Drr {
+                quantum_cycles: 50_000,
+            },
             vec![1, 1],
         );
         let accel = p.accel(AccelKind::Compression).expect("BF-2 engine");

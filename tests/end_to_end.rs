@@ -103,7 +103,7 @@ fn regex_fallback_matches_asic_result() {
     let on_bf2 = scan(DpuSpec::bluefield2()); // has RXP
     let on_bf3 = scan(DpuSpec::bluefield3()); // falls back to CPU
     assert_eq!(on_bf2, on_bf3);
-    assert_eq!(on_bf2, (200 + 6) / 7);
+    assert_eq!(on_bf2, 200_u64.div_ceil(7));
 }
 
 /// Whole-stack determinism: two runs of an involved multi-engine scenario
@@ -163,17 +163,29 @@ fn encrypt_store_decrypt_pipeline() {
         let op = KernelOp::Crypt { key, nonce };
         let encrypted = rt
             .compute
-            .run(&op, &KernelInput::Bytes(plain.clone()), Placement::Scheduled)
+            .run(
+                &op,
+                &KernelInput::Bytes(plain.clone()),
+                Placement::Scheduled,
+            )
             .await
             .unwrap()
             .into_bytes();
         assert_ne!(encrypted, plain);
         let file = rt.storage.create("enc.db").await.unwrap();
         rt.storage.write(file, 0, &encrypted).await.unwrap();
-        let loaded = rt.storage.read(file, 0, encrypted.len() as u64).await.unwrap();
+        let loaded = rt
+            .storage
+            .read(file, 0, encrypted.len() as u64)
+            .await
+            .unwrap();
         let decrypted = rt
             .compute
-            .run(&op, &KernelInput::Bytes(Bytes::from(loaded)), Placement::Scheduled)
+            .run(
+                &op,
+                &KernelInput::Bytes(Bytes::from(loaded)),
+                Placement::Scheduled,
+            )
             .await
             .unwrap()
             .into_bytes();
@@ -209,15 +221,16 @@ fn mixed_kernel_storm() {
                             .await
                             .unwrap()
                             .into_bytes();
-                        assert_eq!(
-                            dpdpu::kernels::deflate::decompress(&out).unwrap(),
-                            data
-                        );
+                        assert_eq!(dpdpu::kernels::deflate::decompress(&out).unwrap(), data);
                     }
                     1 => {
                         let out = rt
                             .compute
-                            .run(&KernelOp::Sha256, &KernelInput::Bytes(data.clone()), Placement::Scheduled)
+                            .run(
+                                &KernelOp::Sha256,
+                                &KernelInput::Bytes(data.clone()),
+                                Placement::Scheduled,
+                            )
                             .await
                             .unwrap();
                         match out {
@@ -230,7 +243,11 @@ fn mixed_kernel_storm() {
                     2 => {
                         let out = rt
                             .compute
-                            .run(&KernelOp::Crc32, &KernelInput::Bytes(data.clone()), Placement::Scheduled)
+                            .run(
+                                &KernelOp::Crc32,
+                                &KernelInput::Bytes(data.clone()),
+                                Placement::Scheduled,
+                            )
                             .await
                             .unwrap();
                         match out {
@@ -241,7 +258,10 @@ fn mixed_kernel_storm() {
                         }
                     }
                     _ => {
-                        let op = KernelOp::Crypt { key: [1; 16], nonce: [2; 12] };
+                        let op = KernelOp::Crypt {
+                            key: [1; 16],
+                            nonce: [2; 12],
+                        };
                         let enc = rt
                             .compute
                             .run(&op, &KernelInput::Bytes(data.clone()), Placement::Scheduled)
@@ -279,15 +299,26 @@ fn aggregate_pushdown_equals_local() {
         let rt = Dpdpu::start_default();
         let batch = gen::orders(5_000, 77);
         let specs = vec![
-            AggSpec { func: AggFunc::Count, col: 0 },
-            AggSpec { func: AggFunc::Sum, col: 2 },
-            AggSpec { func: AggFunc::Max, col: 2 },
+            AggSpec {
+                func: AggFunc::Count,
+                col: 0,
+            },
+            AggSpec {
+                func: AggFunc::Sum,
+                col: 2,
+            },
+            AggSpec {
+                func: AggFunc::Max,
+                col: 2,
+            },
         ];
         let local = aggregate(&batch, &specs);
         let pushed = rt
             .compute
             .run(
-                &KernelOp::Aggregate { specs: specs.clone() },
+                &KernelOp::Aggregate {
+                    specs: specs.clone(),
+                },
                 &KernelInput::Batch(batch),
                 Placement::Scheduled,
             )

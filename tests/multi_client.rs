@@ -48,9 +48,7 @@ fn four_clients_share_one_server_port() {
         );
 
         let mut handles = Vec::new();
-        for (cid, ((c_tx, c_rx), (s_tx, s_rx))) in
-            c2s.into_iter().zip(s2c.into_iter()).enumerate()
-        {
+        for (cid, ((c_tx, c_rx), (s_tx, s_rx))) in c2s.into_iter().zip(s2c).enumerate() {
             dds.serve(c_rx, s_tx);
             let client = DdsClient::new(c_tx, s_rx);
             let dds = dds.clone();

@@ -81,7 +81,7 @@ fn measure(isolated: bool) -> (u64, u64) {
             for _ in 0..FLOOD_JOBS {
                 let accel = accel.clone();
                 handles.push(dpdpu_des::spawn(async move {
-                    accel.process(FLOOD_BYTES).await;
+                    let _ = accel.process(FLOOD_BYTES).await;
                 }));
             }
             for _ in 0..SMALL_JOBS {
@@ -90,7 +90,7 @@ fn measure(isolated: bool) -> (u64, u64) {
                 let accel = accel.clone();
                 let lat = lat.clone();
                 handles.push(dpdpu_des::spawn(async move {
-                    accel.process(SMALL_BYTES).await;
+                    let _ = accel.process(SMALL_BYTES).await;
                     lat.record(now() - t0);
                 }));
             }

@@ -1,0 +1,42 @@
+//! Prints the abl_faults table; see the module docs in
+//! `dpdpu_bench::abl_faults`.
+//!
+//! With `--trace-out <path>`, additionally runs the traced mid-rate
+//! scenario and writes a Chrome `trace_event` JSON file loadable in
+//! `chrome://tracing` / Perfetto. Same seed, same plan: the CI
+//! determinism check runs this twice and requires byte-identical stdout
+//! and trace files.
+
+fn main() {
+    let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out requires a path argument");
+                    std::process::exit(2);
+                });
+                trace_out = Some(path.into());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: abl_faults [--trace-out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("{}", dpdpu_bench::abl_faults::run());
+
+    if let Some(path) = trace_out {
+        let summary = dpdpu_bench::abl_faults::run_traced(&path).unwrap_or_else(|e| {
+            eprintln!("failed to write trace to {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("{summary}");
+        // The path differs between CI's two runs; keep stdout
+        // byte-comparable and report it on stderr.
+        eprintln!("chrome trace written to {}", path.display());
+    }
+}

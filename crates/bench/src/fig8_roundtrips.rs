@@ -98,14 +98,18 @@ fn measure_with(offload: bool, cache_pages: usize) -> (u64, u64) {
 
         // Touch one page so its image exists; requests then read clean
         // pages (DPU-servable when the director allows).
-        client.append_log(0, 0, Bytes::from_static(b"x")).await;
-        client.get_page(0).await; // forces replay; page 0 now clean
+        client
+            .append_log(0, 0, Bytes::from_static(b"x"))
+            .await
+            .expect("log append must succeed");
+        // Forces replay; page 0 now clean.
+        client.get_page(0).await.expect("replay must succeed");
 
         let lat = Histogram::new();
         for i in 0..REQUESTS {
             let page = (i % 64) as u64;
             let t = now();
-            let img = client.get_page(page).await;
+            let img = client.get_page(page).await.expect("get_page must succeed");
             lat.record(now() - t);
             assert_eq!(img.len(), 8_192);
         }

@@ -104,10 +104,17 @@ pub fn run_traced(path: &std::path::Path) -> std::io::Result<String> {
         let client = DdsClient::new(c2s_tx, s2c_rx);
 
         for k in 0..32u64 {
-            client.kv_put(k, Bytes::from(vec![k as u8; VALUE])).await;
+            client
+                .kv_put(k, Bytes::from(vec![k as u8; VALUE]))
+                .await
+                .expect("put must succeed");
         }
         for i in 0..96u64 {
-            let value = client.kv_get(i % 32).await.expect("loaded key");
+            let value = client
+                .kv_get(i % 32)
+                .await
+                .expect("get must succeed")
+                .expect("loaded key");
             ce.run(
                 &KernelOp::Compress,
                 &KernelInput::Bytes(value),
@@ -168,7 +175,10 @@ fn measure(offload: bool, kv_index_budget: u64) -> Measurement {
         let client = DdsClient::new(c2s_tx, s2c_rx);
 
         for k in 0..KEYS {
-            client.kv_put(k, Bytes::from(vec![k as u8; VALUE])).await;
+            client
+                .kv_put(k, Bytes::from(vec![k as u8; VALUE]))
+                .await
+                .expect("put must succeed");
         }
         platform.host_cpu.reset_stats();
         dds.served_dpu.reset();
@@ -179,7 +189,11 @@ fn measure(offload: bool, kv_index_budget: u64) -> Measurement {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            client.kv_get(x % KEYS).await.expect("loaded key");
+            client
+                .kv_get(x % KEYS)
+                .await
+                .expect("get must succeed")
+                .expect("loaded key");
         }
         let elapsed = (now() - t0).max(1);
         let frac =

@@ -11,11 +11,12 @@
 //! Binaries: `fig1_compression`, `fig2_storage_cpu`, `fig3_network_cpu`,
 //! `fig7_rdma`, `fig8_roundtrips`, `fig9_dds_savings`, `abl_scheduler`,
 //! `abl_placement`, `abl_cache_split`, `abl_fast_persist`,
-//! `abl_partial_offload`, `abl_tenant_iso`, `abl_pipeline`, and
-//! `all_figures` (runs everything).
+//! `abl_partial_offload`, `abl_tenant_iso`, `abl_pipeline`, `abl_faults`,
+//! and `all_figures` (runs everything).
 
 pub mod abl_cache_split;
 pub mod abl_fast_persist;
+pub mod abl_faults;
 pub mod abl_fusion;
 pub mod abl_partial_offload;
 pub mod abl_pipeline;
@@ -50,5 +51,6 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("A6", abl_tenant_iso::run),
         ("A7", abl_pipeline::run),
         ("A8", abl_fusion::run),
+        ("A9", abl_faults::run),
     ]
 }

@@ -70,6 +70,9 @@ impl ComputeEngine {
         match target {
             ExecTarget::DpuAsic => {
                 let accel = kind.accel_kind().and_then(|a| self.platform.accel(a))?;
+                if !accel.online() {
+                    return None; // injected outage: scheduled placement skips it
+                }
                 let service = accel.service_ns(bytes);
                 let backlog = accel.queue_len() as u64 / accel.free_contexts().max(1) as u64;
                 Some(service * (backlog + 1))
@@ -143,14 +146,37 @@ impl ComputeEngine {
                     Placement::Scheduled => "scheduled",
                 },
             );
+        let mut target = target;
         match target {
             ExecTarget::DpuAsic => {
                 let accel = kind
                     .accel_kind()
                     .and_then(|a| self.platform.accel(a))
                     .ok_or(KernelError::TargetUnavailable(ExecTarget::DpuAsic))?;
-                accel.process(bytes).await;
-                self.asic_jobs.inc();
+                match accel.process(bytes).await {
+                    Ok(()) => self.asic_jobs.inc(),
+                    Err(dpdpu_hw::AccelError::Offline) => {
+                        // Figure 6's fallback, executed *by* the engine:
+                        // scheduled placement degrades to DPU cores;
+                        // specified placement surfaces the outage to the
+                        // caller, who asked for exactly this device.
+                        if placement == Placement::Scheduled {
+                            if let Some(c) =
+                                dpdpu_telemetry::counter("ce_fallbacks", &[("from", "DpuAsic")])
+                            {
+                                c.inc();
+                            }
+                            self.platform
+                                .dpu_cpu
+                                .exec(kind.fixed_cycles() + bytes * kind.cycles_per_byte_dpu())
+                                .await;
+                            self.dpu_jobs.inc();
+                            target = ExecTarget::DpuCpu;
+                        } else {
+                            return Err(KernelError::TargetUnavailable(ExecTarget::DpuAsic));
+                        }
+                    }
+                }
             }
             ExecTarget::DpuCpu => {
                 self.platform
@@ -542,6 +568,47 @@ mod tests {
                 .iter()
                 .any(|(k, v)| k.starts_with("ce_jobs{") && *v == 1),
             "ce_jobs counter missing: {counters:?}"
+        );
+    }
+
+    #[test]
+    fn accel_offline_falls_back_to_dpu_cpu_when_scheduled() {
+        let guard = dpdpu_faults::SessionGuard::new(
+            dpdpu_faults::FaultPlan::new(21).accel_offline(0, u64::MAX),
+        );
+        let mut sim = Sim::new();
+        let ce = bf2_engine();
+        let ce2 = ce.clone();
+        sim.spawn(async move {
+            let data = Bytes::from(dpdpu_kernels::text::natural_text(100_000, 1));
+            // Scheduled placement never even considers the dead ASIC...
+            let out = ce2
+                .run(
+                    &KernelOp::Compress,
+                    &KernelInput::Bytes(data.clone()),
+                    Placement::Scheduled,
+                )
+                .await
+                .unwrap();
+            assert!(matches!(out, KernelOutput::Bytes(_)));
+            // ...and specified execution surfaces the outage.
+            let err = ce2
+                .run(
+                    &KernelOp::Compress,
+                    &KernelInput::Bytes(data),
+                    Placement::Specified(ExecTarget::DpuAsic),
+                )
+                .await
+                .unwrap_err();
+            assert_eq!(err, KernelError::TargetUnavailable(ExecTarget::DpuAsic));
+        });
+        sim.run();
+        drop(guard);
+        assert_eq!(ce.asic_jobs.get(), 0, "offline ASIC must run nothing");
+        assert_eq!(
+            ce.dpu_jobs.get() + ce.host_jobs.get(),
+            1,
+            "the scheduled job must complete on a CPU"
         );
     }
 

@@ -213,8 +213,11 @@ impl Scheduler {
 
     fn dispatch(self: &Rc<Self>, pending: Pending) {
         let spec = pending.spec;
+        // Injected DPU overload counts like a saturated queue: the same
+        // migration path that absorbs organic load absorbs the fault.
         let migrate = self.policy != SchedPolicy::DpuOnly
-            && self.dpu.queue_len() >= MIGRATE_QUEUE_FACTOR * self.dpu.cores();
+            && (dpdpu_faults::dpu_overloaded()
+                || self.dpu.queue_len() >= MIGRATE_QUEUE_FACTOR * self.dpu.cores());
         let (pool, target, counter) = if migrate {
             (self.host.clone(), ExecTarget::HostCpu, &self.on_host)
         } else {

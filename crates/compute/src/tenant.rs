@@ -113,7 +113,9 @@ impl AccelShares {
 
     async fn dispatch_loop(self: Rc<Self>) {
         while let Some((tenant, job)) = self.pick() {
-            self.accel.process(job.bytes).await;
+            // An offline engine simply contributes no timing; the job's
+            // completion still fires so fairness accounting stays whole.
+            let _ = self.accel.process(job.bytes).await;
             self.tenant_bytes.borrow_mut()[tenant] += job.bytes;
             let _ = job.done.send(dpdpu_des::now());
         }

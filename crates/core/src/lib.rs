@@ -15,10 +15,14 @@
 //! result to the client"), and the sproc registry implementing Figure 6's
 //! programming model.
 
+mod builder;
+mod error;
 mod report;
 mod runtime;
 mod sproc;
 
+pub use builder::DpdpuBuilder;
+pub use error::DpdpuError;
 pub use report::Report;
 pub use runtime::Dpdpu;
 pub use sproc::{SprocError, SprocRegistry};

@@ -80,7 +80,7 @@ mod tests {
         sim.spawn(async {
             let p = Platform::default_bf2();
             p.host_cpu.exec(3_000_000).await; // 1 ms on one host core
-            p.ssd.read(8_192).await;
+            p.ssd.read(8_192).await.unwrap();
             let elapsed = dpdpu_des::now();
             let r = Report::collect(&p, elapsed);
             assert!(r.host_cores_consumed > 0.0);

@@ -4,11 +4,14 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 
-use dpdpu_compute::{ComputeEngine, KernelInput, KernelOp, KernelOutput, Placement};
+use dpdpu_compute::{ComputeEngine, KernelInput, KernelOp, KernelOutput, Placement, Scheduler};
+use dpdpu_faults::FaultSession;
 use dpdpu_hw::Platform;
 use dpdpu_net::tcp::TcpSender;
-use dpdpu_storage::{BlockDevice, ExtentFs, FileId, FileService, FsError, HostFrontEnd};
+use dpdpu_storage::{FileId, FileService, HostFrontEnd};
 
+use crate::builder::DpdpuBuilder;
+use crate::error::DpdpuError;
 use crate::report::Report;
 use crate::sproc::SprocRegistry;
 
@@ -22,38 +25,25 @@ pub struct Dpdpu {
     pub storage: Rc<FileService>,
     /// Storage Engine: the host-side POSIX-like front end.
     pub front_end: Rc<HostFrontEnd>,
+    /// Sproc scheduler over the platform's core pools.
+    pub scheduler: Rc<Scheduler>,
     /// Registered sprocs.
     pub sprocs: SprocRegistry,
+    /// The fault session installed at boot, if the builder was given a
+    /// plan (handle for injection counts and reports).
+    pub faults: Option<Rc<FaultSession>>,
 }
 
 impl Dpdpu {
-    /// Boots DPDPU on a platform: formats the file system, starts the DPU
-    /// file service and its host front end, and initialises the CE.
-    /// Must be called inside a running simulation (pollers are spawned).
+    /// Boots DPDPU on a platform with default policies. Thin shim over
+    /// [`DpdpuBuilder`]; must be called inside a running simulation.
     pub fn start(platform: Rc<Platform>) -> Rc<Self> {
-        if let Some(t) = dpdpu_telemetry::Telemetry::current() {
-            platform.register_telemetry(&t);
-        }
-        let fs = ExtentFs::format(BlockDevice::new(platform.ssd.clone(), 1 << 24));
-        let storage = FileService::new(fs, platform.dpu_cpu.clone(), platform.dpu_ssd_pcie.clone());
-        let front_end = HostFrontEnd::new(
-            platform.host_cpu.clone(),
-            platform.host_dpu_pcie.clone(),
-            storage.clone(),
-        );
-        let compute = ComputeEngine::new(platform.clone());
-        Rc::new(Dpdpu {
-            platform,
-            compute,
-            storage,
-            front_end,
-            sprocs: SprocRegistry::new(),
-        })
+        DpdpuBuilder::new().platform(platform).boot()
     }
 
     /// Boots on the default EPYC + BlueField-2 platform.
     pub fn start_default() -> Rc<Self> {
-        Dpdpu::start(Platform::default_bf2())
+        DpdpuBuilder::new().boot()
     }
 
     /// The §4 composition example: read pages from SSD (Storage Engine),
@@ -67,7 +57,7 @@ impl Dpdpu {
         file: FileId,
         pages: &[(u64, u64)], // (offset, len)
         client: &TcpSender,
-    ) -> Result<(u64, u64), FsError> {
+    ) -> Result<(u64, u64), DpdpuError> {
         let mut handles = Vec::with_capacity(pages.len());
         for &(offset, len) in pages {
             let this = self.clone();
@@ -76,7 +66,8 @@ impl Dpdpu {
                 // Storage Engine: async read.
                 let data = this.storage.read(file, offset, len).await?;
                 // Compute Engine: compression, scheduled placement
-                // (ASIC when present — Figure 6's fast path).
+                // (ASIC when present — Figure 6's fast path; under an
+                // accelerator outage the engine falls back to cores).
                 let out = this
                     .compute
                     .run(
@@ -84,15 +75,14 @@ impl Dpdpu {
                         &KernelInput::Bytes(Bytes::from(data)),
                         Placement::Scheduled,
                     )
-                    .await
-                    .expect("compress kernel cannot fail");
+                    .await?;
                 let KernelOutput::Bytes(compressed) = out else {
                     unreachable!("compress returns bytes")
                 };
                 let n = compressed.len() as u64;
                 // Network Engine: async send.
                 client.send(compressed);
-                Ok::<(u64, u64), FsError>((len, n))
+                Ok::<(u64, u64), DpdpuError>((len, n))
             }));
         }
         let mut input = 0;
@@ -112,20 +102,26 @@ impl Dpdpu {
     /// closure → runtime) that keeps the Storage Engine's pollers alive
     /// forever and prevents the simulation from quiescing. The registry
     /// holds only a `Weak` and upgrades it per invocation.
-    pub fn register_sproc<F, Fut>(
-        self: &Rc<Self>,
-        name: &str,
-        f: F,
-    ) -> Result<(), crate::sproc::SprocError>
+    pub fn register_sproc<F, Fut>(self: &Rc<Self>, name: &str, f: F) -> Result<(), DpdpuError>
     where
         F: Fn(Rc<Dpdpu>, Bytes) -> Fut + 'static,
         Fut: std::future::Future<Output = Bytes> + 'static,
     {
         let weak = Rc::downgrade(self);
-        self.sprocs.register(name, move |arg: Bytes| {
-            let rt = weak.upgrade().expect("runtime dropped while sproc invoked");
-            f(rt, arg)
-        })
+        self.sprocs
+            .register(name, move |arg: Bytes| {
+                let rt = weak.upgrade().expect("runtime dropped while sproc invoked");
+                f(rt, arg)
+            })
+            .map_err(DpdpuError::from)
+    }
+
+    /// Invokes a registered sproc by name with request bytes.
+    pub async fn invoke_sproc(&self, name: &str, arg: Bytes) -> Result<Bytes, DpdpuError> {
+        self.sprocs
+            .invoke(name, arg)
+            .await
+            .map_err(DpdpuError::from)
     }
 
     /// Snapshot of resource consumption at `elapsed` virtual time.

@@ -10,7 +10,11 @@
 
 use std::cell::Cell;
 
-use dpdpu_des::Counter;
+use dpdpu_des::{Counter, Time};
+
+/// How long a DPU-path fault keeps the director degraded (routing
+/// everything to the host) before the DPU path is tried again.
+pub const DEGRADE_PENALTY_NS: Time = 500_000;
 
 /// Where a request is served.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,14 +26,26 @@ pub enum Route {
 }
 
 /// Directs classified requests and keeps the split observable.
+///
+/// Besides the application-level classification, the director is the
+/// degradation point (graceful degradation, §9): a recorded DPU-path
+/// fault opens a circuit breaker for [`DEGRADE_PENALTY_NS`], and an
+/// injected DPU-overload window reads as degraded too — in either case
+/// requests flow to the host, which can always serve them.
 pub struct TrafficDirector {
     /// Requests routed to the DPU.
     pub to_dpu: Counter,
     /// Requests routed to the host.
     pub to_host: Counter,
+    /// Requests rerouted to the host by degradation (fault or overload)
+    /// that classification alone would have kept on the DPU.
+    pub degraded: Counter,
     /// Hard switch: when false everything goes to the host (the legacy
     /// baseline DDS is compared against).
     offload_enabled: Cell<bool>,
+    /// Virtual time until which the DPU path is considered faulty.
+    degraded_until: Cell<Time>,
+    penalty_ns: Time,
 }
 
 impl Default for TrafficDirector {
@@ -45,15 +61,44 @@ impl TrafficDirector {
         TrafficDirector {
             to_dpu: Counter::new(),
             to_host: Counter::new(),
+            degraded: Counter::new(),
             offload_enabled: Cell::new(offload_enabled),
+            degraded_until: Cell::new(0),
+            penalty_ns: DEGRADE_PENALTY_NS,
         }
+    }
+
+    /// Records a DPU-path failure: the breaker opens and requests route
+    /// to the host for the penalty window.
+    pub fn record_dpu_fault(&self) {
+        if let Some(now) = dpdpu_des::try_now() {
+            self.degraded_until.set(now + self.penalty_ns);
+        }
+        if let Some(c) = dpdpu_telemetry::counter("dds_degraded", &[("cause", "dpu_fault")]) {
+            c.inc();
+        }
+    }
+
+    /// True while the DPU path is degraded (open breaker or injected
+    /// overload window). Outside a simulation this is always false.
+    pub fn is_degraded(&self) -> bool {
+        let breaker_open = match dpdpu_des::try_now() {
+            Some(now) => now < self.degraded_until.get(),
+            None => false,
+        };
+        breaker_open || dpdpu_faults::dpu_overloaded()
     }
 
     /// Applies the classification, recording the outcome. `wants_dpu` is
     /// the application/UDF-level judgement (e.g. "index entry resident on
-    /// DPU", "page clean").
+    /// DPU", "page clean"); degradation overrides it toward the host.
     pub fn route(&self, wants_dpu: bool) -> Route {
         if self.offload_enabled.get() && wants_dpu {
+            if self.is_degraded() {
+                self.degraded.inc();
+                self.to_host.inc();
+                return Route::Host;
+            }
             self.to_dpu.inc();
             Route::Dpu
         } else {
@@ -104,5 +149,38 @@ mod tests {
     #[test]
     fn empty_director_fraction_is_zero() {
         assert_eq!(TrafficDirector::default().offload_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fault_opens_breaker_then_recovers() {
+        let mut sim = dpdpu_des::Sim::new();
+        sim.spawn(async {
+            let d = TrafficDirector::new(true);
+            assert_eq!(d.route(true), Route::Dpu);
+            d.record_dpu_fault();
+            assert!(d.is_degraded());
+            assert_eq!(d.route(true), Route::Host, "breaker reroutes to host");
+            assert_eq!(d.degraded.get(), 1);
+            dpdpu_des::sleep(DEGRADE_PENALTY_NS + 1).await;
+            assert!(!d.is_degraded());
+            assert_eq!(d.route(true), Route::Dpu, "breaker closes after penalty");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn overload_window_degrades_routing() {
+        let guard =
+            dpdpu_faults::SessionGuard::new(dpdpu_faults::FaultPlan::new(2).dpu_overload(0, 1_000));
+        let mut sim = dpdpu_des::Sim::new();
+        sim.spawn(async {
+            let d = TrafficDirector::new(true);
+            assert_eq!(d.route(true), Route::Host);
+            assert_eq!(d.degraded.get(), 1);
+            dpdpu_des::sleep(2_000).await;
+            assert_eq!(d.route(true), Route::Dpu);
+        });
+        sim.run();
+        drop(guard);
     }
 }

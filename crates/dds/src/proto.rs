@@ -134,6 +134,32 @@ impl Request {
     }
 }
 
+/// Failure class a server can report in a [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The storage layer failed on both serving paths.
+    Storage,
+    /// The server cannot currently serve this class of request.
+    Unavailable,
+}
+
+impl ErrorCode {
+    fn to_wire(self) -> u8 {
+        match self {
+            ErrorCode::Storage => 1,
+            ErrorCode::Unavailable => 2,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self, ProtoError> {
+        match b {
+            1 => Ok(ErrorCode::Storage),
+            2 => Ok(ErrorCode::Unavailable),
+            other => Err(ProtoError::BadTag(other)),
+        }
+    }
+}
+
 /// A server response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -154,6 +180,14 @@ pub enum Response {
         /// Correlated request id.
         req_id: u64,
     },
+    /// The server failed to execute the request (a terminal answer: the
+    /// client stops waiting and surfaces a typed error or retries).
+    Error {
+        /// Correlated request id.
+        req_id: u64,
+        /// Failure class.
+        code: ErrorCode,
+    },
 }
 
 impl Response {
@@ -162,7 +196,8 @@ impl Response {
         match self {
             Response::Data { req_id, .. }
             | Response::NotFound { req_id }
-            | Response::Ok { req_id } => *req_id,
+            | Response::Ok { req_id }
+            | Response::Error { req_id, .. } => *req_id,
         }
     }
 
@@ -184,6 +219,11 @@ impl Response {
                 b.put_u8(3);
                 b.put_u64_le(*req_id);
             }
+            Response::Error { req_id, code } => {
+                b.put_u8(4);
+                b.put_u64_le(*req_id);
+                b.put_u8(code.to_wire());
+            }
         }
         b.freeze()
     }
@@ -202,8 +242,56 @@ impl Response {
             }
             2 => Ok(Response::NotFound { req_id: c.u64()? }),
             3 => Ok(Response::Ok { req_id: c.u64()? }),
+            4 => {
+                let req_id = c.u64()?;
+                let code = ErrorCode::from_wire(c.u8()?)?;
+                Ok(Response::Error { req_id, code })
+            }
             t => Err(ProtoError::BadTag(t)),
         }
+    }
+}
+
+/// Client-side robustness knobs: per-attempt timeout, exponential
+/// backoff, attempt limit, and an overall deadline.
+///
+/// Defaults are sized for the simulated rack: request RTTs run
+/// 100–200 µs and the TCP retransmission timeout is 1 ms, so each
+/// attempt waits 2 ms (beyond one RTO), backoff starts at 200 µs and
+/// doubles to a 5 ms cap, and the whole request gives up at 50 ms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts before reporting `RetriesExhausted` (including the
+    /// first; minimum 1).
+    pub max_attempts: u32,
+    /// Per-attempt response timeout in virtual ns.
+    pub request_timeout_ns: u64,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff_ns: u64,
+    /// Backoff ceiling.
+    pub max_backoff_ns: u64,
+    /// Overall deadline across attempts and backoffs.
+    pub deadline_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            request_timeout_ns: 2_000_000,
+            base_backoff_ns: 200_000,
+            max_backoff_ns: 5_000_000,
+            deadline_ns: 50_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to sleep before retry number `attempt` (1-based: the
+    /// backoff taken after the first failed attempt is `backoff_ns(1)`).
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(20);
+        (self.base_backoff_ns << shift).min(self.max_backoff_ns)
     }
 }
 
@@ -354,10 +442,44 @@ mod tests {
             },
             Response::NotFound { req_id: 2 },
             Response::Ok { req_id: 3 },
+            Response::Error {
+                req_id: 4,
+                code: ErrorCode::Storage,
+            },
+            Response::Error {
+                req_id: 5,
+                code: ErrorCode::Unavailable,
+            },
         ];
         for r in cases {
             assert_eq!(Response::decode(&r.encode()).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn error_response_rejects_unknown_code() {
+        let mut wire = Response::Error {
+            req_id: 9,
+            code: ErrorCode::Storage,
+        }
+        .encode()
+        .to_vec();
+        *wire.last_mut().unwrap() = 77;
+        assert_eq!(Response::decode(&wire), Err(ProtoError::BadTag(77)));
+    }
+
+    #[test]
+    fn retry_backoff_doubles_to_cap() {
+        let p = RetryPolicy {
+            base_backoff_ns: 100,
+            max_backoff_ns: 450,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff_ns(1), 100);
+        assert_eq!(p.backoff_ns(2), 200);
+        assert_eq!(p.backoff_ns(3), 400);
+        assert_eq!(p.backoff_ns(4), 450);
+        assert_eq!(p.backoff_ns(40), 450, "shift must saturate, not wrap");
     }
 
     #[test]

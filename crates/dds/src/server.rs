@@ -14,15 +14,16 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 
-use dpdpu_des::{oneshot, spawn, Counter, OneshotSender};
+use dpdpu_core::DpdpuError;
+use dpdpu_des::{oneshot, spawn, timeout, Counter, OneshotSender};
 use dpdpu_hw::{costs, Platform};
 use dpdpu_net::tcp::{TcpReceiver, TcpSender};
-use dpdpu_storage::{BlockDevice, ExtentFs, FileService};
+use dpdpu_storage::{BlockDevice, ExtentFs, FileService, FsError};
 
 use crate::director::{Route, TrafficDirector};
 use crate::kv::{KvStore, Residency};
 use crate::pageserver::PageServer;
-use crate::proto::{Request, Response};
+use crate::proto::{ErrorCode, Request, Response, RetryPolicy};
 
 /// DPU cycles to parse one request and consult the director.
 const DPU_PARSE_CYCLES: u64 = 800;
@@ -75,6 +76,12 @@ pub struct Dds {
     pub served_dpu: Counter,
     /// Requests served on the host path.
     pub served_host: Counter,
+    /// Requests whose DPU execution failed and were re-run on the host
+    /// (graceful degradation; also opens the director's breaker).
+    pub host_fallbacks: Counter,
+    /// Requests that failed on both paths and were answered with
+    /// [`Response::Error`].
+    pub exec_errors: Counter,
 }
 
 impl Dds {
@@ -113,6 +120,8 @@ impl Dds {
             pages,
             served_dpu: Counter::new(),
             served_host: Counter::new(),
+            host_fallbacks: Counter::new(),
+            exec_errors: Counter::new(),
         })
     }
 
@@ -153,51 +162,93 @@ impl Dds {
         }
         match route {
             Route::Dpu => {
-                self.served_dpu.inc();
                 self.platform.dpu_cpu.exec(DPU_APP_CYCLES).await;
-                self.exec(req).await
+                match self.try_exec(&req).await {
+                    Ok(resp) => {
+                        self.served_dpu.inc();
+                        resp
+                    }
+                    Err(_) => {
+                        // The DPU path failed even after the storage
+                        // layer's own retries: open the director's
+                        // breaker and re-execute on the host, which can
+                        // always serve (graceful degradation, §9).
+                        self.director.record_dpu_fault();
+                        self.host_fallbacks.inc();
+                        if let Some(c) =
+                            dpdpu_telemetry::counter("dds_fallbacks", &[("kind", req_kind)])
+                        {
+                            c.inc();
+                        }
+                        self.host_exec(&req).await
+                    }
+                }
             }
-            Route::Host => {
-                self.served_host.inc();
-                let req_bytes = req.encode().len() as u64;
-                // NIC→host handoff, kernel network stack, app logic.
-                self.platform.host_dpu_pcie.dma(req_bytes).await;
-                dpdpu_des::sleep(costs::HOST_KERNEL_NET_NS).await;
-                self.platform.host_cpu.exec(HOST_APP_CYCLES).await;
-                let resp = self.exec(req).await;
-                // Response descends back through the DPU.
-                self.platform
-                    .host_dpu_pcie
-                    .dma(resp.encode().len() as u64)
-                    .await;
-                resp
-            }
+            Route::Host => self.host_exec(&req).await,
         }
+    }
+
+    /// Serves one request on the host path: PCIe crossing, kernel network
+    /// stack, host application logic, execution, PCIe return. A storage
+    /// failure here is terminal and becomes a [`Response::Error`] — the
+    /// client always gets an answer.
+    async fn host_exec(&self, req: &Request) -> Response {
+        self.served_host.inc();
+        let req_bytes = req.encode().len() as u64;
+        // NIC→host handoff, kernel network stack, app logic.
+        self.platform.host_dpu_pcie.dma(req_bytes).await;
+        dpdpu_des::sleep(costs::HOST_KERNEL_NET_NS).await;
+        self.platform.host_cpu.exec(HOST_APP_CYCLES).await;
+        let resp = match self.try_exec(req).await {
+            Ok(resp) => resp,
+            Err(_) => {
+                self.exec_errors.inc();
+                if let Some(c) = dpdpu_telemetry::counter("dds_exec_errors", &[]) {
+                    c.inc();
+                }
+                Response::Error {
+                    req_id: req.req_id(),
+                    code: ErrorCode::Storage,
+                }
+            }
+        };
+        // Response descends back through the DPU.
+        self.platform
+            .host_dpu_pcie
+            .dma(resp.encode().len() as u64)
+            .await;
+        resp
     }
 
     /// Executes the application operation (costs inside the KV / page
     /// server / file service layers are charged by those layers).
-    async fn exec(&self, req: Request) -> Response {
-        match req {
-            Request::KvGet { req_id, key } => match self.kv.get(key).await {
-                Ok(Some(data)) => Response::Data { req_id, data },
-                Ok(None) => Response::NotFound { req_id },
-                Err(e) => panic!("kv read failed: {e}"),
+    /// Storage failures — e.g. injected SSD errors that survive the file
+    /// service's retries — surface as `Err` for the caller to degrade on.
+    async fn try_exec(&self, req: &Request) -> Result<Response, FsError> {
+        Ok(match req {
+            Request::KvGet { req_id, key } => match self.kv.get(*key).await? {
+                Some(data) => Response::Data {
+                    req_id: *req_id,
+                    data,
+                },
+                None => Response::NotFound { req_id: *req_id },
             },
             Request::KvPut { req_id, key, value } => {
-                self.kv.put(key, &value).await.expect("kv put failed");
-                Response::Ok { req_id }
+                self.kv.put(*key, value).await?;
+                Response::Ok { req_id: *req_id }
             }
             Request::GetPage { req_id, page_id } => {
-                let data = if self.pages.is_clean(page_id) {
-                    self.pages.get_page_dpu(page_id).await
+                let data = if self.pages.is_clean(*page_id) {
+                    self.pages.get_page_dpu(*page_id).await?
                 } else {
                     self.pages
-                        .get_page_host(page_id, &self.platform.host_cpu)
-                        .await
+                        .get_page_host(*page_id, &self.platform.host_cpu)
+                        .await?
+                };
+                Response::Data {
+                    req_id: *req_id,
+                    data,
                 }
-                .expect("page read failed");
-                Response::Data { req_id, data }
             }
             Request::AppendLog {
                 req_id,
@@ -206,12 +257,11 @@ impl Dds {
                 delta,
             } => {
                 self.pages
-                    .append_log(page_id, offset, delta)
-                    .await
-                    .expect("log append failed");
-                Response::Ok { req_id }
+                    .append_log(*page_id, *offset, delta.clone())
+                    .await?;
+                Response::Ok { req_id: *req_id }
             }
-        }
+        })
     }
 
     /// Serves requests from a TCP stream, answering on another. Each
@@ -239,10 +289,23 @@ impl Dds {
 }
 
 /// A client that correlates responses by request id over a TCP pair.
+///
+/// Every call runs under a [`RetryPolicy`]: a per-attempt response
+/// timeout, exponential backoff between attempts, an attempt limit, and
+/// an overall deadline. A request therefore always reaches a terminal
+/// state — a response, a typed [`DpdpuError`], or deadline expiry — even
+/// when the network drops frames or the server answers with an error.
 pub struct DdsClient {
     tx: TcpSender,
     pending: Rc<RefCell<HashMap<u64, OneshotSender<Response>>>>,
     next_id: std::cell::Cell<u64>,
+    policy: std::cell::Cell<RetryPolicy>,
+    /// Attempts re-sent after a timeout or a server-reported error.
+    pub retries: Counter,
+    /// Per-attempt response timeouts observed.
+    pub timeouts: Counter,
+    /// Calls that surfaced a terminal error to the caller.
+    pub failures: Counter,
 }
 
 impl DdsClient {
@@ -264,13 +327,27 @@ impl DdsClient {
                         }
                     }
                 }
+                // Stream closed: cancel every waiter so no call hangs
+                // forever — dropping the senders resolves the paired
+                // receivers with `Cancelled` → `ConnectionClosed`.
+                pending.borrow_mut().clear();
             });
         }
         Rc::new(DdsClient {
             tx,
             pending,
             next_id: std::cell::Cell::new(1),
+            policy: std::cell::Cell::new(RetryPolicy::default()),
+            retries: Counter::new(),
+            timeouts: Counter::new(),
+            failures: Counter::new(),
         })
+    }
+
+    /// Replaces the retry policy used by [`DdsClient::call`] and the
+    /// typed helpers.
+    pub fn set_policy(&self, policy: RetryPolicy) {
+        self.policy.set(policy);
     }
 
     fn fresh_id(&self) -> u64 {
@@ -279,65 +356,129 @@ impl DdsClient {
         id
     }
 
-    /// Issues one request and waits for its response.
-    pub async fn call(&self, build: impl FnOnce(u64) -> Request) -> Response {
+    /// Issues one request under the client's default [`RetryPolicy`].
+    pub async fn call(&self, build: impl Fn(u64) -> Request) -> Result<Response, DpdpuError> {
+        self.call_with(self.policy.get(), build).await
+    }
+
+    /// Issues one request under an explicit policy. Retries re-send with
+    /// the same request id, so a late response to an earlier attempt
+    /// still completes the call (and duplicate responses are dropped by
+    /// the demultiplexer).
+    pub async fn call_with(
+        &self,
+        policy: RetryPolicy,
+        build: impl Fn(u64) -> Request,
+    ) -> Result<Response, DpdpuError> {
         let req_id = self.fresh_id();
-        let req = build(req_id);
-        debug_assert_eq!(req.req_id(), req_id, "builder must use the given id");
-        let (otx, orx) = oneshot();
-        self.pending.borrow_mut().insert(req_id, otx);
-        self.tx.send(crate::proto::frame(&req.encode()));
-        orx.await.expect("server response lost")
+        let start = dpdpu_des::now();
+        let mut attempt = 1u32;
+        loop {
+            let elapsed = dpdpu_des::now() - start;
+            if elapsed >= policy.deadline_ns {
+                self.failures.inc();
+                return Err(DpdpuError::Timeout {
+                    elapsed_ns: elapsed,
+                });
+            }
+            let req = build(req_id);
+            debug_assert_eq!(req.req_id(), req_id, "builder must use the given id");
+            let wait = policy.request_timeout_ns.min(policy.deadline_ns - elapsed);
+            let (otx, orx) = oneshot();
+            self.pending.borrow_mut().insert(req_id, otx);
+            self.tx.send(crate::proto::frame(&req.encode()));
+            match timeout(wait, orx).await {
+                Ok(Ok(Response::Error { code, .. })) => {
+                    // Terminal server answer; retry in case the fault
+                    // was transient, error out once attempts run dry.
+                    if attempt >= policy.max_attempts {
+                        self.failures.inc();
+                        return Err(match code {
+                            ErrorCode::Storage => DpdpuError::Remote("storage error"),
+                            ErrorCode::Unavailable => DpdpuError::Unavailable("dds server"),
+                        });
+                    }
+                }
+                Ok(Ok(resp)) => return Ok(resp),
+                Ok(Err(_cancelled)) => {
+                    // Demultiplexer dropped our waiter: stream closed.
+                    self.failures.inc();
+                    return Err(DpdpuError::ConnectionClosed);
+                }
+                Err(_elapsed) => {
+                    self.pending.borrow_mut().remove(&req_id);
+                    self.timeouts.inc();
+                    if let Some(c) = dpdpu_telemetry::counter("dds_client_timeouts", &[]) {
+                        c.inc();
+                    }
+                    if attempt >= policy.max_attempts {
+                        self.failures.inc();
+                        return Err(DpdpuError::RetriesExhausted { attempts: attempt });
+                    }
+                }
+            }
+            if let Some(c) = dpdpu_telemetry::counter("dds_client_retries", &[]) {
+                c.inc();
+            }
+            self.retries.inc();
+            dpdpu_des::sleep(policy.backoff_ns(attempt)).await;
+            attempt += 1;
+        }
     }
 
     /// KV get.
-    pub async fn kv_get(&self, key: u64) -> Option<Bytes> {
-        match self.call(|req_id| Request::KvGet { req_id, key }).await {
-            Response::Data { data, .. } => Some(data),
-            Response::NotFound { .. } => None,
-            Response::Ok { .. } => unreachable!("get never returns Ok"),
+    pub async fn kv_get(&self, key: u64) -> Result<Option<Bytes>, DpdpuError> {
+        match self.call(|req_id| Request::KvGet { req_id, key }).await? {
+            Response::Data { data, .. } => Ok(Some(data)),
+            Response::NotFound { .. } => Ok(None),
+            other => unreachable!("unexpected get response {other:?}"),
         }
     }
 
     /// KV put.
-    pub async fn kv_put(&self, key: u64, value: Bytes) {
+    pub async fn kv_put(&self, key: u64, value: Bytes) -> Result<(), DpdpuError> {
         match self
             .call(|req_id| Request::KvPut {
                 req_id,
                 key,
                 value: value.clone(),
             })
-            .await
+            .await?
         {
-            Response::Ok { .. } => {}
-            other => panic!("unexpected put response {other:?}"),
+            Response::Ok { .. } => Ok(()),
+            other => unreachable!("unexpected put response {other:?}"),
         }
     }
 
     /// GetPage.
-    pub async fn get_page(&self, page_id: u64) -> Bytes {
+    pub async fn get_page(&self, page_id: u64) -> Result<Bytes, DpdpuError> {
         match self
             .call(|req_id| Request::GetPage { req_id, page_id })
-            .await
+            .await?
         {
-            Response::Data { data, .. } => data,
-            other => panic!("unexpected page response {other:?}"),
+            Response::Data { data, .. } => Ok(data),
+            other => unreachable!("unexpected page response {other:?}"),
         }
     }
 
     /// Ship one WAL record.
-    pub async fn append_log(&self, page_id: u64, offset: u32, delta: Bytes) {
-        let resp = self
+    pub async fn append_log(
+        &self,
+        page_id: u64,
+        offset: u32,
+        delta: Bytes,
+    ) -> Result<(), DpdpuError> {
+        match self
             .call(|req_id| Request::AppendLog {
                 req_id,
                 page_id,
                 offset,
                 delta: delta.clone(),
             })
-            .await;
-        match resp {
-            Response::Ok { .. } => {}
-            other => panic!("unexpected log response {other:?}"),
+            .await?
+        {
+            Response::Ok { .. } => Ok(()),
+            other => unreachable!("unexpected log response {other:?}"),
         }
     }
 }
@@ -401,17 +542,23 @@ mod tests {
     fn kv_end_to_end_over_the_network() {
         run_async(async {
             let (_dds, client, _p) = testbed(DdsConfig::default()).await;
-            client.kv_put(1, Bytes::from_static(b"value-1")).await;
-            client.kv_put(2, Bytes::from_static(b"value-2")).await;
+            client
+                .kv_put(1, Bytes::from_static(b"value-1"))
+                .await
+                .unwrap();
+            client
+                .kv_put(2, Bytes::from_static(b"value-2"))
+                .await
+                .unwrap();
             assert_eq!(
-                client.kv_get(1).await.unwrap(),
+                client.kv_get(1).await.unwrap().unwrap(),
                 Bytes::from_static(b"value-1")
             );
             assert_eq!(
-                client.kv_get(2).await.unwrap(),
+                client.kv_get(2).await.unwrap().unwrap(),
                 Bytes::from_static(b"value-2")
             );
-            assert_eq!(client.kv_get(42).await, None);
+            assert_eq!(client.kv_get(42).await.unwrap(), None);
         });
     }
 
@@ -421,16 +568,17 @@ mod tests {
             let (dds, client, _p) = testbed(DdsConfig::default()).await;
             client
                 .append_log(3, 16, Bytes::from_static(b"wal-bytes"))
-                .await;
+                .await
+                .unwrap();
             assert!(!dds.pages.is_clean(3));
             // Pages are larger than one TCP segment: this exercises the
             // length-prefixed framing layer.
-            let page = client.get_page(3).await;
+            let page = client.get_page(3).await.unwrap();
             assert_eq!(page.len(), 8_192);
             assert_eq!(&page[16..25], b"wal-bytes");
             // Host replayed it; now it's clean and DPU-servable.
             assert!(dds.pages.is_clean(3));
-            let page2 = client.get_page(3).await;
+            let page2 = client.get_page(3).await.unwrap();
             assert_eq!(page2, page);
         });
     }
@@ -441,8 +589,8 @@ mod tests {
             let (_dds, client, _p) = testbed(DdsConfig::default()).await;
             // Value bigger than several segments.
             let value: Vec<u8> = (0..40_000u32).map(|i| (i % 249) as u8).collect();
-            client.kv_put(9, Bytes::from(value.clone())).await;
-            assert_eq!(client.kv_get(9).await.unwrap(), Bytes::from(value));
+            client.kv_put(9, Bytes::from(value.clone())).await.unwrap();
+            assert_eq!(client.kv_get(9).await.unwrap().unwrap(), Bytes::from(value));
         });
     }
 
@@ -450,9 +598,9 @@ mod tests {
     fn reads_route_dpu_writes_route_host() {
         run_async(async {
             let (dds, client, _p) = testbed(DdsConfig::default()).await;
-            client.kv_put(7, Bytes::from_static(b"x")).await; // host
-            client.kv_get(7).await; // dpu (index resident)
-            client.kv_get(7).await; // dpu
+            client.kv_put(7, Bytes::from_static(b"x")).await.unwrap(); // host
+            client.kv_get(7).await.unwrap(); // dpu (index resident)
+            client.kv_get(7).await.unwrap(); // dpu
             assert_eq!(dds.served_host.get(), 1);
             assert_eq!(dds.served_dpu.get(), 2);
         });
@@ -466,9 +614,9 @@ mod tests {
                 ..DdsConfig::default()
             };
             let (dds, client, _p) = testbed(config).await;
-            client.kv_put(1, Bytes::from_static(b"v")).await;
-            client.kv_get(1).await;
-            client.get_page(0).await;
+            client.kv_put(1, Bytes::from_static(b"v")).await.unwrap();
+            client.kv_get(1).await.unwrap();
+            client.get_page(0).await.unwrap();
             assert_eq!(dds.served_dpu.get(), 0);
             assert_eq!(dds.served_host.get(), 3);
         });
@@ -488,12 +636,15 @@ mod tests {
                 };
                 let (_dds, client, p) = testbed(config).await;
                 for k in 0..32u64 {
-                    client.kv_put(k, Bytes::from(vec![k as u8; 256])).await;
+                    client
+                        .kv_put(k, Bytes::from(vec![k as u8; 256]))
+                        .await
+                        .unwrap();
                 }
                 let t0 = dpdpu_des::now();
                 p.host_cpu.reset_stats();
                 for i in 0..512u64 {
-                    client.kv_get(i % 32).await;
+                    client.kv_get(i % 32).await.unwrap();
                 }
                 let elapsed = (dpdpu_des::now() - t0).max(1);
                 out2.set(p.host_cpu.busy_ns() as f64 / elapsed as f64);
@@ -519,17 +670,17 @@ mod tests {
             };
             let (dds, client, p) = testbed(config).await;
             // Warm one hot page.
-            client.get_page(5).await;
+            client.get_page(5).await.unwrap();
             let reads_before = p.ssd.reads.get();
             let t0 = dpdpu_des::now();
             for _ in 0..8 {
-                client.get_page(5).await;
+                client.get_page(5).await.unwrap();
             }
             let warm = (dpdpu_des::now() - t0) / 8;
             assert_eq!(p.ssd.reads.get(), reads_before, "hot page stays cached");
             // Compare against an uncached page's latency.
             let t1 = dpdpu_des::now();
-            client.get_page(99).await;
+            client.get_page(99).await.unwrap();
             let cold = dpdpu_des::now() - t1;
             assert!(
                 warm < cold,
@@ -548,16 +699,98 @@ mod tests {
             };
             let (dds, client, _p) = testbed(config).await;
             for k in 0..32u64 {
-                client.kv_put(k, Bytes::from_static(b"v")).await;
+                client.kv_put(k, Bytes::from_static(b"v")).await.unwrap();
             }
             for k in 0..32u64 {
-                client.kv_get(k).await;
+                client.kv_get(k).await.unwrap();
             }
             // 8 keys fit on the DPU; the rest of the gets go to the host.
             assert_eq!(dds.served_dpu.get(), 8);
             assert_eq!(dds.served_host.get(), 32 + 24);
             let (dpu_keys, host_keys) = dds.kv.partition_sizes();
             assert_eq!((dpu_keys, host_keys), (8, 24));
+        });
+    }
+
+    #[test]
+    fn dpu_storage_fault_degrades_to_host() {
+        let _guard = dpdpu_faults::SessionGuard::new(dpdpu_faults::FaultPlan::new(7));
+        run_async(async {
+            let (dds, client, _p) = testbed(DdsConfig::default()).await;
+            client.kv_put(1, Bytes::from_static(b"v")).await.unwrap(); // host
+            assert_eq!(
+                client.kv_get(1).await.unwrap().unwrap(),
+                Bytes::from_static(b"v")
+            ); // dpu (index resident)
+            assert_eq!(dds.served_dpu.get(), 1);
+            // Fail more consecutive SSD reads than the file service's
+            // retry budget: the DPU execution fails, the director opens
+            // its breaker, and the host re-executes the same request.
+            let session = dpdpu_faults::FaultSession::current().expect("session installed");
+            session.arm_ssd_read_failures(4);
+            assert_eq!(
+                client.kv_get(1).await.unwrap().unwrap(),
+                Bytes::from_static(b"v"),
+                "request must still be answered, via the host"
+            );
+            assert_eq!(dds.host_fallbacks.get(), 1);
+            assert!(dds.director.is_degraded(), "breaker open after the fault");
+            // Inside the penalty window even DPU-resident keys go host.
+            assert_eq!(
+                client.kv_get(1).await.unwrap().unwrap(),
+                Bytes::from_static(b"v")
+            );
+            assert_eq!(dds.director.degraded.get(), 1);
+            assert_eq!(dds.served_dpu.get(), 1, "no DPU service while degraded");
+        });
+    }
+
+    #[test]
+    fn timed_out_request_backs_off_and_retries() {
+        let _guard = dpdpu_faults::SessionGuard::new(dpdpu_faults::FaultPlan::new(11));
+        run_async(async {
+            let (dds, client, _p) = testbed(DdsConfig::default()).await;
+            // Per-attempt timeout below the TCP retransmission timeout:
+            // a dropped request frame forces a client-level retry rather
+            // than silently waiting out the transport's recovery.
+            client.set_policy(RetryPolicy {
+                request_timeout_ns: 400_000,
+                base_backoff_ns: 50_000,
+                ..RetryPolicy::default()
+            });
+            dpdpu_faults::FaultSession::current()
+                .expect("session installed")
+                .arm_link_drops(1);
+            client.kv_put(5, Bytes::from_static(b"late")).await.unwrap();
+            assert!(client.timeouts.get() >= 1, "first attempt must time out");
+            assert!(client.retries.get() >= 1, "client must have retried");
+            assert!(dds.served_host.get() >= 1, "put is ultimately host-served");
+            assert_eq!(
+                client.kv_get(5).await.unwrap().unwrap(),
+                Bytes::from_static(b"late")
+            );
+        });
+    }
+
+    #[test]
+    fn unrecoverable_storage_error_is_typed_not_hung() {
+        let _guard = dpdpu_faults::SessionGuard::new(dpdpu_faults::FaultPlan::new(3));
+        run_async(async {
+            let (dds, client, _p) = testbed(DdsConfig::default()).await;
+            client.kv_put(1, Bytes::from_static(b"v")).await.unwrap();
+            // Every read fails, on both paths, for every client attempt:
+            // the call must still reach a terminal state — a typed error,
+            // not a hung future.
+            dpdpu_faults::FaultSession::current()
+                .expect("session installed")
+                .arm_ssd_read_failures(1_000);
+            let err = client.kv_get(1).await.unwrap_err();
+            assert!(
+                matches!(err, DpdpuError::Remote(_)),
+                "expected a remote storage error, got {err:?}"
+            );
+            assert!(dds.exec_errors.get() >= 1, "host path reported the failure");
+            assert!(client.failures.get() >= 1);
         });
     }
 }

@@ -326,6 +326,13 @@ pub fn now() -> Time {
     with_shared(|s| s.now.get())
 }
 
+/// Like [`now`], but returns `None` instead of panicking when called
+/// outside a running simulation. Useful for components (fault windows,
+/// circuit breakers) that are also exercised from plain unit tests.
+pub fn try_now() -> Option<Time> {
+    CURRENT.with(|c| c.borrow().as_ref().map(|s| s.now.get()))
+}
+
 /// Future returned by [`sleep`] / [`sleep_until`].
 pub struct Sleep {
     deadline: Option<Time>,

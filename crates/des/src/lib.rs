@@ -41,7 +41,7 @@ mod time;
 
 pub use channel::{channel, Receiver, SendError, Sender};
 pub use combinators::{join_all, race, timeout, Either, Elapsed};
-pub use executor::{now, sleep, sleep_until, spawn, yield_now, JoinHandle, Sim};
+pub use executor::{now, sleep, sleep_until, spawn, try_now, yield_now, JoinHandle, Sim};
 pub use oneshot::{oneshot, OneshotReceiver, OneshotSender};
 pub use semaphore::{Permit, Semaphore};
 pub use server::Server;

@@ -4,8 +4,27 @@
 use std::rc::Rc;
 
 use dpdpu_des::{sleep, transmit_ns, Semaphore, Server, Time};
+use dpdpu_faults::AccelVerdict;
 
 use crate::spec::AccelKind;
+
+/// An accelerator job failed to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccelError {
+    /// The engine is offline (injected outage); callers should fall back
+    /// to a CPU kernel.
+    Offline,
+}
+
+impl std::fmt::Display for AccelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccelError::Offline => write!(f, "accelerator offline"),
+        }
+    }
+}
+
+impl std::error::Error for AccelError {}
 
 /// A fixed-function ASIC engine.
 ///
@@ -66,12 +85,29 @@ impl Accelerator {
     /// Processes a job of `bytes` through the engine: acquire a hardware
     /// context (FIFO), run setup (contexts overlap), then stream through
     /// the shared internal pipeline at the aggregate bandwidth.
-    pub async fn process(&self, bytes: u64) {
+    ///
+    /// Fails only when a fault plan has taken the engine offline; an
+    /// injected stall adds pipeline time but still completes.
+    pub async fn process(&self, bytes: u64) -> Result<(), AccelError> {
+        let verdict = dpdpu_faults::accel_verdict();
+        if verdict == AccelVerdict::Offline {
+            return Err(AccelError::Offline);
+        }
         let _ctx = self.contexts.acquire().await;
         sleep(self.fixed_latency_ns).await;
+        if let AccelVerdict::Stall(extra_ns) = verdict {
+            sleep(extra_ns).await;
+        }
         self.pipeline
             .process(transmit_ns(bytes, self.bytes_per_sec * 8))
             .await;
+        Ok(())
+    }
+
+    /// True when the engine can currently accept jobs (no injected
+    /// outage window is active).
+    pub fn online(&self) -> bool {
+        dpdpu_faults::accel_online()
     }
 
     /// Completed jobs.
@@ -121,7 +157,7 @@ mod tests {
         sim.spawn(async {
             // 1 GB/s engine with 1 µs setup: 1 MB job = 1µs + 1ms.
             let a = Accelerator::new(AccelKind::Compression, 1, 1_000, 1_000_000_000);
-            a.process(1_000_000).await;
+            a.process(1_000_000).await.unwrap();
             assert_eq!(now(), 1_000 + 1_000_000);
         });
         sim.run();
@@ -135,7 +171,7 @@ mod tests {
             let mut hs = Vec::new();
             for _ in 0..4 {
                 let a = a.clone();
-                hs.push(spawn(async move { a.process(1_000_000).await }));
+                hs.push(spawn(async move { a.process(1_000_000).await.unwrap() }));
             }
             for h in hs {
                 h.await;
@@ -158,7 +194,7 @@ mod tests {
             let mut hs = Vec::new();
             for _ in 0..4 {
                 let a = a.clone();
-                hs.push(spawn(async move { a.process(8).await }));
+                hs.push(spawn(async move { a.process(8).await.unwrap() }));
             }
             for h in hs {
                 h.await;
@@ -181,5 +217,25 @@ mod tests {
         );
         let speedup = epyc_ns_per_mb as f64 / asic_ns_per_mb as f64;
         assert!(speedup > 9.0 && speedup < 12.0, "speedup={speedup}");
+    }
+
+    #[test]
+    fn offline_window_rejects_then_recovers() {
+        let guard = dpdpu_faults::SessionGuard::new(
+            dpdpu_faults::FaultPlan::new(5).accel_offline(0, 10_000),
+        );
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let a = Accelerator::new(AccelKind::Compression, 1, 1_000, 1_000_000_000);
+            assert!(!a.online());
+            assert_eq!(a.process(1_000_000).await, Err(AccelError::Offline));
+            assert_eq!(now(), 0, "rejection must be instantaneous");
+            dpdpu_des::sleep(10_000).await;
+            assert!(a.online());
+            a.process(1_000_000).await.unwrap();
+            assert_eq!(now(), 10_000 + 1_000 + 1_000_000);
+        });
+        sim.run();
+        drop(guard);
     }
 }

@@ -40,7 +40,7 @@ mod platform;
 mod spec;
 mod ssd;
 
-pub use accel::Accelerator;
+pub use accel::{AccelError, Accelerator};
 pub use cpu::CpuPool;
 pub use link::{Link, LinkConfig};
 pub use memory::{Memory, MemoryError, MemoryReservation};
@@ -48,4 +48,4 @@ pub use pcie::PcieLink;
 pub use peer::{PeerDevice, PeerKind, PeerSpec};
 pub use platform::Platform;
 pub use spec::{AccelKind, AccelSpec, DpuSpec, HostSpec};
-pub use ssd::Ssd;
+pub use ssd::{IoError, Ssd};

@@ -101,6 +101,19 @@ impl<T: 'static> Link<T> {
             self.dropped.inc();
             return;
         }
+        // Injected faults sit on top of the link's own loss model. A
+        // delay is charged as extra *wire-busy* time so frame order is
+        // preserved — the wire is slow, not the frame reordered.
+        match dpdpu_faults::link_verdict() {
+            dpdpu_faults::LinkVerdict::Drop => {
+                self.dropped.inc();
+                return;
+            }
+            dpdpu_faults::LinkVerdict::Delay(extra_ns) => {
+                self.wire.process(extra_ns).await;
+            }
+            dpdpu_faults::LinkVerdict::Deliver => {}
+        }
         self.delivered.inc();
         let this = self.clone();
         spawn(async move {

@@ -1,6 +1,6 @@
 //! A live platform: one host + one DPU + one SSD, instantiated from specs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use crate::accel::Accelerator;
@@ -22,8 +22,10 @@ pub struct Platform {
     pub host_cpu: Rc<CpuPool>,
     /// DPU onboard cores.
     pub dpu_cpu: Rc<CpuPool>,
-    /// DPU fixed-function engines present on this DPU.
-    pub accels: HashMap<AccelKind, Rc<Accelerator>>,
+    /// DPU fixed-function engines present on this DPU. Ordered so that
+    /// telemetry registration (and thus trace output) is deterministic
+    /// across process runs.
+    pub accels: BTreeMap<AccelKind, Rc<Accelerator>>,
     /// Host DRAM.
     pub host_mem: Memory,
     /// DPU onboard DRAM (the scarce resource of §7).
@@ -47,7 +49,7 @@ pub type RefCellPeer = std::cell::RefCell<Option<Rc<PeerDevice>>>;
 impl Platform {
     /// Builds a platform from specs.
     pub fn new(host: HostSpec, dpu: DpuSpec) -> Rc<Self> {
-        let mut accels = HashMap::new();
+        let mut accels = BTreeMap::new();
         for spec in &dpu.accels {
             accels.insert(
                 spec.kind,
@@ -255,7 +257,7 @@ mod tests {
         let p2 = p.clone();
         sim.spawn(async move {
             p2.host_cpu.exec(3_000).await; // 1 µs at 3 GHz
-            p2.ssd.read(8_192).await;
+            p2.ssd.read(8_192).await.unwrap();
             p2.dpu_ssd_pcie.dma(8_192).await;
         });
         let end = sim.run();

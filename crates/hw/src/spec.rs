@@ -9,7 +9,7 @@
 use crate::costs;
 
 /// Fixed-function accelerator classes found on DPUs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AccelKind {
     /// DEFLATE-class compression/decompression engine.
     Compression,

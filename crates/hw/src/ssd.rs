@@ -3,8 +3,30 @@
 use std::rc::Rc;
 
 use dpdpu_des::{sleep, transmit_ns, Counter, Semaphore, Server, Time};
+use dpdpu_faults::{IoOp, IoVerdict};
 
 use crate::costs;
+
+/// A device-level I/O failure (injected by `dpdpu-faults`, or — on real
+/// hardware — an unrecoverable media/controller error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoError {
+    /// The read completed with an uncorrectable error.
+    Read,
+    /// The write was rejected or failed verification.
+    Write,
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Read => write!(f, "ssd read error"),
+            IoError::Write => write!(f, "ssd write error"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
 
 /// An NVMe SSD: bounded queue depth, per-op base latency, and separate
 /// read/write internal bandwidth caps.
@@ -25,6 +47,7 @@ pub struct Ssd {
     pub writes: Counter,
     pub bytes_read: Counter,
     pub bytes_written: Counter,
+    pub io_errors: Counter,
 }
 
 impl Ssd {
@@ -62,30 +85,57 @@ impl Ssd {
             writes: Counter::new(),
             bytes_read: Counter::new(),
             bytes_written: Counter::new(),
+            io_errors: Counter::new(),
         })
     }
 
     /// Performs a read of `bytes`; resolves when data is in the controller
     /// buffer (host/DPU transfer is the caller's PCIe model).
-    pub async fn read(&self, bytes: u64) {
+    ///
+    /// Fails only under an installed fault plan; an injected error still
+    /// occupies a queue slot for the base latency, like a real aborted
+    /// command.
+    pub async fn read(&self, bytes: u64) -> Result<(), IoError> {
         let _slot = self.queue.acquire().await;
+        let verdict = dpdpu_faults::ssd_verdict(IoOp::Read);
         sleep(self.read_lat_ns).await;
+        match verdict {
+            IoVerdict::Fail => {
+                self.io_errors.inc();
+                return Err(IoError::Read);
+            }
+            IoVerdict::Slow(extra_ns) => sleep(extra_ns).await,
+            IoVerdict::Ok => {}
+        }
         self.read_bw
             .process(transmit_ns(bytes, self.read_bytes_per_sec * 8))
             .await;
         self.reads.inc();
         self.bytes_read.add(bytes);
+        Ok(())
     }
 
     /// Performs a write of `bytes`; resolves at durability (SLC-cache ack).
-    pub async fn write(&self, bytes: u64) {
+    ///
+    /// Fails only under an installed fault plan (see [`Ssd::read`]).
+    pub async fn write(&self, bytes: u64) -> Result<(), IoError> {
         let _slot = self.queue.acquire().await;
+        let verdict = dpdpu_faults::ssd_verdict(IoOp::Write);
         sleep(self.write_lat_ns).await;
+        match verdict {
+            IoVerdict::Fail => {
+                self.io_errors.inc();
+                return Err(IoError::Write);
+            }
+            IoVerdict::Slow(extra_ns) => sleep(extra_ns).await,
+            IoVerdict::Ok => {}
+        }
         self.write_bw
             .process(transmit_ns(bytes, self.write_bytes_per_sec * 8))
             .await;
         self.writes.inc();
         self.bytes_written.add(bytes);
+        Ok(())
     }
 
     /// Names of the internal read/write serializer tracks (the span
@@ -128,7 +178,7 @@ mod tests {
         let mut sim = Sim::new();
         sim.spawn(async {
             let ssd = Ssd::with_params("t", 4, 80_000, 15_000, 1_000_000_000, 1_000_000_000);
-            ssd.read(8_192).await;
+            ssd.read(8_192).await.unwrap();
             assert_eq!(now(), 80_000 + 8_192);
         });
         sim.run();
@@ -142,7 +192,7 @@ mod tests {
             let mut hs = Vec::new();
             for _ in 0..8 {
                 let ssd = ssd.clone();
-                hs.push(spawn(async move { ssd.read(8_192).await }));
+                hs.push(spawn(async move { ssd.read(8_192).await.unwrap() }));
             }
             for h in hs {
                 h.await;
@@ -163,7 +213,7 @@ mod tests {
             let mut hs = Vec::new();
             for _ in 0..10 {
                 let ssd = ssd.clone();
-                hs.push(spawn(async move { ssd.read(1_000_000).await }));
+                hs.push(spawn(async move { ssd.read(1_000_000).await.unwrap() }));
             }
             for h in hs {
                 h.await;
@@ -174,5 +224,25 @@ mod tests {
             assert!(gbps > 0.95, "gbps={gbps}");
         });
         sim.run();
+    }
+
+    #[test]
+    fn injected_read_error_charges_base_latency_only() {
+        let guard =
+            dpdpu_faults::SessionGuard::new(dpdpu_faults::FaultPlan::new(5).fail_next_ssd_reads(1));
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let ssd = Ssd::with_params("t", 4, 80_000, 15_000, 1_000_000_000, 1_000_000_000);
+            assert_eq!(ssd.read(8_192).await, Err(IoError::Read));
+            // Aborted command: base latency charged, no transfer time.
+            assert_eq!(now(), 80_000);
+            assert_eq!(ssd.io_errors.get(), 1);
+            assert_eq!(ssd.reads.get(), 0);
+            // The next read succeeds and pays the full service time.
+            ssd.read(8_192).await.unwrap();
+            assert_eq!(now(), 2 * 80_000 + 8_192);
+        });
+        sim.run();
+        drop(guard);
     }
 }

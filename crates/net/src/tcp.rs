@@ -840,6 +840,46 @@ mod tests {
     }
 
     #[test]
+    fn survives_injected_fault_drops() {
+        // Same guarantee as `survives_packet_loss`, but the drops come
+        // from a deterministic fault plan on an otherwise clean link:
+        // retransmission must recover every injected drop.
+        let guard =
+            dpdpu_faults::SessionGuard::new(dpdpu_faults::FaultPlan::new(17).link_drops(0.05));
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let (src, dst) = host_sides();
+            let (tx, mut rx) = tcp_stream(src, dst, fast_link(), TcpParams::default());
+            let payload: Vec<Bytes> = (0..100u32)
+                .map(|i| Bytes::from(vec![(i % 251) as u8; 8_192]))
+                .collect();
+            for m in &payload {
+                tx.send(m.clone());
+            }
+            let stats = tx.stats.clone();
+            tx.close();
+            let mut got = Vec::new();
+            while let Some(m) = rx.recv().await {
+                got.push(m);
+            }
+            assert_eq!(got.len(), payload.len(), "all messages must arrive");
+            for (a, b) in got.iter().zip(payload.iter()) {
+                assert_eq!(a, b, "in-order, uncorrupted delivery");
+            }
+            assert!(
+                stats.retransmits.get() > 0,
+                "injected drops must trigger retransmits"
+            );
+        });
+        sim.run();
+        let report = guard.session.report();
+        assert!(
+            report.count(dpdpu_faults::FaultSite::LinkDrop) > 0,
+            "the plan must actually have injected drops"
+        );
+    }
+
+    #[test]
     fn loss_throttles_throughput() {
         let run = |loss: f64| {
             let mut sim = Sim::new();

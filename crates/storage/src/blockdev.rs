@@ -4,7 +4,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use dpdpu_hw::Ssd;
+use dpdpu_hw::{IoError, Ssd};
 
 /// Logical block size (4 KB, the NVMe formatting the paper's 8 KB pages
 /// sit on as block pairs).
@@ -42,20 +42,21 @@ impl BlockDevice {
     }
 
     /// Reads one block (zeros if never written).
-    pub async fn read_block(&self, lba: u64) -> Vec<u8> {
+    pub async fn read_block(&self, lba: u64) -> Result<Vec<u8>, IoError> {
         assert!(lba < self.capacity_blocks, "lba {lba} out of range");
-        self.ssd.read(BLOCK_SIZE as u64).await;
-        self.blocks
+        self.ssd.read(BLOCK_SIZE as u64).await?;
+        Ok(self
+            .blocks
             .borrow()
             .get(&lba)
             .map(|b| b.to_vec())
-            .unwrap_or_else(|| vec![0u8; BLOCK_SIZE])
+            .unwrap_or_else(|| vec![0u8; BLOCK_SIZE]))
     }
 
     /// Reads `n` consecutive blocks as one larger I/O (one SSD op).
-    pub async fn read_blocks(&self, lba: u64, n: u64) -> Vec<u8> {
+    pub async fn read_blocks(&self, lba: u64, n: u64) -> Result<Vec<u8>, IoError> {
         assert!(lba + n <= self.capacity_blocks, "range out of bounds");
-        self.ssd.read(n * BLOCK_SIZE as u64).await;
+        self.ssd.read(n * BLOCK_SIZE as u64).await?;
         let blocks = self.blocks.borrow();
         let mut out = Vec::with_capacity((n as usize) * BLOCK_SIZE);
         for i in 0..n {
@@ -64,31 +65,33 @@ impl BlockDevice {
                 None => out.extend_from_slice(&[0u8; BLOCK_SIZE]),
             }
         }
-        out
+        Ok(out)
     }
 
     /// Writes one block (must be exactly [`BLOCK_SIZE`] bytes).
-    pub async fn write_block(&self, lba: u64, data: &[u8]) {
+    pub async fn write_block(&self, lba: u64, data: &[u8]) -> Result<(), IoError> {
         assert!(lba < self.capacity_blocks, "lba {lba} out of range");
         assert_eq!(data.len(), BLOCK_SIZE, "block writes are full blocks");
-        self.ssd.write(BLOCK_SIZE as u64).await;
+        self.ssd.write(BLOCK_SIZE as u64).await?;
         self.blocks
             .borrow_mut()
             .insert(lba, data.to_vec().into_boxed_slice());
+        Ok(())
     }
 
     /// Writes `data` (a multiple of the block size) at consecutive blocks
     /// as one SSD op.
-    pub async fn write_blocks(&self, lba: u64, data: &[u8]) {
+    pub async fn write_blocks(&self, lba: u64, data: &[u8]) -> Result<(), IoError> {
         assert_eq!(data.len() % BLOCK_SIZE, 0, "writes are block-aligned");
         let n = (data.len() / BLOCK_SIZE) as u64;
         assert!(lba + n <= self.capacity_blocks, "range out of bounds");
-        self.ssd.write(data.len() as u64).await;
+        self.ssd.write(data.len() as u64).await?;
         let mut blocks = self.blocks.borrow_mut();
         for i in 0..n {
             let chunk = &data[(i as usize) * BLOCK_SIZE..(i as usize + 1) * BLOCK_SIZE];
             blocks.insert(lba + i, chunk.to_vec().into_boxed_slice());
         }
+        Ok(())
     }
 
     /// Discards a block's contents (TRIM).
@@ -117,8 +120,8 @@ mod tests {
         sim.spawn(async {
             let d = dev();
             let data: Vec<u8> = (0..BLOCK_SIZE).map(|i| (i % 251) as u8).collect();
-            d.write_block(7, &data).await;
-            assert_eq!(d.read_block(7).await, data);
+            d.write_block(7, &data).await.unwrap();
+            assert_eq!(d.read_block(7).await.unwrap(), data);
         });
         sim.run();
     }
@@ -128,7 +131,7 @@ mod tests {
         let mut sim = Sim::new();
         sim.spawn(async {
             let d = dev();
-            assert_eq!(d.read_block(42).await, vec![0u8; BLOCK_SIZE]);
+            assert_eq!(d.read_block(42).await.unwrap(), vec![0u8; BLOCK_SIZE]);
         });
         sim.run();
     }
@@ -139,9 +142,9 @@ mod tests {
         sim.spawn(async {
             let d = dev();
             let data = vec![9u8; BLOCK_SIZE * 4];
-            d.write_blocks(100, &data).await;
+            d.write_blocks(100, &data).await.unwrap();
             assert_eq!(d.ssd().writes.get(), 1);
-            let back = d.read_blocks(100, 4).await;
+            let back = d.read_blocks(100, 4).await.unwrap();
             assert_eq!(back, data);
             assert_eq!(d.ssd().reads.get(), 1);
         });
@@ -153,11 +156,11 @@ mod tests {
         let mut sim = Sim::new();
         sim.spawn(async {
             let d = dev();
-            d.write_block(5, &vec![1u8; BLOCK_SIZE]).await;
+            d.write_block(5, &vec![1u8; BLOCK_SIZE]).await.unwrap();
             assert_eq!(d.allocated_blocks(), 1);
             d.trim(5);
             assert_eq!(d.allocated_blocks(), 0);
-            assert_eq!(d.read_block(5).await, vec![0u8; BLOCK_SIZE]);
+            assert_eq!(d.read_block(5).await.unwrap(), vec![0u8; BLOCK_SIZE]);
         });
         sim.run();
     }
@@ -168,7 +171,7 @@ mod tests {
         let mut sim = Sim::new();
         sim.spawn(async {
             let d = BlockDevice::new(Ssd::new("t"), 10);
-            d.read_block(10).await;
+            let _ = d.read_block(10).await;
         });
         sim.run();
     }

@@ -37,6 +37,14 @@ pub enum FsError {
         /// Actual file size.
         size: u64,
     },
+    /// The device reported an I/O error (possibly injected).
+    Io(dpdpu_hw::IoError),
+}
+
+impl From<dpdpu_hw::IoError> for FsError {
+    fn from(e: dpdpu_hw::IoError) -> Self {
+        FsError::Io(e)
+    }
 }
 
 impl std::fmt::Display for FsError {
@@ -48,6 +56,7 @@ impl std::fmt::Display for FsError {
             FsError::BadRange { offset, len, size } => {
                 write!(f, "range {offset}+{len} beyond EOF {size}")
             }
+            FsError::Io(e) => write!(f, "device i/o error: {e}"),
         }
     }
 }
@@ -279,14 +288,14 @@ impl ExtentFs {
                 // Aligned: batch as many contiguous full blocks as we can.
                 let full_blocks = ((remaining.len() / BLOCK_SIZE) as u64).min(run);
                 let bytes = (full_blocks * bs) as usize;
-                self.dev.write_blocks(lba, &remaining[..bytes]).await;
+                self.dev.write_blocks(lba, &remaining[..bytes]).await?;
                 cursor += bytes as u64;
                 remaining = &remaining[bytes..];
             } else {
                 // Partial block: read-modify-write.
-                let mut block = self.dev.read_block(lba).await;
+                let mut block = self.dev.read_block(lba).await?;
                 block[in_block..in_block + take].copy_from_slice(&remaining[..take]);
-                self.dev.write_block(lba, &block).await;
+                self.dev.write_block(lba, &block).await?;
                 cursor += take as u64;
                 remaining = &remaining[take..];
             }
@@ -319,7 +328,7 @@ impl ExtentFs {
                     inode.contiguous_run(block_idx, blocks_needed),
                 )
             };
-            let chunk = self.dev.read_blocks(lba, run).await;
+            let chunk = self.dev.read_blocks(lba, run).await?;
             let skip = in_block as usize;
             let want = ((end - cursor) as usize).min(chunk.len() - skip);
             out.extend_from_slice(&chunk[skip..skip + want]);

@@ -9,15 +9,31 @@ use dpdpu_hw::{costs, CpuPool, PcieLink};
 
 use crate::fs::{ExtentFs, FileId, FsError};
 
+/// Device I/O retries before the service gives up on an op.
+pub const IO_RETRY_LIMIT: u32 = 3;
+/// Base virtual-time backoff before the first retry; doubles per attempt.
+pub const IO_RETRY_BASE_NS: u64 = 20_000;
+
 /// The DPU-side file service: owns the file system (and with it the file
 /// mapping), executes ops on DPU cores, reaches the SSD over peer-to-peer
 /// PCIe.
+///
+/// Transient device errors (the only kind the fault layer injects) are
+/// retried up to [`IO_RETRY_LIMIT`] times with exponential backoff — the
+/// self-managing behaviour a DPU-hosted service needs, since there is no
+/// host kernel underneath to do it.
 pub struct FileService {
     fs: Rc<ExtentFs>,
     dpu_cpu: Rc<CpuPool>,
     dpu_ssd_pcie: Rc<PcieLink>,
     /// Completed operations.
     pub ops: Counter,
+    /// Device-error retries performed.
+    pub retries: Counter,
+}
+
+fn io_backoff_ns(attempt: u32) -> u64 {
+    IO_RETRY_BASE_NS << attempt.saturating_sub(1).min(16)
 }
 
 impl FileService {
@@ -28,7 +44,32 @@ impl FileService {
             dpu_cpu,
             dpu_ssd_pcie,
             ops: Counter::new(),
+            retries: Counter::new(),
         })
+    }
+
+    /// Retries `op` on transient device errors with exponential backoff;
+    /// non-I/O errors (NotFound, BadRange, ...) propagate immediately.
+    async fn with_io_retry<T, F, Fut>(&self, label: &'static str, op: F) -> Result<T, FsError>
+    where
+        F: Fn() -> Fut,
+        Fut: std::future::Future<Output = Result<T, FsError>>,
+    {
+        let mut attempt = 0u32;
+        loop {
+            match op().await {
+                Err(FsError::Io(e)) if attempt < IO_RETRY_LIMIT => {
+                    attempt += 1;
+                    self.retries.inc();
+                    if let Some(c) = dpdpu_telemetry::counter("io_retries", &[("op", label)]) {
+                        c.inc();
+                    }
+                    let _ = e;
+                    sleep(io_backoff_ns(attempt)).await;
+                }
+                other => return other,
+            }
+        }
     }
 
     /// The file system (for integration layers that need the mapping).
@@ -50,22 +91,27 @@ impl FileService {
         self.fs.open(name)
     }
 
-    /// Reads a byte range; payload crosses DPU↔SSD PCIe.
+    /// Reads a byte range; payload crosses DPU↔SSD PCIe. Transient device
+    /// errors are retried with backoff.
     pub async fn read(&self, id: FileId, offset: u64, len: u64) -> Result<Vec<u8>, FsError> {
         let _span = dpdpu_telemetry::span("dpu", "file-service", "read").with("bytes", len);
         self.dpu_cpu.exec(costs::SPDK_IO_CYCLES_PER_OP).await;
-        let data = self.fs.read(id, offset, len).await?;
+        let data = self
+            .with_io_retry("read", || self.fs.read(id, offset, len))
+            .await?;
         self.dpu_ssd_pcie.dma(len).await;
         self.ops.inc();
         Ok(data)
     }
 
-    /// Writes a byte range; payload crosses DPU↔SSD PCIe.
+    /// Writes a byte range; payload crosses DPU↔SSD PCIe. Transient device
+    /// errors are retried with backoff.
     pub async fn write(&self, id: FileId, offset: u64, data: &[u8]) -> Result<(), FsError> {
         let _span = dpdpu_telemetry::span("dpu", "file-service", "write").with("bytes", data.len());
         self.dpu_cpu.exec(costs::SPDK_IO_CYCLES_PER_OP).await;
         self.dpu_ssd_pcie.dma(data.len() as u64).await;
-        self.fs.write(id, offset, data).await?;
+        self.with_io_retry("write", || self.fs.write(id, offset, data))
+            .await?;
         self.ops.inc();
         Ok(())
     }
@@ -278,6 +324,46 @@ mod tests {
             );
         });
         sim.run();
+    }
+
+    #[test]
+    fn injected_read_error_is_retried_and_succeeds() {
+        let guard = dpdpu_faults::SessionGuard::new(
+            dpdpu_faults::FaultPlan::new(11).fail_next_ssd_reads(2),
+        );
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let (p, fs) = setup();
+            let svc = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
+            let id = svc.create("f").await.unwrap();
+            svc.write(id, 0, &vec![3u8; 8192]).await.unwrap();
+            // Two injected failures, then success on the third attempt.
+            let back = svc.read(id, 0, 8192).await.unwrap();
+            assert_eq!(back, vec![3u8; 8192]);
+            assert_eq!(svc.retries.get(), 2);
+            assert_eq!(p.ssd.io_errors.get(), 2);
+        });
+        sim.run();
+        drop(guard);
+    }
+
+    #[test]
+    fn retries_exhausted_surface_io_error() {
+        let guard = dpdpu_faults::SessionGuard::new(
+            dpdpu_faults::FaultPlan::new(11).fail_next_ssd_reads(IO_RETRY_LIMIT as u64 + 1),
+        );
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let (p, fs) = setup();
+            let svc = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
+            let id = svc.create("f").await.unwrap();
+            svc.write(id, 0, &vec![3u8; 8192]).await.unwrap();
+            let err = svc.read(id, 0, 8192).await.unwrap_err();
+            assert!(matches!(err, FsError::Io(_)), "got {err:?}");
+            assert_eq!(svc.retries.get(), IO_RETRY_LIMIT as u64);
+        });
+        sim.run();
+        drop(guard);
     }
 
     #[test]

@@ -75,7 +75,10 @@ fn run(offload: bool) -> (f64, f64) {
         let mut rng = StdRng::seed_from_u64(1);
         for k in 0..KEYS {
             let value: Vec<u8> = (0..VALUE_BYTES).map(|_| rng.random()).collect();
-            client.kv_put(k, Bytes::from(value)).await;
+            client
+                .kv_put(k, Bytes::from(value))
+                .await
+                .expect("put must succeed");
         }
 
         // Measured read phase.
@@ -83,7 +86,11 @@ fn run(offload: bool) -> (f64, f64) {
         let t0 = now();
         for _ in 0..READS {
             let key = rng.random_range(0..KEYS);
-            let v = client.kv_get(key).await.expect("loaded key");
+            let v = client
+                .kv_get(key)
+                .await
+                .expect("get must succeed")
+                .expect("loaded key");
             assert_eq!(v.len(), VALUE_BYTES);
         }
         let elapsed = (now() - t0).max(1);

@@ -15,7 +15,6 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use dpdpu::compute::{ExecTarget, KernelError, KernelInput, KernelOp, KernelOutput, Placement};
-use dpdpu::core::Dpdpu;
 use dpdpu::des::{now, Sim};
 use dpdpu::hw::{DpuSpec, HostSpec, Platform};
 use rand::rngs::StdRng;
@@ -59,7 +58,9 @@ fn scan_on(dpu: DpuSpec, log: Vec<u8>) {
     let name = dpu.name;
     let mut sim = Sim::new();
     sim.spawn(async move {
-        let rt = Dpdpu::start(Platform::new(HostSpec::epyc(), dpu));
+        let rt = dpdpu::core::DpdpuBuilder::new()
+            .platform(Platform::new(HostSpec::epyc(), dpu))
+            .boot();
         // Store the log on the server's SSD.
         let file = rt.storage.create("svc.log").await.unwrap();
         rt.storage.write(file, 0, &log).await.unwrap();

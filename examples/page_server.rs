@@ -72,7 +72,10 @@ fn main() {
                 .collect();
             expected[page as usize][offset as usize..offset as usize + delta.len()]
                 .copy_from_slice(&delta);
-            client.append_log(page, offset, Bytes::from(delta)).await;
+            client
+                .append_log(page, offset, Bytes::from(delta))
+                .await
+                .expect("log shipping must succeed");
         }
         println!(
             "dirty pages after log shipping: {} / {PAGES}",
@@ -85,7 +88,7 @@ fn main() {
         platform.host_cpu.reset_stats();
         for _ in 0..GETS {
             let page = rng.random_range(0..PAGES);
-            let img = client.get_page(page).await;
+            let img = client.get_page(page).await.expect("get_page must succeed");
             assert_eq!(
                 &img[..],
                 &expected[page as usize][..],

@@ -16,7 +16,6 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use dpdpu::compute::{KernelInput, KernelOp, Placement};
-use dpdpu::core::Dpdpu;
 use dpdpu::des::{now, Sim};
 use dpdpu::hw::{CpuPool, LinkConfig};
 use dpdpu::kernels::record::{gen, Batch, Value};
@@ -40,7 +39,7 @@ fn run(pushdown: bool) -> u64 {
     let sent = Rc::new(std::cell::Cell::new(0u64));
     let sent2 = sent.clone();
     sim.spawn(async move {
-        let rt = Dpdpu::start_default();
+        let rt = dpdpu::core::DpdpuBuilder::new().boot();
 
         // Load an orders table onto the storage server, one batch per page.
         let table = gen::orders(ROWS_PER_PAGE * NUM_PAGES, 99);

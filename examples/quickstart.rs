@@ -9,15 +9,17 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use dpdpu::compute::{KernelInput, KernelOp, Placement};
-use dpdpu::core::Dpdpu;
+use dpdpu::core::{Dpdpu, DpdpuBuilder};
 use dpdpu::des::{now, Sim};
 
 fn main() {
     let mut sim = Sim::new();
     sim.spawn(async {
-        // Boot the runtime: file system formatted, DPU file service and
-        // host front end running, Compute Engine ready.
-        let rt = Dpdpu::start_default();
+        // Boot the runtime through the builder: platform preset picked,
+        // file system formatted, DPU file service and host front end
+        // running, Compute Engine ready. (A fault plan or scheduling
+        // policy would slot in here too — see README "Fault injection".)
+        let rt = DpdpuBuilder::new().bluefield2().boot();
         println!(
             "booted DPDPU on {} + {}",
             rt.platform.host_spec.name, rt.platform.dpu_spec.name

@@ -18,7 +18,6 @@
 
 use bytes::Bytes;
 use dpdpu::compute::{ExecTarget, KernelError, KernelInput, KernelKind, KernelOp, Placement};
-use dpdpu::core::Dpdpu;
 use dpdpu::des::{now, spawn, Sim};
 use dpdpu::hw::{CpuPool, DpuSpec, HostSpec, LinkConfig, Platform};
 use dpdpu::net::tcp::{tcp_stream, TcpParams, TcpSide};
@@ -68,9 +67,11 @@ fn run_on(label: &str, dpu: DpuSpec, trace_out: Option<&std::path::Path>) {
     let traced = session.is_some();
     let mut sim = Sim::new();
     sim.spawn(async move {
-        // Dpdpu::start registers the platform's resources with the
+        // Booting registers the platform's resources with the
         // installed telemetry session (tracks, gauges, timeline sources).
-        let rt = Dpdpu::start(Platform::new(HostSpec::epyc(), dpu));
+        let rt = dpdpu::core::DpdpuBuilder::new()
+            .platform(Platform::new(HostSpec::epyc(), dpu))
+            .boot();
         let sampler = traced.then(|| dpdpu::telemetry::start_sampler(20_000));
 
         // Seed the "SSD" with compressible pages.

@@ -33,6 +33,8 @@ pub use dpdpu_core as core;
 pub use dpdpu_dds as dds;
 /// Deterministic virtual-time simulation substrate.
 pub use dpdpu_des as des;
+/// Deterministic seed-driven fault injection.
+pub use dpdpu_faults as faults;
 /// Calibrated device models (CPUs, accelerators, NICs, PCIe, SSDs).
 pub use dpdpu_hw as hw;
 /// Real data-path kernels (DEFLATE, AES, SHA-256, regex, dedup, relops).

@@ -59,11 +59,12 @@ fn four_clients_share_one_server_port() {
                         0 => {
                             client
                                 .kv_put(base + i, Bytes::from(format!("c{cid}-v{i}")))
-                                .await;
+                                .await
+                                .unwrap();
                         }
                         1 => {
                             // Read back our own previous write.
-                            let got = client.kv_get(base + i - 1).await.unwrap();
+                            let got = client.kv_get(base + i - 1).await.unwrap().unwrap();
                             assert_eq!(got, Bytes::from(format!("c{cid}-v{}", i - 1)));
                         }
                         2 => {
@@ -73,17 +74,18 @@ fn four_clients_share_one_server_port() {
                                     (i * 13 % 8_000) as u32,
                                     Bytes::from(vec![cid as u8; 8]),
                                 )
-                                .await;
+                                .await
+                                .unwrap();
                         }
                         _ => {
-                            let page = client.get_page(base % 512 + i - 1).await;
+                            let page = client.get_page(base % 512 + i - 1).await.unwrap();
                             assert_eq!(page.len(), 8_192);
                         }
                     }
                 }
                 // Cross-client isolation: other clients' keys invisible
                 // under our namespace only if never written there.
-                assert_eq!(client.kv_get(base + 9_999).await, None);
+                assert_eq!(client.kv_get(base + 9_999).await.unwrap(), None);
                 let _ = dds;
             }));
         }

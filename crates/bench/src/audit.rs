@@ -1,0 +1,121 @@
+//! The multi-seed determinism auditor.
+//!
+//! The DES's core promise is bit-for-bit reproducibility: the same
+//! scenario with the same seed must produce the same stdout and the
+//! same Chrome trace, every time, in debug and release. The auditor
+//! enforces that mechanically — every scenario × seed pair is replayed
+//! twice in-process and both channels are byte-compared. CI runs it
+//! over {debug, release} × 3 seeds.
+//!
+//! Trust-but-verify applies to the auditor itself:
+//! [`planted_nondeterminism`] is a deliberately broken scenario (it
+//! leaks a process-global counter into its output) and the `--self-test`
+//! flag plus the `audit_meta` integration test prove the auditor flags
+//! it.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::scenarios::{self, ScenarioFn, ScenarioRun};
+
+/// One detected reproducibility failure.
+pub struct Divergence {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seed the scenario was replayed with.
+    pub seed: u64,
+    /// Which output channel diverged: `"stdout"` or `"trace"`.
+    pub channel: &'static str,
+    /// First differing lines (normalised), for the failure message.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} seed={}] {} diverged between identical replays:\n{}",
+            self.scenario, self.seed, self.channel, self.detail
+        )
+    }
+}
+
+fn compare(
+    scenario: &str,
+    seed: u64,
+    channel: &'static str,
+    a: &str,
+    b: &str,
+) -> Option<Divergence> {
+    if a == b {
+        return None;
+    }
+    // Byte-inequality is the verdict; the normalising differ only
+    // renders the failure message.
+    let detail = dpdpu_check::golden::diff(a, b)
+        .unwrap_or_else(|| "outputs differ only in trailing whitespace/newlines".into());
+    Some(Divergence {
+        scenario: scenario.to_string(),
+        seed,
+        channel,
+        detail,
+    })
+}
+
+/// Replays each `(name, scenario)` twice per seed and byte-compares
+/// stdout and trace. Returns every divergence found (empty = fully
+/// deterministic).
+pub fn audit_scenarios(
+    scenarios: &[(&'static str, ScenarioFn)],
+    seeds: &[u64],
+    mut progress: impl FnMut(&str, u64, bool),
+) -> Vec<Divergence> {
+    let mut divergences = Vec::new();
+    for (name, f) in scenarios {
+        for &seed in seeds {
+            let first: ScenarioRun = f(seed);
+            let second: ScenarioRun = f(seed);
+            let before = divergences.len();
+            divergences.extend(compare(name, seed, "stdout", &first.stdout, &second.stdout));
+            divergences.extend(compare(name, seed, "trace", &first.trace, &second.trace));
+            progress(name, seed, divergences.len() == before);
+        }
+    }
+    divergences
+}
+
+/// Audits every shipped scenario over `seeds`.
+pub fn audit_all(seeds: &[u64], progress: impl FnMut(&str, u64, bool)) -> Vec<Divergence> {
+    audit_scenarios(&scenarios::all(), seeds, progress)
+}
+
+/// Monotonic process-global counter — the planted nondeterminism.
+static PLANT: AtomicU64 = AtomicU64::new(0);
+
+/// A deliberately nondeterministic scenario: alongside an honest little
+/// simulation it leaks a process-global counter into stdout, so two
+/// replays can never match. Exists purely so the auditor's detection
+/// path is itself tested (`--self-test`, `tests/audit_meta.rs`).
+pub fn planted_nondeterminism(seed: u64) -> ScenarioRun {
+    let leak = PLANT.fetch_add(1, Ordering::Relaxed);
+    let mut run = crate::scenarios::compute_pipeline(seed);
+    run.stdout.push_str(&format!("plant={leak}\n"));
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_outputs_produce_no_divergence() {
+        assert!(compare("s", 1, "stdout", "a\nb\n", "a\nb\n").is_none());
+    }
+
+    #[test]
+    fn differing_outputs_are_reported_with_detail() {
+        let d = compare("s", 1, "trace", "a\nb\n", "a\nc\n").expect("must diverge");
+        assert_eq!(d.channel, "trace");
+        assert!(d.to_string().contains("seed=1"), "{d}");
+    }
+}

@@ -1,5 +1,7 @@
 //! Prints the abl_cache_split table; see the module docs in `dpdpu_bench::abl_cache_split`.
 
 fn main() {
+    // Conformance guard: every figure/ablation run is invariant-checked.
+    let _check = dpdpu_check::CheckGuard::new();
     println!("{}", dpdpu_bench::abl_cache_split::run());
 }

@@ -1,5 +1,7 @@
 //! Prints the abl_fast_persist table; see the module docs in `dpdpu_bench::abl_fast_persist`.
 
 fn main() {
+    // Conformance guard: every figure/ablation run is invariant-checked.
+    let _check = dpdpu_check::CheckGuard::new();
     println!("{}", dpdpu_bench::abl_fast_persist::run());
 }

@@ -1,5 +1,7 @@
 //! Prints the abl_fusion table; see the module docs in `dpdpu_bench::abl_fusion`.
 
 fn main() {
+    // Conformance guard: every figure/ablation run is invariant-checked.
+    let _check = dpdpu_check::CheckGuard::new();
     println!("{}", dpdpu_bench::abl_fusion::run());
 }

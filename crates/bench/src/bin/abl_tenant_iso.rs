@@ -1,5 +1,7 @@
 //! Prints the abl_tenant_iso table; see the module docs in `dpdpu_bench::abl_tenant_iso`.
 
 fn main() {
+    // Conformance guard: every figure/ablation run is invariant-checked.
+    let _check = dpdpu_check::CheckGuard::new();
     println!("{}", dpdpu_bench::abl_tenant_iso::run());
 }

@@ -2,6 +2,8 @@
 //! the artifact EXPERIMENTS.md records.
 
 fn main() {
+    // Conformance guard: every figure/ablation run is invariant-checked.
+    let _check = dpdpu_check::CheckGuard::new();
     for (id, runner) in dpdpu_bench::all() {
         println!("=== {id} ===");
         println!("{}", runner());

@@ -1,5 +1,7 @@
 //! Prints the fig8_roundtrips table; see the module docs in `dpdpu_bench::fig8_roundtrips`.
 
 fn main() {
+    // Conformance guard: every figure/ablation run is invariant-checked.
+    let _check = dpdpu_check::CheckGuard::new();
     println!("{}", dpdpu_bench::fig8_roundtrips::run());
 }

@@ -23,12 +23,14 @@ pub mod abl_pipeline;
 pub mod abl_placement;
 pub mod abl_scheduler;
 pub mod abl_tenant_iso;
+pub mod audit;
 pub mod fig1_compression;
 pub mod fig2_storage_cpu;
 pub mod fig3_network_cpu;
 pub mod fig7_rdma;
 pub mod fig8_roundtrips;
 pub mod fig9_dds_savings;
+pub mod scenarios;
 pub mod table;
 
 /// A figure/ablation runner.

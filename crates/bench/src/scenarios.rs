@@ -1,0 +1,303 @@
+//! Deterministic, seed-parameterised end-to-end scenarios.
+//!
+//! Each scenario boots a fresh simulated platform, drives a real
+//! workload through it under a strict [`dpdpu_check::CheckGuard`] and a
+//! telemetry session, and returns everything observable about the run:
+//! a human-readable summary (`stdout`) and the Chrome trace JSON
+//! (`trace`). Both are pure functions of the seed — the determinism
+//! auditor ([`crate::audit`]) replays every scenario twice per seed and
+//! requires byte-identical output, and the golden-trace harness pins
+//! the seed-42 outputs as blessed fixtures under `tests/golden/`.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use dpdpu_compute::{ComputeEngine, KernelInput, KernelOp, KernelOutput, Placement};
+use dpdpu_core::DpdpuBuilder;
+use dpdpu_dds::kv::INDEX_ENTRY_BYTES;
+use dpdpu_dds::server::{Dds, DdsClient, DdsConfig};
+use dpdpu_des::{now, Sim};
+use dpdpu_faults::{FaultPlan, SessionGuard};
+use dpdpu_hw::{CpuPool, LinkConfig, Platform};
+use dpdpu_net::tcp::{tcp_stream, TcpParams, TcpSide};
+use dpdpu_telemetry::Telemetry;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Everything observable about one scenario run.
+pub struct ScenarioRun {
+    /// Human-readable summary, one stable shape per scenario.
+    pub stdout: String,
+    /// Chrome `trace_event` JSON from the run's telemetry session.
+    pub trace: String,
+}
+
+/// A seed-parameterised scenario.
+pub type ScenarioFn = fn(u64) -> ScenarioRun;
+
+/// Every shipped scenario: `(name, runner)`.
+pub fn all() -> Vec<(&'static str, ScenarioFn)> {
+    vec![
+        ("storage_faults", storage_faults as ScenarioFn),
+        ("dds_kv", dds_kv),
+        ("compute_pipeline", compute_pipeline),
+    ]
+}
+
+/// Looks a scenario up by name.
+pub fn by_name(name: &str) -> Option<ScenarioFn> {
+    all().into_iter().find(|(n, _)| *n == name).map(|(_, f)| f)
+}
+
+/// Shared harness: installs telemetry and a strict check session, runs
+/// `body` (which must create and drop its `Sim` inside), appends the
+/// conformance report line, and tears both sessions down. The guard
+/// outlives the body's `Sim`, so the end-of-run balance sweeps see the
+/// fully torn-down simulation.
+fn harness(body: impl FnOnce(&mut String)) -> ScenarioRun {
+    let telemetry = Telemetry::install();
+    let check = dpdpu_check::CheckGuard::new();
+    let mut stdout = String::new();
+    body(&mut stdout);
+    let _ = writeln!(stdout, "{}", check.session().report());
+    drop(check); // balance sweeps run here; panics on any violation
+    Telemetry::uninstall();
+    ScenarioRun {
+        trace: telemetry.chrome_trace(),
+        stdout,
+    }
+}
+
+/// Scenario 1 — the storage engine under seeded SSD faults: files of
+/// seeded random content are written through the DPU file service and
+/// read back while the fault plan injects read errors and slow I/O; the
+/// service's retry loop must absorb every transient.
+pub fn storage_faults(seed: u64) -> ScenarioRun {
+    const FILES: u64 = 8;
+    const FILE_BYTES: usize = 8192;
+    harness(|stdout| {
+        let guard = SessionGuard::new(
+            FaultPlan::new(seed)
+                .ssd_read_errors(0.15)
+                .ssd_slow_io(0.05, 100_000),
+        );
+        let out = Rc::new(RefCell::new(None::<(u64, u64, u64, u64)>));
+        let out2 = out.clone();
+        let mut sim = Sim::new();
+        sim.spawn(async move {
+            let rt = DpdpuBuilder::new().bluefield2().boot();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut written = 0u64;
+            let mut mismatches = 0u64;
+            let mut surfaced = 0u64;
+            for i in 0..FILES {
+                let payload: Vec<u8> = (0..FILE_BYTES).map(|_| rng.random::<u8>()).collect();
+                let id = rt.storage.create(&format!("s{i}")).await.unwrap();
+                rt.storage.write(id, 0, &payload).await.unwrap();
+                written += payload.len() as u64;
+                // A read that exhausts its retries surfaces a typed error
+                // — a terminal state, not a hang; count it and move on.
+                match rt.storage.read(id, 0, payload.len() as u64).await {
+                    Ok(back) if back == payload => {}
+                    Ok(_) => mismatches += 1,
+                    Err(_) => surfaced += 1,
+                }
+            }
+            *out2.borrow_mut() = Some((written, mismatches, surfaced, rt.storage.retries.get()));
+        });
+        sim.run();
+        let (written, mismatches, surfaced, retries) = out.borrow_mut().take().unwrap();
+        let injected = guard.session.report().total();
+        let _ = writeln!(stdout, "## scenario storage_faults (seed {seed})");
+        let _ = writeln!(
+            stdout,
+            "files={FILES} bytes_written={written} mismatches={mismatches} \
+             surfaced_errors={surfaced} ssd_retries={retries} injected={injected}"
+        );
+        assert_eq!(mismatches, 0, "a successful read must round-trip exactly");
+    })
+}
+
+/// Scenario 2 — the DDS key-value path over offloaded TCP under link
+/// drops and SSD errors: every get must reach a terminal state, with
+/// retransmits and the traffic director absorbing the injected faults.
+pub fn dds_kv(seed: u64) -> ScenarioRun {
+    const KEYS: u64 = 16;
+    const GETS: u64 = 64;
+    const VALUE: usize = 256;
+    harness(|stdout| {
+        let guard = SessionGuard::new(FaultPlan::new(seed).link_drops(0.02).ssd_read_errors(0.02));
+        let out = Rc::new(RefCell::new(None::<(u64, u64, f64, u64, u64)>));
+        let out2 = out.clone();
+        let mut sim = Sim::new();
+        sim.spawn(async move {
+            let platform = Platform::default_bf2();
+            if let Some(t) = Telemetry::current() {
+                platform.register_telemetry(&t);
+            }
+            let dds = Dds::build(
+                platform.clone(),
+                DdsConfig {
+                    kv_index_budget: KEYS * INDEX_ENTRY_BYTES,
+                    ..DdsConfig::default()
+                },
+            )
+            .await;
+            let client_cpu = CpuPool::new("client", 16, 3_000_000_000);
+            let server_side = TcpSide::offloaded(
+                platform.host_cpu.clone(),
+                platform.dpu_cpu.clone(),
+                platform.host_dpu_pcie.clone(),
+            );
+            let client_side = TcpSide::host(client_cpu);
+            let (c2s_tx, c2s_rx) = tcp_stream(
+                client_side.clone(),
+                server_side.clone(),
+                LinkConfig::rack_100g(),
+                TcpParams::default(),
+            );
+            let (s2c_tx, s2c_rx) = tcp_stream(
+                server_side,
+                client_side,
+                LinkConfig::rack_100g(),
+                TcpParams::default(),
+            );
+            dds.serve(c2s_rx, s2c_tx);
+            let client = DdsClient::new(c2s_tx, s2c_rx);
+
+            for k in 0..KEYS {
+                client
+                    .kv_put(k, Bytes::from(vec![k as u8; VALUE]))
+                    .await
+                    .expect("preload put must succeed");
+            }
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xD5);
+            let mut resolved = 0u64;
+            let mut errors = 0u64;
+            let mut total_ns = 0u64;
+            for _ in 0..GETS {
+                let t0 = now();
+                match client.kv_get(rng.random_range(0..KEYS)).await {
+                    Ok(v) => assert!(v.is_some(), "preloaded key must exist"),
+                    Err(_) => errors += 1,
+                }
+                total_ns += now() - t0;
+                resolved += 1;
+            }
+            let served = dds.served_dpu.get() + dds.served_host.get();
+            let host_frac = if served == 0 {
+                0.0
+            } else {
+                dds.served_host.get() as f64 / served as f64
+            };
+            *out2.borrow_mut() =
+                Some((resolved, errors, host_frac, client.retries.get(), total_ns));
+        });
+        sim.run();
+        let (resolved, errors, host_frac, retries, total_ns) = out.borrow_mut().take().unwrap();
+        let injected = guard.session.report().total();
+        let _ = writeln!(stdout, "## scenario dds_kv (seed {seed})");
+        let _ = writeln!(
+            stdout,
+            "gets={resolved}/{GETS} errors={errors} host_frac={host_frac:.2} \
+             client_retries={retries} injected={injected} mean_us={:.1}",
+            total_ns as f64 / resolved as f64 / 1e3
+        );
+        assert_eq!(resolved, GETS, "every request must terminate");
+    })
+}
+
+/// Scenario 3 — a compute pipeline across placements: a seeded record
+/// batch is page-encoded, compressed, hashed, and encrypted through the
+/// Compute Engine; the kernel ground-truth check-points validate every
+/// functional output against the `dpdpu_kernels` reference.
+pub fn compute_pipeline(seed: u64) -> ScenarioRun {
+    const ROWS: usize = 256;
+    harness(|stdout| {
+        let out = Rc::new(RefCell::new(None::<String>));
+        let out2 = out.clone();
+        let mut sim = Sim::new();
+        sim.spawn(async move {
+            let platform = Platform::default_bf2();
+            let engine = ComputeEngine::new(platform);
+            let batch = dpdpu_kernels::record::gen::orders(ROWS, seed);
+            let page = Bytes::from(batch.encode_page());
+            let page_len = page.len();
+            let input = KernelInput::Bytes(page.clone());
+
+            let compressed = match engine
+                .run(&KernelOp::Compress, &input, Placement::Scheduled)
+                .await
+                .expect("compress must run")
+            {
+                KernelOutput::Bytes(b) => b,
+                other => panic!("unexpected compress output: {other:?}"),
+            };
+            let digest = match engine
+                .run(&KernelOp::Sha256, &input, Placement::Scheduled)
+                .await
+                .expect("sha256 must run")
+            {
+                KernelOutput::Hash(h) => h,
+                other => panic!("unexpected sha256 output: {other:?}"),
+            };
+            let mut key = [0u8; 16];
+            key[..8].copy_from_slice(&seed.to_le_bytes());
+            let nonce = [7u8; 12];
+            let crypt = KernelOp::Crypt { key, nonce };
+            let encrypted = match engine
+                .run(&crypt, &input, Placement::Scheduled)
+                .await
+                .expect("encrypt must run")
+            {
+                KernelOutput::Bytes(b) => b,
+                other => panic!("unexpected crypt output: {other:?}"),
+            };
+            let decrypted = match engine
+                .run(&crypt, &KernelInput::Bytes(encrypted), Placement::Scheduled)
+                .await
+                .expect("decrypt must run")
+            {
+                KernelOutput::Bytes(b) => b,
+                other => panic!("unexpected crypt output: {other:?}"),
+            };
+            assert_eq!(decrypted, page, "AES-CTR must be an involution");
+            let hex: String = digest.iter().map(|b| format!("{b:02x}")).collect();
+            *out2.borrow_mut() = Some(format!(
+                "rows={ROWS} page_bytes={page_len} compressed_bytes={} \
+                 sha256={hex} crypt_roundtrip=ok t_end={}",
+                compressed.len(),
+                now(),
+            ));
+        });
+        sim.run();
+        let line = out.borrow_mut().take().unwrap();
+        let _ = writeln!(stdout, "## scenario compute_pipeline (seed {seed})");
+        let _ = writeln!(stdout, "{line}");
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic_per_seed() {
+        for (name, f) in all() {
+            let a = f(7);
+            let b = f(7);
+            assert_eq!(a.stdout, b.stdout, "{name}: stdout diverged");
+            assert_eq!(a.trace, b.trace, "{name}: trace diverged");
+            assert!(!a.trace.is_empty(), "{name}: empty trace");
+        }
+    }
+
+    #[test]
+    fn seeds_actually_steer_the_workload() {
+        let a = compute_pipeline(1);
+        let b = compute_pipeline(2);
+        assert_ne!(a.stdout, b.stdout, "seed must change the batch content");
+    }
+}

@@ -1,0 +1,692 @@
+//! # dpdpu-check — the simulation conformance layer
+//!
+//! The whole reproduction strategy rests on one claim: the
+//! discrete-event simulation is *deterministic* and *physically
+//! coherent*, so its virtual-time numbers can stand in for BlueField-2
+//! measurements. This crate enforces the "physically coherent" half
+//! mechanically, on every event, during every test, example, and
+//! ablation run.
+//!
+//! A [`CheckSession`] installs itself in two places: as the des
+//! `Probe` **checker** sink (receiving Server wait/serve spans,
+//! labeled-semaphore acquire/release events, and executor clock
+//! advances) and as a thread-local that the engine crates reach via
+//! free check-point functions ([`link_in`], [`ssd_done`],
+//! [`kernel_result`], [`fault_injected`], …). All check-points are
+//! no-ops when no session is installed, so the untraced fast path
+//! stays a single branch.
+//!
+//! ## Invariant catalogue
+//!
+//! | invariant | what it rejects |
+//! |---|---|
+//! | [`Invariant::TimeMonotonic`] | virtual time moving backwards within one run |
+//! | [`Invariant::SpanCausality`] | a span ending before it starts, or dated in the future |
+//! | [`Invariant::CapacityBound`] | more permits in flight than a resource has slots |
+//! | [`Invariant::AcquireReleaseBalance`] | an acquire without a matching release at end of run |
+//! | [`Invariant::LinkConservation`] | link frames/bytes delivered + dropped ≠ frames/bytes sent |
+//! | [`Invariant::SsdConservation`] | SSD ops admitted ≠ completed + errored |
+//! | [`Invariant::PcieConservation`] | DMA bytes entering a PCIe link ≠ bytes that left it |
+//! | [`Invariant::KernelGroundTruth`] | a compute kernel output that contradicts the kernels-crate ground truth |
+//! | [`Invariant::UtilizationBound`] | accumulated busy time above `slots × elapsed` |
+//! | [`Invariant::FaultHygiene`] | an injected fault neither retried, degraded, nor surfaced |
+//!
+//! ## Modes
+//!
+//! * **Strict** (default, [`CheckSession::install`] / [`CheckGuard`]):
+//!   a violation panics at the offending event with a precise message —
+//!   the same failure mode as a debug assertion, and what every test
+//!   and ablation wants.
+//! * **Collecting** ([`CheckSession::install_collecting`]): violations
+//!   accumulate and are returned by [`CheckSession::finish`] — used by
+//!   this crate's own unit tests and by meta-tests that must observe a
+//!   violation without dying.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+use dpdpu_des::probe::{self, Probe};
+use dpdpu_des::{try_now, Time};
+
+pub mod golden;
+
+/// The ten classes of simulation invariants enforced by this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Invariant {
+    /// Virtual time never decreases within one executor run.
+    TimeMonotonic,
+    /// Every span has `start <= end` and is not dated past "now".
+    SpanCausality,
+    /// A resource never holds more permits in flight than its capacity.
+    CapacityBound,
+    /// Every acquire is matched by a release by the end of the run.
+    AcquireReleaseBalance,
+    /// Link frames/bytes in == delivered + dropped.
+    LinkConservation,
+    /// SSD ops admitted == completed + errored.
+    SsdConservation,
+    /// PCIe DMA ops/bytes in == ops/bytes out.
+    PcieConservation,
+    /// Compute kernel outputs agree with the kernels-crate ground truth.
+    KernelGroundTruth,
+    /// Busy time on a resource never exceeds `slots × elapsed`.
+    UtilizationBound,
+    /// Every injected fault is retried, degraded, or surfaced.
+    FaultHygiene,
+}
+
+impl Invariant {
+    /// Stable lowercase name (used in violation messages and docs).
+    pub fn name(self) -> &'static str {
+        match self {
+            Invariant::TimeMonotonic => "time-monotonic",
+            Invariant::SpanCausality => "span-causality",
+            Invariant::CapacityBound => "capacity-bound",
+            Invariant::AcquireReleaseBalance => "acquire-release-balance",
+            Invariant::LinkConservation => "link-conservation",
+            Invariant::SsdConservation => "ssd-conservation",
+            Invariant::PcieConservation => "pcie-conservation",
+            Invariant::KernelGroundTruth => "kernel-ground-truth",
+            Invariant::UtilizationBound => "utilization-bound",
+            Invariant::FaultHygiene => "fault-hygiene",
+        }
+    }
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded invariant violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which invariant was violated.
+    pub invariant: Invariant,
+    /// Human-readable description with the offending numbers.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.message)
+    }
+}
+
+#[derive(Default)]
+struct ResourceStat {
+    capacity: usize,
+    in_flight: usize,
+    acquires: u64,
+    releases: u64,
+    /// Busy ("serve") nanoseconds accumulated in the current epoch.
+    serve_ns: u64,
+    window_start: Option<Time>,
+    window_end: Time,
+}
+
+/// Conservation accounting for one flow site (a link, an SSD
+/// direction, a PCIe link).
+#[derive(Default)]
+struct FlowStat {
+    in_ops: u64,
+    in_bytes: u64,
+    out_ops: u64,
+    out_bytes: u64,
+    dropped_ops: u64,
+    dropped_bytes: u64,
+}
+
+/// Fault-hygiene categories with a handling obligation. The other
+/// categories (delays, slow I/O, stalls, overload windows) only stretch
+/// completion time and need no recovery action.
+const FAULTS_REQUIRING_HANDLING: [&str; 4] =
+    ["link_drop", "ssd_read", "ssd_write", "accel_offline"];
+
+/// A thread-local conformance session. See the crate docs.
+pub struct CheckSession {
+    strict: bool,
+    violations: RefCell<Vec<Violation>>,
+    last_time: Cell<Time>,
+    resources: RefCell<BTreeMap<String, ResourceStat>>,
+    links: RefCell<BTreeMap<String, FlowStat>>,
+    ssd: RefCell<BTreeMap<String, FlowStat>>,
+    pcie: RefCell<BTreeMap<String, FlowStat>>,
+    kernels_checked: Cell<u64>,
+    faults_injected: RefCell<BTreeMap<String, u64>>,
+    faults_handled: RefCell<BTreeMap<(String, &'static str), u64>>,
+    finished: Cell<bool>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<CheckSession>>> = const { RefCell::new(None) };
+}
+
+impl CheckSession {
+    fn new(strict: bool) -> Rc<Self> {
+        Rc::new(CheckSession {
+            strict,
+            violations: RefCell::new(Vec::new()),
+            last_time: Cell::new(0),
+            resources: RefCell::new(BTreeMap::new()),
+            links: RefCell::new(BTreeMap::new()),
+            ssd: RefCell::new(BTreeMap::new()),
+            pcie: RefCell::new(BTreeMap::new()),
+            kernels_checked: Cell::new(0),
+            faults_injected: RefCell::new(BTreeMap::new()),
+            faults_handled: RefCell::new(BTreeMap::new()),
+            finished: Cell::new(false),
+        })
+    }
+
+    /// Installs a strict session for this thread (replacing any
+    /// previous one) and hooks it into the des checker probe slot.
+    pub fn install() -> Rc<Self> {
+        Self::install_mode(true)
+    }
+
+    /// Installs a collecting session: violations accumulate instead of
+    /// panicking. For tests that assert *on* violations.
+    pub fn install_collecting() -> Rc<Self> {
+        Self::install_mode(false)
+    }
+
+    fn install_mode(strict: bool) -> Rc<Self> {
+        let session = Self::new(strict);
+        CURRENT.with(|c| *c.borrow_mut() = Some(session.clone()));
+        probe::set_checker(Some(session.clone()));
+        session
+    }
+
+    /// Installs a strict session only if none is active; returns the
+    /// active session either way. Lets `DpdpuBuilder::boot` make the
+    /// checker always-on without clobbering an outer [`CheckGuard`].
+    pub fn ensure_installed() -> Rc<Self> {
+        if let Some(cur) = Self::current() {
+            return cur;
+        }
+        Self::install()
+    }
+
+    /// The session currently installed on this thread, if any.
+    pub fn current() -> Option<Rc<Self>> {
+        CURRENT.with(|c| c.borrow().clone())
+    }
+
+    /// Removes the thread's session and unhooks the des checker probe.
+    pub fn uninstall() {
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        probe::set_checker(None);
+    }
+
+    /// Violations recorded so far (strict sessions panic before
+    /// recording a second one, collecting sessions accumulate).
+    pub fn violations(&self) -> Vec<Violation> {
+        self.violations.borrow().clone()
+    }
+
+    fn violate(&self, invariant: Invariant, message: String) {
+        let v = Violation { invariant, message };
+        self.violations.borrow_mut().push(v.clone());
+        // Never turn an in-progress panic (e.g. a failing assert whose
+        // unwind drops permits) into a double-panic abort.
+        if self.strict && !std::thread::panicking() {
+            panic!("dpdpu-check: invariant violated: {v}");
+        }
+    }
+
+    /// Feeds a time observation; flags regressions within a run.
+    fn observe_time(&self, t: Time) {
+        if t < self.last_time.get() {
+            self.violate(
+                Invariant::TimeMonotonic,
+                format!("observed t={t} after t={}", self.last_time.get()),
+            );
+        } else {
+            self.last_time.set(t);
+        }
+    }
+
+    /// A new executor run started at `t`. A fresh `Sim` restarts the
+    /// virtual clock at zero, which is an epoch boundary, not time
+    /// travel: close the per-resource utilisation windows and reset the
+    /// monotonicity watermark.
+    fn epoch_reset(&self, t: Time) {
+        self.check_utilization();
+        for stat in self.resources.borrow_mut().values_mut() {
+            stat.serve_ns = 0;
+            stat.window_start = None;
+            stat.window_end = 0;
+        }
+        self.last_time.set(t);
+    }
+
+    fn check_utilization(&self) {
+        let mut pending = Vec::new();
+        for (track, stat) in self.resources.borrow().iter() {
+            let Some(start) = stat.window_start else {
+                continue;
+            };
+            let elapsed = stat.window_end.saturating_sub(start);
+            let budget = (stat.capacity as u64).saturating_mul(elapsed);
+            if stat.capacity > 0 && stat.serve_ns > budget {
+                pending.push((
+                    Invariant::UtilizationBound,
+                    format!(
+                        "resource '{track}': busy {} ns over {} ns with {} slot(s) \
+                         (max {} ns)",
+                        stat.serve_ns, elapsed, stat.capacity, budget
+                    ),
+                ));
+            }
+        }
+        for (inv, msg) in pending {
+            self.violate(inv, msg);
+        }
+    }
+
+    /// Runs the end-of-run balance checks and returns every violation
+    /// recorded by this session. Call after the `Sim` has been dropped
+    /// (task teardown releases held permits). Idempotent-ish: the
+    /// balance sweep runs once.
+    pub fn finish(&self) -> Vec<Violation> {
+        if !self.finished.replace(true) {
+            self.finish_checks();
+        }
+        self.violations()
+    }
+
+    fn finish_checks(&self) {
+        self.check_utilization();
+        let mut pending: Vec<(Invariant, String)> = Vec::new();
+        for (track, stat) in self.resources.borrow().iter() {
+            if stat.in_flight != 0 || stat.acquires != stat.releases {
+                pending.push((
+                    Invariant::AcquireReleaseBalance,
+                    format!(
+                        "resource '{track}': {} acquires vs {} releases \
+                         ({} still in flight) at end of run",
+                        stat.acquires, stat.releases, stat.in_flight
+                    ),
+                ));
+            }
+        }
+        for (name, f) in self.links.borrow().iter() {
+            if f.in_ops != f.out_ops + f.dropped_ops || f.in_bytes != f.out_bytes + f.dropped_bytes
+            {
+                pending.push((
+                    Invariant::LinkConservation,
+                    format!(
+                        "link '{name}': {} frames/{} B in, {} frames/{} B delivered, \
+                         {} frames/{} B dropped",
+                        f.in_ops,
+                        f.in_bytes,
+                        f.out_ops,
+                        f.out_bytes,
+                        f.dropped_ops,
+                        f.dropped_bytes
+                    ),
+                ));
+            }
+        }
+        for (site, f) in self.ssd.borrow().iter() {
+            if f.in_ops != f.out_ops + f.dropped_ops {
+                pending.push((
+                    Invariant::SsdConservation,
+                    format!(
+                        "ssd '{site}': {} ops admitted, {} completed, {} errored",
+                        f.in_ops, f.out_ops, f.dropped_ops
+                    ),
+                ));
+            }
+        }
+        for (name, f) in self.pcie.borrow().iter() {
+            if f.in_ops != f.out_ops || f.in_bytes != f.out_bytes {
+                pending.push((
+                    Invariant::PcieConservation,
+                    format!(
+                        "pcie '{name}': {} ops/{} B in vs {} ops/{} B out",
+                        f.in_ops, f.in_bytes, f.out_ops, f.out_bytes
+                    ),
+                ));
+            }
+        }
+        {
+            let injected = self.faults_injected.borrow();
+            let handled = self.faults_handled.borrow();
+            for site in FAULTS_REQUIRING_HANDLING {
+                let inj = injected.get(site).copied().unwrap_or(0);
+                let han: u64 = handled
+                    .iter()
+                    .filter(|((s, _), _)| s == site)
+                    .map(|(_, n)| *n)
+                    .sum();
+                if han < inj {
+                    pending.push((
+                        Invariant::FaultHygiene,
+                        format!(
+                            "fault '{site}': {inj} injected but only {han} \
+                             retried/degraded/surfaced"
+                        ),
+                    ));
+                }
+            }
+        }
+        for (inv, msg) in pending {
+            self.violate(inv, msg);
+        }
+    }
+
+    /// One-paragraph accounting report (stable ordering; suitable for
+    /// golden summaries).
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("conformance:");
+        let res = self.resources.borrow();
+        let total_acq: u64 = res.values().map(|r| r.acquires).sum();
+        let links = self.links.borrow();
+        let link_in: u64 = links.values().map(|f| f.in_bytes).sum();
+        let link_drop: u64 = links.values().map(|f| f.dropped_bytes).sum();
+        let ssd = self.ssd.borrow();
+        let ssd_ops: u64 = ssd.values().map(|f| f.in_ops).sum();
+        let ssd_err: u64 = ssd.values().map(|f| f.dropped_ops).sum();
+        let pcie = self.pcie.borrow();
+        let dma: u64 = pcie.values().map(|f| f.in_bytes).sum();
+        let inj: u64 = self.faults_injected.borrow().values().sum();
+        let _ = write!(
+            out,
+            " resources={} acquires={total_acq} link_bytes={link_in} \
+             link_dropped_bytes={link_drop} ssd_ops={ssd_ops} ssd_errors={ssd_err} \
+             dma_bytes={dma} kernels_checked={} faults_injected={inj} violations={}",
+            res.len(),
+            self.kernels_checked.get(),
+            self.violations.borrow().len(),
+        );
+        out
+    }
+
+    // ---- check-point recording -------------------------------------
+
+    fn note_now(&self) {
+        if let Some(t) = try_now() {
+            self.observe_time(t);
+        }
+    }
+
+    fn flow_in(map: &RefCell<BTreeMap<String, FlowStat>>, site: &str, bytes: u64) {
+        let mut map = map.borrow_mut();
+        let f = map.entry(site.to_string()).or_default();
+        f.in_ops += 1;
+        f.in_bytes += bytes;
+    }
+
+    fn flow_out(
+        &self,
+        map: &RefCell<BTreeMap<String, FlowStat>>,
+        invariant: Invariant,
+        site: &str,
+        bytes: u64,
+        dropped: bool,
+    ) {
+        let mut overdraft = None;
+        {
+            let mut map = map.borrow_mut();
+            let f = map.entry(site.to_string()).or_default();
+            if dropped {
+                f.dropped_ops += 1;
+                f.dropped_bytes += bytes;
+            } else {
+                f.out_ops += 1;
+                f.out_bytes += bytes;
+            }
+            if f.out_ops + f.dropped_ops > f.in_ops || f.out_bytes + f.dropped_bytes > f.in_bytes {
+                overdraft = Some(format!(
+                    "site '{site}': {} ops/{} B out exceeds {} ops/{} B in",
+                    f.out_ops + f.dropped_ops,
+                    f.out_bytes + f.dropped_bytes,
+                    f.in_ops,
+                    f.in_bytes
+                ));
+            }
+        }
+        if let Some(msg) = overdraft {
+            self.violate(invariant, msg);
+        }
+    }
+}
+
+impl Probe for CheckSession {
+    fn span(&self, track: &str, name: &'static str, start: Time, end: Time) {
+        if end < start {
+            self.violate(
+                Invariant::SpanCausality,
+                format!("span '{name}' on '{track}' ends at {end} before its start {start}"),
+            );
+            return;
+        }
+        if let Some(now) = try_now() {
+            if end > now {
+                self.violate(
+                    Invariant::SpanCausality,
+                    format!("span '{name}' on '{track}' dated {end}, after now={now}"),
+                );
+                return;
+            }
+        }
+        if name == "serve" {
+            let mut res = self.resources.borrow_mut();
+            let stat = res.entry(track.to_string()).or_default();
+            stat.serve_ns += end - start;
+            stat.window_start = Some(stat.window_start.unwrap_or(start).min(start));
+            stat.window_end = stat.window_end.max(end);
+        }
+        self.note_now();
+    }
+
+    fn acquire(&self, track: &str, capacity: usize, in_flight: usize) {
+        let mut over = false;
+        {
+            let mut res = self.resources.borrow_mut();
+            let stat = res.entry(track.to_string()).or_default();
+            stat.capacity = stat.capacity.max(capacity);
+            stat.in_flight = in_flight;
+            stat.acquires += 1;
+            if in_flight > capacity {
+                over = true;
+            }
+        }
+        if over {
+            self.violate(
+                Invariant::CapacityBound,
+                format!("resource '{track}': {in_flight} permits in flight, capacity {capacity}"),
+            );
+        }
+        self.note_now();
+    }
+
+    fn release(&self, track: &str, in_flight: usize) {
+        let mut res = self.resources.borrow_mut();
+        let stat = res.entry(track.to_string()).or_default();
+        stat.in_flight = in_flight;
+        stat.releases += 1;
+    }
+
+    fn advance(&self, from: Time, to: Time) {
+        if to < from {
+            self.violate(
+                Invariant::TimeMonotonic,
+                format!("executor advanced the clock backwards: {from} -> {to}"),
+            );
+            return;
+        }
+        if from < self.last_time.get() {
+            // A fresh Sim restarted the clock: epoch boundary.
+            self.epoch_reset(from);
+        } else {
+            self.observe_time(from);
+        }
+        self.observe_time(to);
+    }
+
+    fn epoch(&self) {
+        // Announced by `Sim::new`: the clock restarts at zero before any
+        // event of the new run is delivered.
+        self.epoch_reset(0);
+    }
+}
+
+/// RAII wrapper: installs a strict [`CheckSession`] on construction;
+/// on drop runs [`CheckSession::finish`], uninstalls, and panics if any
+/// violation was recorded (unless the thread is already panicking).
+///
+/// Declare the guard *before* the `Sim` so the simulation (and the
+/// permits its tasks hold) is torn down first:
+///
+/// ```
+/// let _check = dpdpu_check::CheckGuard::new();
+/// let mut sim = dpdpu_des::Sim::new();
+/// // ... spawn, run ...
+/// ```
+pub struct CheckGuard {
+    session: Rc<CheckSession>,
+}
+
+impl CheckGuard {
+    /// Installs a strict session and returns the guard.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        CheckGuard {
+            session: CheckSession::install(),
+        }
+    }
+
+    /// The underlying session (e.g. for [`CheckSession::report`]).
+    pub fn session(&self) -> &Rc<CheckSession> {
+        &self.session
+    }
+}
+
+impl Drop for CheckGuard {
+    fn drop(&mut self) {
+        let violations = self.session.finish();
+        CheckSession::uninstall();
+        if !violations.is_empty() && !std::thread::panicking() {
+            let list: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+            panic!(
+                "dpdpu-check: {} invariant violation(s) at end of run:\n  {}",
+                violations.len(),
+                list.join("\n  ")
+            );
+        }
+    }
+}
+
+// ---- free check-point functions (no-ops without a session) ---------
+
+fn with_session(f: impl FnOnce(&CheckSession)) {
+    CURRENT.with(|c| {
+        if let Some(s) = c.borrow().as_ref() {
+            f(s);
+        }
+    });
+}
+
+/// True when a conformance session is installed on this thread.
+/// Engines consult this before doing expensive ground-truth work
+/// (e.g. decompressing a kernel's output to validate a roundtrip).
+pub fn is_active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// A frame of `bytes` entered the named link.
+pub fn link_in(link: &str, bytes: u64) {
+    with_session(|s| {
+        CheckSession::flow_in(&s.links, link, bytes);
+        s.note_now();
+    });
+}
+
+/// A frame of `bytes` left the named link toward its receiver.
+pub fn link_delivered(link: &str, bytes: u64) {
+    with_session(|s| s.flow_out(&s.links, Invariant::LinkConservation, link, bytes, false));
+}
+
+/// A frame of `bytes` was dropped by the named link (loss model or
+/// injected fault).
+pub fn link_dropped(link: &str, bytes: u64) {
+    with_session(|s| s.flow_out(&s.links, Invariant::LinkConservation, link, bytes, true));
+}
+
+/// An SSD op of `bytes` was admitted past the device queue.
+/// `site` should identify device + direction, e.g. `"nvme0.read"`.
+pub fn ssd_in(site: &str, bytes: u64) {
+    with_session(|s| {
+        CheckSession::flow_in(&s.ssd, site, bytes);
+        s.note_now();
+    });
+}
+
+/// An admitted SSD op completed successfully.
+pub fn ssd_done(site: &str, bytes: u64) {
+    with_session(|s| s.flow_out(&s.ssd, Invariant::SsdConservation, site, bytes, false));
+}
+
+/// An admitted SSD op completed with a device error.
+pub fn ssd_failed(site: &str, bytes: u64) {
+    with_session(|s| s.flow_out(&s.ssd, Invariant::SsdConservation, site, bytes, true));
+}
+
+/// A DMA of `bytes` entered the named PCIe link.
+pub fn pcie_in(link: &str, bytes: u64) {
+    with_session(|s| {
+        CheckSession::flow_in(&s.pcie, link, bytes);
+        s.note_now();
+    });
+}
+
+/// A DMA of `bytes` fully crossed the named PCIe link.
+pub fn pcie_done(link: &str, bytes: u64) {
+    with_session(|s| s.flow_out(&s.pcie, Invariant::PcieConservation, link, bytes, false));
+}
+
+/// A compute kernel executed: `err` carries a ground-truth mismatch
+/// description (`None` = output validated clean).
+pub fn kernel_result(kind: &'static str, in_bytes: usize, out_bytes: usize, err: Option<String>) {
+    with_session(|s| {
+        s.kernels_checked.set(s.kernels_checked.get() + 1);
+        if let Some(msg) = err {
+            s.violate(
+                Invariant::KernelGroundTruth,
+                format!("kernel '{kind}' ({in_bytes} B in, {out_bytes} B out): {msg}"),
+            );
+        }
+    });
+}
+
+/// The fault layer injected a fault at `site` (its stable label,
+/// e.g. `"ssd_read"`).
+pub fn fault_injected(site: &str) {
+    with_session(|s| {
+        *s.faults_injected
+            .borrow_mut()
+            .entry(site.to_string())
+            .or_default() += 1;
+    });
+}
+
+/// A layer handled a fault at `site`: `outcome` is `"retried"`,
+/// `"degraded"`, or `"surfaced"`.
+pub fn fault_handled(site: &str, outcome: &'static str) {
+    with_session(|s| {
+        *s.faults_handled
+            .borrow_mut()
+            .entry((site.to_string(), outcome))
+            .or_default() += 1;
+    });
+}
+
+#[cfg(test)]
+mod tests;

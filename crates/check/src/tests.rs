@@ -1,0 +1,248 @@
+//! One unit test per invariant in the catalogue, plus end-to-end
+//! checks that a clean simulation stays clean.
+
+use super::*;
+use dpdpu_des::{sleep, Server, Sim};
+
+fn has(violations: &[Violation], inv: Invariant) -> bool {
+    violations.iter().any(|v| v.invariant == inv)
+}
+
+fn collecting<R>(f: impl FnOnce(&CheckSession) -> R) -> (R, Vec<Violation>) {
+    let session = CheckSession::install_collecting();
+    let r = f(&session);
+    let violations = session.finish();
+    CheckSession::uninstall();
+    (r, violations)
+}
+
+#[test]
+fn time_monotonic_catches_backwards_clock() {
+    let (_, v) = collecting(|s| {
+        s.advance(0, 100);
+        s.advance(100, 40); // executor claims the clock moved backwards
+    });
+    assert!(has(&v, Invariant::TimeMonotonic), "{v:?}");
+}
+
+#[test]
+fn time_monotonic_allows_epoch_reset() {
+    let (_, v) = collecting(|s| {
+        s.advance(0, 500);
+        // A fresh Sim restarts at zero: boundary, not time travel.
+        s.advance(0, 80);
+        s.advance(80, 120);
+    });
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn span_causality_catches_inverted_span() {
+    let (_, v) = collecting(|s| {
+        s.span("disk", "serve", 50, 10);
+    });
+    assert!(has(&v, Invariant::SpanCausality), "{v:?}");
+}
+
+#[test]
+fn span_causality_catches_future_dated_span() {
+    let session = CheckSession::install_collecting();
+    let mut sim = Sim::new();
+    sim.spawn(async {
+        sleep(100).await;
+        // now == 100; a span claiming to end at 900 is future-dated.
+        dpdpu_des::probe::emit_span("disk", "serve", 0, 900);
+    });
+    sim.run();
+    let v = session.finish();
+    CheckSession::uninstall();
+    assert!(has(&v, Invariant::SpanCausality), "{v:?}");
+}
+
+#[test]
+fn capacity_bound_catches_oversubscription() {
+    let (_, v) = collecting(|s| {
+        s.acquire("nic", 2, 3); // 3 permits in flight on 2 slots
+    });
+    assert!(has(&v, Invariant::CapacityBound), "{v:?}");
+}
+
+#[test]
+fn acquire_release_balance_catches_leaked_permit() {
+    let (_, v) = collecting(|s| {
+        s.acquire("nic", 2, 1);
+        s.acquire("nic", 2, 2);
+        s.release("nic", 1); // one of the two permits never comes back
+    });
+    assert!(has(&v, Invariant::AcquireReleaseBalance), "{v:?}");
+}
+
+#[test]
+fn link_conservation_catches_lost_frame() {
+    let (_, v) = collecting(|_| {
+        link_in("eth0", 1500);
+        link_in("eth0", 1500);
+        link_delivered("eth0", 1500);
+        // second frame neither delivered nor accounted as dropped
+    });
+    assert!(has(&v, Invariant::LinkConservation), "{v:?}");
+}
+
+#[test]
+fn link_conservation_catches_double_delivery_immediately() {
+    let (_, v) = collecting(|_| {
+        link_in("eth0", 100);
+        link_delivered("eth0", 100);
+        link_delivered("eth0", 100); // delivered more than was sent
+    });
+    assert!(has(&v, Invariant::LinkConservation), "{v:?}");
+}
+
+#[test]
+fn link_conservation_accepts_balanced_drop() {
+    let (_, v) = collecting(|_| {
+        link_in("eth0", 1500);
+        link_in("eth0", 64);
+        link_delivered("eth0", 1500);
+        link_dropped("eth0", 64);
+    });
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn ssd_conservation_catches_vanished_op() {
+    let (_, v) = collecting(|_| {
+        ssd_in("nvme0.read", 4096);
+        ssd_in("nvme0.read", 4096);
+        ssd_done("nvme0.read", 4096);
+        // second admitted op never completes or errors
+    });
+    assert!(has(&v, Invariant::SsdConservation), "{v:?}");
+}
+
+#[test]
+fn ssd_conservation_accepts_error_accounting() {
+    let (_, v) = collecting(|_| {
+        ssd_in("nvme0.write", 512);
+        ssd_failed("nvme0.write", 512);
+        ssd_in("nvme0.read", 4096);
+        ssd_done("nvme0.read", 4096);
+    });
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn pcie_conservation_catches_missing_completion() {
+    let (_, v) = collecting(|_| {
+        pcie_in("pcie-host-dpu", 8192);
+        pcie_done("pcie-host-dpu", 4096); // half the bytes vanished
+    });
+    assert!(has(&v, Invariant::PcieConservation), "{v:?}");
+}
+
+#[test]
+fn kernel_ground_truth_catches_mismatch() {
+    let (_, v) = collecting(|_| {
+        kernel_result("compress", 1024, 300, None);
+        kernel_result(
+            "compress",
+            1024,
+            300,
+            Some("decompressed output differs from input".into()),
+        );
+    });
+    assert!(has(&v, Invariant::KernelGroundTruth), "{v:?}");
+}
+
+#[test]
+fn utilization_bound_catches_overcommitted_busy_time() {
+    let (_, v) = collecting(|s| {
+        s.acquire("cpu", 1, 1);
+        s.release("cpu", 0);
+        // Two full-window serve spans on a 1-slot resource: 200 ns busy
+        // inside a 100 ns window.
+        s.span("cpu", "serve", 0, 100);
+        s.span("cpu", "serve", 0, 100);
+    });
+    assert!(has(&v, Invariant::UtilizationBound), "{v:?}");
+}
+
+#[test]
+fn fault_hygiene_catches_swallowed_fault() {
+    let (_, v) = collecting(|_| {
+        fault_injected("ssd_read");
+        fault_injected("ssd_read");
+        fault_handled("ssd_read", "retried"); // the second one is swallowed
+    });
+    assert!(has(&v, Invariant::FaultHygiene), "{v:?}");
+}
+
+#[test]
+fn fault_hygiene_accepts_all_three_outcomes() {
+    let (_, v) = collecting(|_| {
+        fault_injected("ssd_read");
+        fault_handled("ssd_read", "retried");
+        fault_injected("accel_offline");
+        fault_handled("accel_offline", "degraded");
+        fault_injected("ssd_write");
+        fault_handled("ssd_write", "surfaced");
+        // completion-preserving categories carry no obligation
+        fault_injected("ssd_slow");
+        fault_injected("link_delay");
+    });
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn clean_simulation_passes_strict_guard() {
+    let _check = CheckGuard::new();
+    let mut sim = Sim::new();
+    sim.spawn(async {
+        let server = Server::new("disk", 2);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = server.clone();
+            handles.push(dpdpu_des::spawn(async move { s.process(100).await }));
+        }
+        for h in handles {
+            h.await;
+        }
+        link_in("eth0", 4096);
+        link_delivered("eth0", 4096);
+    });
+    sim.run();
+    drop(sim);
+    // guard drop runs finish(): must not panic
+}
+
+#[test]
+fn strict_session_panics_at_the_offending_event() {
+    let err = std::panic::catch_unwind(|| {
+        let _s = CheckSession::install();
+        link_in("eth0", 10);
+        link_delivered("eth0", 20); // over-delivery panics right here
+    });
+    CheckSession::uninstall();
+    let msg = *err.expect_err("must panic").downcast::<String>().unwrap();
+    assert!(msg.contains("link-conservation"), "{msg}");
+}
+
+#[test]
+fn ensure_installed_does_not_clobber_existing_session() {
+    let outer = CheckSession::install_collecting();
+    let seen = CheckSession::ensure_installed();
+    assert!(Rc::ptr_eq(&outer, &seen));
+    CheckSession::uninstall();
+}
+
+#[test]
+fn report_has_stable_shape() {
+    let (_, _) = collecting(|s| {
+        link_in("eth0", 100);
+        link_delivered("eth0", 100);
+        let r = s.report();
+        assert!(r.starts_with("conformance:"), "{r}");
+        assert!(r.contains("link_bytes=100"), "{r}");
+        assert!(r.contains("violations=0"), "{r}");
+    });
+}

@@ -166,6 +166,7 @@ impl ComputeEngine {
                             {
                                 c.inc();
                             }
+                            dpdpu_check::fault_handled("accel_offline", "degraded");
                             self.platform
                                 .dpu_cpu
                                 .exec(kind.fixed_cycles() + bytes * kind.cycles_per_byte_dpu())
@@ -173,6 +174,7 @@ impl ComputeEngine {
                             self.dpu_jobs.inc();
                             target = ExecTarget::DpuCpu;
                         } else {
+                            dpdpu_check::fault_handled("accel_offline", "surfaced");
                             return Err(KernelError::TargetUnavailable(ExecTarget::DpuAsic));
                         }
                     }
@@ -200,7 +202,19 @@ impl ComputeEngine {
         {
             c.inc();
         }
-        op.execute(input)
+        let result = op.execute(input);
+        if dpdpu_check::is_active() {
+            if let Ok(out) = &result {
+                let err = crate::ground_truth::validate(op, input, out);
+                dpdpu_check::kernel_result(
+                    kind.label(),
+                    bytes as usize,
+                    out.size_bytes() as usize,
+                    err,
+                );
+            }
+        }
+        result
     }
 
     /// Runs a chain of byte→byte DP kernels on the PCIe peer accelerator

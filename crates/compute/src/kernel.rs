@@ -35,6 +35,22 @@ pub enum KernelKind {
 }
 
 impl KernelKind {
+    /// Stable lowercase label (telemetry tags, conformance reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::Compress => "compress",
+            KernelKind::Decompress => "decompress",
+            KernelKind::Crypt => "crypt",
+            KernelKind::RegexScan => "regex_scan",
+            KernelKind::Dedup => "dedup",
+            KernelKind::Sha256 => "sha256",
+            KernelKind::Crc32 => "crc32",
+            KernelKind::Filter => "filter",
+            KernelKind::Project => "project",
+            KernelKind::Aggregate => "aggregate",
+        }
+    }
+
     /// Which ASIC class (if any) accelerates this kernel. Relational
     /// operators are CPU-only on every DPU we model — exactly why DP
     /// kernels must run anywhere (paper §5).

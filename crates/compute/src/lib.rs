@@ -25,6 +25,7 @@
 //!   challenge).
 
 mod engine;
+mod ground_truth;
 mod kernel;
 mod scheduler;
 mod tenant;

@@ -117,6 +117,10 @@ impl DpdpuBuilder {
     /// Engine, and sproc scheduler. Must be called inside a running
     /// simulation.
     pub fn boot(self) -> Rc<Dpdpu> {
+        // Conformance is always-on: every builder-booted run gets the
+        // invariant checker. An outer `CheckGuard` (strict, owned by the
+        // caller) is respected — this only fills the slot when empty.
+        dpdpu_check::CheckSession::ensure_installed();
         let faults = self.fault_plan.map(FaultSession::install);
         let platform = self.platform.unwrap_or_else(Platform::default_bf2);
         if self.telemetry {

@@ -97,6 +97,8 @@ impl TrafficDirector {
             if self.is_degraded() {
                 self.degraded.inc();
                 self.to_host.inc();
+                // Overload faults are absorbed by routing to the host.
+                dpdpu_check::fault_handled("dpu_overload", "degraded");
                 return Route::Host;
             }
             self.to_dpu.inc();

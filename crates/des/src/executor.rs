@@ -146,6 +146,7 @@ impl Default for Sim {
 impl Sim {
     /// Creates an empty simulation at virtual time zero.
     pub fn new() -> Self {
+        crate::probe::emit_epoch();
         Sim {
             shared: Rc::new(SimShared {
                 now: Cell::new(0),
@@ -203,10 +204,13 @@ impl Sim {
                         self.shared.now.set(deadline.max(self.shared.now.get()));
                         break;
                     }
-                    debug_assert!(entry.deadline >= self.shared.now.get());
-                    self.shared
-                        .now
-                        .set(entry.deadline.max(self.shared.now.get()));
+                    let prev = self.shared.now.get();
+                    debug_assert!(entry.deadline >= prev);
+                    let next = entry.deadline.max(prev);
+                    self.shared.now.set(next);
+                    if next != prev {
+                        crate::probe::emit_advance(prev, next);
+                    }
                     entry.waker.wake();
                 }
                 None => break,

@@ -1,15 +1,22 @@
-//! Instrumentation hook for the executor's service centres.
+//! Instrumentation hooks for the executor's service centres.
 //!
 //! The DES substrate sits below every engine crate, so it cannot depend
-//! on `dpdpu-telemetry` (which depends on this crate). Instead it
-//! exposes one narrow, zero-cost-when-disabled hook: an installable
-//! [`Probe`] that receives completed (track, name, start, end)
-//! intervals from [`crate::Server`]. The telemetry crate installs its
-//! tracer here; nothing else in the workspace needs to.
+//! on `dpdpu-telemetry` or `dpdpu-check` (both depend on this crate).
+//! Instead it exposes a narrow, zero-cost-when-disabled hook: an
+//! installable [`Probe`] that receives completed (track, name, start,
+//! end) intervals from [`crate::Server`], plus semaphore accounting and
+//! clock-advance events. Two independent sinks exist:
 //!
-//! The enabled flag is a plain thread-local `Cell<bool>` so the
-//! disabled-path cost in `Server::process` is one predictable branch —
-//! no `RefCell` borrow, no virtual call.
+//! * the **tracer** slot ([`set_probe`]) — installed by the telemetry
+//!   crate to build spans and timelines;
+//! * the **checker** slot ([`set_checker`]) — installed by the
+//!   conformance layer (`dpdpu-check`) to verify invariants such as
+//!   virtual-time monotonicity and acquire/release balance.
+//!
+//! Every event is delivered to both sinks. The enabled flag is a plain
+//! thread-local `Cell<bool>` so the disabled-path cost in
+//! `Server::process` is one predictable branch — no `RefCell` borrow,
+//! no virtual call.
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
@@ -17,42 +24,131 @@ use std::rc::Rc;
 use crate::time::Time;
 
 /// Receiver for instrumentation events from the DES substrate.
+///
+/// All methods except [`Probe::span`] have default no-op bodies so a
+/// sink only pays for the events it cares about.
 pub trait Probe {
     /// A resource named `track` spent `start..end` doing `name`
     /// (e.g. `("cpu-dpu", "wait")` or `("accel-Compress", "serve")`).
     fn span(&self, track: &str, name: &'static str, start: Time, end: Time);
+
+    /// A permit of the labeled semaphore `track` was handed out.
+    /// `in_flight` is the number of permits outstanding *after* this
+    /// acquire; `capacity` is the semaphore's total permit count.
+    fn acquire(&self, track: &str, capacity: usize, in_flight: usize) {
+        let _ = (track, capacity, in_flight);
+    }
+
+    /// A permit of the labeled semaphore `track` was returned.
+    /// `in_flight` is the number of permits outstanding *after* this
+    /// release.
+    fn release(&self, track: &str, in_flight: usize) {
+        let _ = (track, in_flight);
+    }
+
+    /// The executor advanced the virtual clock from `from` to `to`.
+    fn advance(&self, from: Time, to: Time) {
+        let _ = (from, to);
+    }
+
+    /// A fresh [`crate::Sim`] was created: virtual time restarts at
+    /// zero. Sinks that track the clock across a whole process (the
+    /// conformance checker) must treat this as an epoch boundary, not a
+    /// backwards jump.
+    fn epoch(&self) {}
 }
 
 thread_local! {
     static PROBE: RefCell<Option<Rc<dyn Probe>>> = const { RefCell::new(None) };
+    static CHECKER: RefCell<Option<Rc<dyn Probe>>> = const { RefCell::new(None) };
     static ENABLED: Cell<bool> = const { Cell::new(false) };
 }
 
-/// Installs `probe` as the thread's instrumentation sink (replacing any
-/// previous one). Pass `None` to disable.
-pub fn set_probe(probe: Option<Rc<dyn Probe>>) {
-    ENABLED.with(|e| e.set(probe.is_some()));
-    PROBE.with(|p| *p.borrow_mut() = probe);
+fn refresh_enabled() {
+    let any = PROBE.with(|p| p.borrow().is_some()) || CHECKER.with(|c| c.borrow().is_some());
+    ENABLED.with(|e| e.set(any));
 }
 
-/// True when a probe is installed. Instrumented code should consult this
-/// before computing timestamps so the disabled path stays branch-only.
+/// Installs `probe` as the thread's tracer sink (replacing any previous
+/// one). Pass `None` to disable.
+pub fn set_probe(probe: Option<Rc<dyn Probe>>) {
+    PROBE.with(|p| *p.borrow_mut() = probe);
+    refresh_enabled();
+}
+
+/// Installs `checker` as the thread's conformance sink (replacing any
+/// previous one). Pass `None` to disable. Independent of [`set_probe`]:
+/// both sinks receive every event.
+pub fn set_checker(checker: Option<Rc<dyn Probe>>) {
+    CHECKER.with(|c| *c.borrow_mut() = checker);
+    refresh_enabled();
+}
+
+/// True when a tracer or checker is installed. Instrumented code should
+/// consult this before computing timestamps so the disabled path stays
+/// branch-only.
 #[inline]
 pub fn probe_enabled() -> bool {
     ENABLED.with(|e| e.get())
 }
 
-/// Delivers one interval to the installed probe, if any.
+fn each_sink(f: impl Fn(&dyn Probe)) {
+    PROBE.with(|p| {
+        if let Some(probe) = p.borrow().as_ref() {
+            f(probe.as_ref());
+        }
+    });
+    CHECKER.with(|c| {
+        if let Some(checker) = c.borrow().as_ref() {
+            f(checker.as_ref());
+        }
+    });
+}
+
+/// Delivers one interval to the installed sinks, if any.
 #[inline]
 pub fn emit_span(track: &str, name: &'static str, start: Time, end: Time) {
     if !probe_enabled() {
         return;
     }
-    PROBE.with(|p| {
-        if let Some(probe) = p.borrow().as_ref() {
-            probe.span(track, name, start, end);
-        }
-    });
+    each_sink(|s| s.span(track, name, start, end));
+}
+
+/// Delivers one semaphore-acquire event to the installed sinks, if any.
+#[inline]
+pub fn emit_acquire(track: &str, capacity: usize, in_flight: usize) {
+    if !probe_enabled() {
+        return;
+    }
+    each_sink(|s| s.acquire(track, capacity, in_flight));
+}
+
+/// Delivers one semaphore-release event to the installed sinks, if any.
+#[inline]
+pub fn emit_release(track: &str, in_flight: usize) {
+    if !probe_enabled() {
+        return;
+    }
+    each_sink(|s| s.release(track, in_flight));
+}
+
+/// Delivers one clock-advance event to the installed sinks, if any.
+#[inline]
+pub fn emit_advance(from: Time, to: Time) {
+    if !probe_enabled() {
+        return;
+    }
+    each_sink(|s| s.advance(from, to));
+}
+
+/// Announces a new simulation epoch (fresh [`crate::Sim`], clock back
+/// at zero) to the installed sinks, if any.
+#[inline]
+pub fn emit_epoch() {
+    if !probe_enabled() {
+        return;
+    }
+    each_sink(|s| s.epoch());
 }
 
 #[cfg(test)]
@@ -64,6 +160,9 @@ mod tests {
     #[derive(Default)]
     struct Recorder {
         events: RefCell<Vec<(String, &'static str, Time, Time)>>,
+        acquires: RefCell<Vec<(String, usize, usize)>>,
+        releases: RefCell<Vec<(String, usize)>>,
+        advances: Cell<usize>,
     }
 
     impl Probe for Recorder {
@@ -71,6 +170,20 @@ mod tests {
             self.events
                 .borrow_mut()
                 .push((track.to_string(), name, start, end));
+        }
+        fn acquire(&self, track: &str, capacity: usize, in_flight: usize) {
+            self.acquires
+                .borrow_mut()
+                .push((track.to_string(), capacity, in_flight));
+        }
+        fn release(&self, track: &str, in_flight: usize) {
+            self.releases
+                .borrow_mut()
+                .push((track.to_string(), in_flight));
+        }
+        fn advance(&self, from: Time, to: Time) {
+            assert!(to >= from, "clock went backwards: {from} -> {to}");
+            self.advances.set(self.advances.get() + 1);
         }
     }
 
@@ -103,12 +216,50 @@ mod tests {
     #[test]
     fn disabled_probe_costs_nothing_and_records_nothing() {
         set_probe(None);
+        set_checker(None);
         assert!(!probe_enabled());
         emit_span("x", "y", 0, 1); // must be a no-op, not a panic
+        emit_acquire("x", 1, 1);
+        emit_release("x", 0);
+        emit_advance(0, 1);
         let mut sim = Sim::new();
         sim.spawn(async {
             Server::new("s", 1).process(5).await;
         });
         sim.run();
+    }
+
+    #[test]
+    fn checker_slot_receives_events_independently() {
+        let tracer = Rc::new(Recorder::default());
+        let checker = Rc::new(Recorder::default());
+        set_probe(Some(tracer.clone()));
+        set_checker(Some(checker.clone()));
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let server = Server::new("nic", 1);
+            server.process(7).await;
+            sleep(3).await;
+        });
+        sim.run();
+        set_probe(None);
+        set_checker(None);
+        assert!(!probe_enabled());
+
+        // Both sinks saw the same serve span.
+        for rec in [&tracer, &checker] {
+            let events = rec.events.borrow();
+            assert!(
+                events.iter().any(|e| e.0 == "nic" && e.1 == "serve"),
+                "missing serve span: {events:?}"
+            );
+        }
+        // Server slots are a labeled semaphore: acquire/release balance.
+        let acq = checker.acquires.borrow();
+        let rel = checker.releases.borrow();
+        assert_eq!(acq.len(), rel.len(), "acquire/release imbalance");
+        assert!(acq.iter().all(|(t, cap, inf)| t == "nic" && *inf <= *cap));
+        // The executor reported clock advances.
+        assert!(checker.advances.get() > 0, "no advance events");
     }
 }

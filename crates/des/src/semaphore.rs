@@ -26,10 +26,28 @@ struct Waiter {
 
 struct SemInner {
     permits: usize,
+    /// Total permits ever made available (initial + `add_permits`).
+    capacity: usize,
+    /// Accounting label; labeled semaphores report acquire/release
+    /// events through [`crate::probe`] so a conformance checker can
+    /// balance them. `None` keeps the semaphore silent.
+    label: Option<Rc<str>>,
     waiters: VecDeque<Rc<Waiter>>,
 }
 
 impl SemInner {
+    fn note_acquire(&self) {
+        if let Some(label) = &self.label {
+            crate::probe::emit_acquire(label, self.capacity, self.capacity - self.permits);
+        }
+    }
+
+    fn note_release(&self) {
+        if let Some(label) = &self.label {
+            crate::probe::emit_release(label, self.capacity - self.permits);
+        }
+    }
+
     /// Hands available permits to waiters in FIFO order.
     fn grant(&mut self) {
         while self.permits > 0 {
@@ -42,6 +60,7 @@ impl SemInner {
             }
             let waiter = self.waiters.pop_front().expect("front checked above");
             self.permits -= 1;
+            self.note_acquire();
             waiter.state.set(WaitState::Granted);
             let waker = waiter.waker.borrow_mut().take();
             if let Some(waker) = waker {
@@ -63,6 +82,21 @@ impl Semaphore {
         Semaphore {
             inner: Rc::new(RefCell::new(SemInner {
                 permits,
+                capacity: permits,
+                label: None,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Creates a semaphore that reports acquire/release accounting
+    /// events under `label` (see [`crate::probe`]).
+    pub fn new_labeled(label: &str, permits: usize) -> Self {
+        Semaphore {
+            inner: Rc::new(RefCell::new(SemInner {
+                permits,
+                capacity: permits,
+                label: Some(Rc::from(label)),
                 waiters: VecDeque::new(),
             })),
         }
@@ -83,6 +117,7 @@ impl Semaphore {
         let mut inner = self.inner.borrow_mut();
         if inner.permits > 0 && inner.waiters.is_empty() {
             inner.permits -= 1;
+            inner.note_acquire();
             Some(Permit {
                 sem: self.inner.clone(),
             })
@@ -102,10 +137,11 @@ impl Semaphore {
         self.inner.borrow().waiters.len()
     }
 
-    /// Adds `n` permits to the pool, waking waiters.
+    /// Adds `n` permits to the pool (growing capacity), waking waiters.
     pub fn add_permits(&self, n: usize) {
         let mut inner = self.inner.borrow_mut();
         inner.permits += n;
+        inner.capacity += n;
         inner.grant();
     }
 }
@@ -119,6 +155,7 @@ impl Drop for Permit {
     fn drop(&mut self) {
         let mut inner = self.sem.borrow_mut();
         inner.permits += 1;
+        inner.note_release();
         inner.grant();
     }
 }
@@ -142,6 +179,7 @@ impl Future for Acquire {
                 let mut inner = self.sem.borrow_mut();
                 if inner.permits > 0 && inner.waiters.is_empty() {
                     inner.permits -= 1;
+                    inner.note_acquire();
                     drop(inner);
                     self.done = true;
                     return Poll::Ready(Permit {
@@ -185,6 +223,7 @@ impl Drop for Acquire {
                     // Granted but never observed: return the permit.
                     let mut inner = self.sem.borrow_mut();
                     inner.permits += 1;
+                    inner.note_release();
                     inner.grant();
                 }
                 WaitState::Waiting => waiter.state.set(WaitState::Cancelled),

@@ -27,10 +27,14 @@ impl Server {
     /// Creates a server with `slots` parallel service slots.
     pub fn new(name: impl Into<String>, slots: usize) -> Rc<Self> {
         assert!(slots > 0, "server needs at least one slot");
+        let name = name.into();
+        // The slot semaphore carries the server name so a conformance
+        // checker can balance acquires against releases per resource.
+        let sem = Semaphore::new_labeled(&name, slots);
         Rc::new(Server {
-            name: name.into(),
+            name,
             slots,
-            sem: Semaphore::new(slots),
+            sem,
             busy_ns: Cell::new(0),
             completed: Cell::new(0),
         })

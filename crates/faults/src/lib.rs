@@ -65,7 +65,9 @@ impl FaultSite {
         FaultSite::DpuOverload,
     ];
 
-    fn label(self) -> &'static str {
+    /// Stable lowercase label (used in reports, telemetry tags, and
+    /// `dpdpu-check` fault-hygiene accounting).
+    pub fn label(self) -> &'static str {
         match self {
             FaultSite::LinkDrop => "link_drop",
             FaultSite::LinkDelay => "link_delay",
@@ -380,6 +382,7 @@ impl FaultSession {
 
     fn record(&self, site: FaultSite) {
         self.injected[site as usize].inc();
+        dpdpu_check::fault_injected(site.label());
         if let Some(c) = dpdpu_telemetry::counter("faults_injected", &[("site", site.label())]) {
             c.inc();
         }

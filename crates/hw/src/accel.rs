@@ -54,7 +54,7 @@ impl Accelerator {
         assert!(bytes_per_sec > 0, "accelerator bandwidth must be positive");
         Rc::new(Accelerator {
             kind,
-            contexts: Semaphore::new(contexts),
+            contexts: Semaphore::new_labeled(&format!("accel-{kind:?}-ctx"), contexts),
             num_contexts: contexts,
             pipeline: Server::new(format!("accel-{kind:?}"), 1),
             fixed_latency_ns,

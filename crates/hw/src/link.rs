@@ -51,6 +51,7 @@ pub struct Link<T> {
     wire: Rc<Server>,
     out: Sender<T>,
     rng: RefCell<StdRng>,
+    fault_exempt: bool,
     pub delivered: Counter,
     pub dropped: Counter,
     pub bytes_sent: Counter,
@@ -60,6 +61,23 @@ impl<T: 'static> Link<T> {
     /// Creates a link direction; the returned [`Receiver`] yields delivered
     /// frames in order.
     pub fn new(name: impl Into<String>, cfg: LinkConfig) -> (Rc<Self>, Receiver<T>) {
+        Self::build(name, cfg, false)
+    }
+
+    /// Creates a link direction that injected fault plans skip. For
+    /// control channels whose protocol tolerates loss natively (e.g. a
+    /// TCP ACK path, recovered by cumulative acking with no retransmit):
+    /// injecting an unobservable drop there would make fault-hygiene
+    /// accounting unsatisfiable.
+    pub fn new_fault_exempt(name: impl Into<String>, cfg: LinkConfig) -> (Rc<Self>, Receiver<T>) {
+        Self::build(name, cfg, true)
+    }
+
+    fn build(
+        name: impl Into<String>,
+        cfg: LinkConfig,
+        fault_exempt: bool,
+    ) -> (Rc<Self>, Receiver<T>) {
         assert!(cfg.bits_per_sec > 0, "link rate must be positive");
         assert!(
             (0.0..=1.0).contains(&cfg.loss_rate),
@@ -72,6 +90,7 @@ impl<T: 'static> Link<T> {
                 wire: Server::new(name, 1),
                 out: tx,
                 rng: RefCell::new(StdRng::seed_from_u64(cfg.seed)),
+                fault_exempt,
                 delivered: Counter::new(),
                 dropped: Counter::new(),
                 bytes_sent: Counter::new(),
@@ -95,18 +114,26 @@ impl<T: 'static> Link<T> {
     pub async fn send(self: &Rc<Self>, frame: T, bytes: u64) {
         self.wire.process(self.transmit_ns(bytes)).await;
         self.bytes_sent.add(bytes);
+        dpdpu_check::link_in(self.wire.name(), bytes);
         let lost =
             self.cfg.loss_rate > 0.0 && self.rng.borrow_mut().random_bool(self.cfg.loss_rate);
         if lost {
             self.dropped.inc();
+            dpdpu_check::link_dropped(self.wire.name(), bytes);
             return;
         }
         // Injected faults sit on top of the link's own loss model. A
         // delay is charged as extra *wire-busy* time so frame order is
         // preserved — the wire is slow, not the frame reordered.
-        match dpdpu_faults::link_verdict() {
+        let verdict = if self.fault_exempt {
+            dpdpu_faults::LinkVerdict::Deliver
+        } else {
+            dpdpu_faults::link_verdict()
+        };
+        match verdict {
             dpdpu_faults::LinkVerdict::Drop => {
                 self.dropped.inc();
+                dpdpu_check::link_dropped(self.wire.name(), bytes);
                 return;
             }
             dpdpu_faults::LinkVerdict::Delay(extra_ns) => {
@@ -115,6 +142,7 @@ impl<T: 'static> Link<T> {
             dpdpu_faults::LinkVerdict::Deliver => {}
         }
         self.delivered.inc();
+        dpdpu_check::link_delivered(self.wire.name(), bytes);
         let this = self.clone();
         spawn(async move {
             sleep(this.cfg.propagation_ns).await;

@@ -81,7 +81,10 @@ impl PeerDevice {
     /// Instantiates a peer device from its spec.
     pub fn new(spec: PeerSpec) -> Rc<Self> {
         Rc::new(PeerDevice {
-            contexts: dpdpu_des::Semaphore::new(spec.contexts),
+            contexts: dpdpu_des::Semaphore::new_labeled(
+                &format!("peer-{:?}-ctx", spec.kind),
+                spec.contexts,
+            ),
             engine: Server::new(format!("peer-{:?}", spec.kind), 1),
             pcie: PcieLink::new("peer-pcie", spec.pcie_bytes_per_sec),
             mem: Memory::new(spec.mem_bytes),

@@ -37,6 +37,10 @@ impl std::error::Error for IoError {}
 /// type is timing only, so the same model serves every experiment.
 pub struct Ssd {
     queue: Semaphore,
+    /// Conformance site labels (`"<name>.read"` / `"<name>.write"`),
+    /// precomputed so the per-op check-point is allocation-free.
+    read_site: String,
+    write_site: String,
     read_lat_ns: Time,
     write_lat_ns: Time,
     read_bw: Rc<Server>,
@@ -74,7 +78,9 @@ impl Ssd {
     ) -> Rc<Self> {
         assert!(queue_depth > 0, "queue depth must be positive");
         Rc::new(Ssd {
-            queue: Semaphore::new(queue_depth),
+            queue: Semaphore::new_labeled(&format!("{name}-q"), queue_depth),
+            read_site: format!("{name}.read"),
+            write_site: format!("{name}.write"),
             read_lat_ns,
             write_lat_ns,
             read_bw: Server::new(format!("{name}-rd"), 1),
@@ -97,11 +103,13 @@ impl Ssd {
     /// command.
     pub async fn read(&self, bytes: u64) -> Result<(), IoError> {
         let _slot = self.queue.acquire().await;
+        dpdpu_check::ssd_in(&self.read_site, bytes);
         let verdict = dpdpu_faults::ssd_verdict(IoOp::Read);
         sleep(self.read_lat_ns).await;
         match verdict {
             IoVerdict::Fail => {
                 self.io_errors.inc();
+                dpdpu_check::ssd_failed(&self.read_site, bytes);
                 return Err(IoError::Read);
             }
             IoVerdict::Slow(extra_ns) => sleep(extra_ns).await,
@@ -112,6 +120,7 @@ impl Ssd {
             .await;
         self.reads.inc();
         self.bytes_read.add(bytes);
+        dpdpu_check::ssd_done(&self.read_site, bytes);
         Ok(())
     }
 
@@ -120,11 +129,13 @@ impl Ssd {
     /// Fails only under an installed fault plan (see [`Ssd::read`]).
     pub async fn write(&self, bytes: u64) -> Result<(), IoError> {
         let _slot = self.queue.acquire().await;
+        dpdpu_check::ssd_in(&self.write_site, bytes);
         let verdict = dpdpu_faults::ssd_verdict(IoOp::Write);
         sleep(self.write_lat_ns).await;
         match verdict {
             IoVerdict::Fail => {
                 self.io_errors.inc();
+                dpdpu_check::ssd_failed(&self.write_site, bytes);
                 return Err(IoError::Write);
             }
             IoVerdict::Slow(extra_ns) => sleep(extra_ns).await,
@@ -135,6 +146,7 @@ impl Ssd {
             .await;
         self.writes.inc();
         self.bytes_written.add(bytes);
+        dpdpu_check::ssd_done(&self.write_site, bytes);
         Ok(())
     }
 

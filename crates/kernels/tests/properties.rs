@@ -1,0 +1,223 @@
+//! Property tests for the data-path kernels: algebraic identities and
+//! roundtrips over seeded random and pathological corpora. These are the
+//! ground truths the conformance layer (`dpdpu-check`) re-validates at
+//! every Compute Engine invocation — here they are hammered directly.
+
+use dpdpu_kernels::record::{gen, Value};
+use dpdpu_kernels::relops::{aggregate, filter, project, AggFunc, AggSpec, CmpOp, Predicate};
+use dpdpu_kernels::{aes, deflate, sha256, text};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Pathological corpora every byte-level kernel must survive.
+fn pathological_corpora() -> Vec<(&'static str, Vec<u8>)> {
+    vec![
+        ("empty", Vec::new()),
+        ("single_byte", vec![0x42]),
+        ("all_zeros", vec![0u8; 65_536]),
+        ("all_ff", vec![0xFF; 65_536]),
+        ("periodic_3", (0..30_000).map(|i| (i % 3) as u8).collect()),
+        (
+            "long_runs",
+            (0..16)
+                .flat_map(|v| std::iter::repeat_n(v as u8 * 17, 4_096))
+                .collect(),
+        ),
+        ("incompressible", {
+            // Seeded uniform bytes: no structure for LZ77 to find.
+            let mut rng = StdRng::seed_from_u64(0xBAD5EED);
+            (0..65_536).map(|_| rng.random::<u8>()).collect()
+        }),
+        ("natural_text", text::natural_text(48_000, 11)),
+    ]
+}
+
+/// Seeded random corpora of varied sizes (including block-boundary
+/// straddlers for SHA-256's 64-byte and AES's 16-byte blocks).
+fn random_corpora() -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(2025);
+    [0usize, 1, 15, 16, 17, 63, 64, 65, 1_000, 4_096, 100_000]
+        .iter()
+        .map(|&n| (0..n).map(|_| rng.random::<u8>()).collect())
+        .collect()
+}
+
+#[test]
+fn deflate_roundtrips_pathological_corpora() {
+    for (name, data) in pathological_corpora() {
+        let packed = deflate::compress(&data);
+        let back = deflate::decompress(&packed).unwrap_or_else(|e| {
+            panic!("decompress({name}) failed: {e:?}");
+        });
+        assert_eq!(back, data, "roundtrip mismatch on corpus '{name}'");
+        if data.len() >= 4_096 && name != "incompressible" {
+            assert!(
+                packed.len() < data.len(),
+                "'{name}' is structured; DEFLATE must shrink it \
+                 ({} -> {})",
+                data.len(),
+                packed.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn deflate_roundtrips_seeded_random() {
+    for data in random_corpora() {
+        let packed = deflate::compress(&data);
+        let back = deflate::decompress(&packed).expect("well-formed container");
+        assert_eq!(back, data, "roundtrip mismatch at len {}", data.len());
+    }
+}
+
+#[test]
+fn deflate_rejects_corrupted_containers() {
+    let data = text::natural_text(10_000, 3);
+    let mut packed = deflate::compress(&data);
+    // Flip a bit mid-stream: either a decode error or a wrong payload,
+    // but never a panic and never a silent pass to the same bytes.
+    let mid = packed.len() / 2;
+    packed[mid] ^= 0x10;
+    if let Ok(out) = deflate::decompress(&packed) {
+        assert_ne!(out, data, "corruption must not roundtrip cleanly");
+    }
+}
+
+#[test]
+fn aes_ctr_is_its_own_inverse() {
+    let key = [7u8; 16];
+    let nonce = [3u8; 12];
+    for (name, data) in pathological_corpora() {
+        let mut buf = data.clone();
+        aes::ctr_xor(&key, &nonce, &mut buf);
+        if !data.is_empty() && data.len() >= 16 {
+            assert_ne!(buf, data, "'{name}': ciphertext must differ from plaintext");
+        }
+        aes::ctr_xor(&key, &nonce, &mut buf);
+        assert_eq!(buf, data, "'{name}': encrypt∘encrypt must be identity");
+    }
+}
+
+#[test]
+fn aes_ctr_is_key_and_nonce_sensitive() {
+    let data = text::natural_text(4_096, 9);
+    let mut with_key_a = data.clone();
+    aes::ctr_xor(&[1u8; 16], &[0u8; 12], &mut with_key_a);
+    let mut with_key_b = data.clone();
+    aes::ctr_xor(&[2u8; 16], &[0u8; 12], &mut with_key_b);
+    assert_ne!(with_key_a, with_key_b, "different keys, same stream");
+    let mut with_nonce_b = data.clone();
+    aes::ctr_xor(&[1u8; 16], &[9u8; 12], &mut with_nonce_b);
+    assert_ne!(with_key_a, with_nonce_b, "different nonces, same stream");
+}
+
+fn hex(digest: &[u8; 32]) -> String {
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[test]
+fn sha256_matches_published_nist_vectors() {
+    // FIPS 180-2 / NIST CAVP test vectors.
+    assert_eq!(
+        hex(&sha256::sha256(b"")),
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    );
+    assert_eq!(
+        hex(&sha256::sha256(b"abc")),
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    );
+    assert_eq!(
+        hex(&sha256::sha256(
+            b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        )),
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    );
+    assert_eq!(
+        hex(&sha256::sha256(&vec![b'a'; 1_000_000])),
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    );
+}
+
+#[test]
+fn sha256_streaming_matches_one_shot_at_any_split() {
+    let data = text::natural_text(10_000, 5);
+    let reference = sha256::sha256(&data);
+    for split in [0, 1, 63, 64, 65, 5_000, data.len()] {
+        let mut h = sha256::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        assert_eq!(h.finalize(), reference, "split at {split}");
+    }
+}
+
+#[test]
+fn filter_composition_commutes_and_conjoins() {
+    let batch = gen::orders(500, 17);
+    let p = Predicate::cmp(1, CmpOp::Lt, Value::Int(5_000));
+    let q = Predicate::cmp(2, CmpOp::Ge, Value::Float(2_000.0));
+
+    let p_then_q = filter(&filter(&batch, &p), &q);
+    let q_then_p = filter(&filter(&batch, &q), &p);
+    let and_once = filter(&batch, &p.clone().and(q.clone()));
+
+    assert_eq!(p_then_q.rows, q_then_p.rows, "filter∘filter must commute");
+    assert_eq!(p_then_q.rows, and_once.rows, "composition must equal AND");
+    assert!(p_then_q.len() < batch.len(), "predicates must be selective");
+}
+
+#[test]
+fn filter_is_idempotent() {
+    let batch = gen::orders(300, 23);
+    let p = Predicate::cmp(3, CmpOp::Eq, Value::Text("paid".into()));
+    let once = filter(&batch, &p);
+    let twice = filter(&once, &p);
+    assert_eq!(once.rows, twice.rows, "filtering twice must change nothing");
+}
+
+#[test]
+fn project_is_idempotent_and_preserves_rows() {
+    let batch = gen::orders(400, 29);
+    let cols = [0usize, 2];
+    let once = project(&batch, &cols);
+    assert_eq!(once.len(), batch.len(), "projection must keep every row");
+    assert_eq!(once.schema.arity(), cols.len());
+    // Re-projecting the full column range of the result is the identity.
+    let twice = project(&once, &[0, 1]);
+    assert_eq!(once.rows, twice.rows, "full projection must be identity");
+}
+
+#[test]
+fn aggregate_count_equals_len_and_bounds_hold() {
+    let batch = gen::orders(256, 31);
+    let out = aggregate(
+        &batch,
+        &[
+            AggSpec {
+                func: AggFunc::Count,
+                col: 0,
+            },
+            AggSpec {
+                func: AggFunc::Min,
+                col: 2,
+            },
+            AggSpec {
+                func: AggFunc::Max,
+                col: 2,
+            },
+            AggSpec {
+                func: AggFunc::Avg,
+                col: 2,
+            },
+        ],
+    );
+    assert_eq!(out[0], Value::Int(batch.len() as i64));
+    let (min, max, avg) = match (&out[1], &out[2], &out[3]) {
+        (Value::Float(a), Value::Float(b), Value::Float(c)) => (*a, *b, *c),
+        other => panic!("expected floats, got {other:?}"),
+    };
+    assert!(
+        min <= avg && avg <= max,
+        "min {min} <= avg {avg} <= max {max}"
+    );
+}

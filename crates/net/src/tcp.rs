@@ -289,7 +289,10 @@ pub fn tcp_mux(
 ) -> Vec<(TcpSender, TcpReceiver)> {
     assert!(streams > 0, "need at least one stream");
     let (data_link, mut data_rx) = Link::new("tcp-data", link_cfg);
-    let (ack_link, mut ack_rx) = Link::new(
+    // The ACK path is deliberately lossless — natural loss AND injected
+    // drops. Cumulative acking recovers a lost ACK with no observable
+    // handling event, which would break fault-hygiene accounting.
+    let (ack_link, mut ack_rx) = Link::new_fault_exempt(
         "tcp-ack",
         LinkConfig {
             loss_rate: 0.0,
@@ -439,7 +442,12 @@ async fn sender_task(
     // Three-way handshake: connection management is part of the §6
     // control plane (the offloaded stack runs it on the DPU too). SYN is
     // retried on the RTO like any other segment.
-    'handshake: for _ in 0..5 {
+    'handshake: for attempt in 0..5 {
+        if attempt > 0 {
+            // The SYN rides the data link; a resend is the recovery for
+            // a SYN lost there (the ACK path cannot drop).
+            dpdpu_check::fault_handled("link_drop", "retried");
+        }
         side.charge_ack().await;
         port.send(Segment::Syn).await;
         loop {
@@ -574,6 +582,9 @@ async fn sender_task(
                     side.charge_data_segment(payload.len() as u64).await;
                     stats.segments_sent.inc();
                     stats.retransmits.inc();
+                    // A retransmit is the transport-level recovery for a
+                    // dropped frame (injected or natural).
+                    dpdpu_check::fault_handled("link_drop", "retried");
                     port.send(Segment::Data { seq, payload }).await;
                 }
             }
@@ -592,6 +603,9 @@ async fn sender_task(
                     side.charge_data_segment(payload.len() as u64).await;
                     stats.segments_sent.inc();
                     stats.retransmits.inc();
+                    // A retransmit is the transport-level recovery for a
+                    // dropped frame (injected or natural).
+                    dpdpu_check::fault_handled("link_drop", "retried");
                     port.send(Segment::Data { seq, payload }).await;
                 }
             }
@@ -600,13 +614,27 @@ async fn sender_task(
 
     // FIN with bounded retries.
     let fin_seq = st.borrow().snd_nxt;
-    for _ in 0..5 {
+    let mut acked = false;
+    for attempt in 0..5 {
+        if attempt > 0 {
+            // The FIN rides the data link; a resend is the recovery for
+            // a FIN lost there (the ACK path cannot drop).
+            dpdpu_check::fault_handled("link_drop", "retried");
+        }
         port.send(Segment::Fin { seq: fin_seq }).await;
         match timeout(params.rto_ns, ack_rx.recv()).await {
-            Ok(Some(AckEvent::FinAck)) => break,
+            Ok(Some(AckEvent::FinAck)) => {
+                acked = true;
+                break;
+            }
             Ok(Some(AckEvent::Ack { .. } | AckEvent::SynAck)) => continue,
             Ok(None) | Err(_) => continue,
         }
+    }
+    if !acked {
+        // Retries exhausted: half-close anyway — the unacked FIN is a
+        // surfaced terminal state, not a hang.
+        dpdpu_check::fault_handled("link_drop", "surfaced");
     }
 }
 

@@ -32,6 +32,15 @@ pub struct FileService {
     pub retries: Counter,
 }
 
+/// Maps a device error to its fault-injection site label for
+/// `dpdpu-check` hygiene accounting.
+fn io_fault_site(e: dpdpu_hw::IoError) -> &'static str {
+    match e {
+        dpdpu_hw::IoError::Read => "ssd_read",
+        dpdpu_hw::IoError::Write => "ssd_write",
+    }
+}
+
 fn io_backoff_ns(attempt: u32) -> u64 {
     IO_RETRY_BASE_NS << attempt.saturating_sub(1).min(16)
 }
@@ -64,8 +73,14 @@ impl FileService {
                     if let Some(c) = dpdpu_telemetry::counter("io_retries", &[("op", label)]) {
                         c.inc();
                     }
-                    let _ = e;
+                    dpdpu_check::fault_handled(io_fault_site(e), "retried");
                     sleep(io_backoff_ns(attempt)).await;
+                }
+                Err(FsError::Io(e)) => {
+                    // Retries exhausted: the error crosses the service
+                    // boundary as a typed failure, never swallowed.
+                    dpdpu_check::fault_handled(io_fault_site(e), "surfaced");
+                    return Err(FsError::Io(e));
                 }
                 other => return other,
             }

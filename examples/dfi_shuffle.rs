@@ -23,6 +23,8 @@ const PARTITIONS: usize = 4;
 const FLOW_BUFFER: u64 = 64 * 1024;
 
 fn main() {
+    // Declared before the Sim so invariant balance sweeps run after teardown.
+    let _check = dpdpu::check::CheckGuard::new();
     println!("shuffling {ROWS} orders into {PARTITIONS} partitions over DFI flows\n");
     let (verbs_ms, verbs_net_us) = run(false);
     let (rings_ms, rings_net_us) = run(true);

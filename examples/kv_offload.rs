@@ -21,6 +21,8 @@ const READS: u64 = 4_096;
 const VALUE_BYTES: usize = 512;
 
 fn main() {
+    // Declared before the Sim so invariant balance sweeps run after teardown.
+    let _check = dpdpu::check::CheckGuard::new();
     println!("workload: {KEYS} keys x {VALUE_BYTES} B, {READS} gets (uniform), 1 client");
     let (base_cores, base_ms) = run(false);
     let (dds_cores, dds_ms) = run(true);

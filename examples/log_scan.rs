@@ -23,6 +23,8 @@ use rand::{RngExt, SeedableRng};
 const LOG_LINES: usize = 20_000;
 
 fn main() {
+    // Declared before the Sim so invariant balance sweeps run after teardown.
+    let _check = dpdpu::check::CheckGuard::new();
     let log = synth_log(LOG_LINES, 1234);
     println!(
         "log: {} lines, {} bytes; query: count /(ERROR|FATAL) [a-z_]+=\\w+/\n",

@@ -19,6 +19,8 @@ const TXNS: usize = 200;
 const GETS: usize = 1_000;
 
 fn main() {
+    // Declared before the Sim so invariant balance sweeps run after teardown.
+    let _check = dpdpu::check::CheckGuard::new();
     let mut sim = Sim::new();
     sim.spawn(async move {
         let platform = Platform::default_bf2();

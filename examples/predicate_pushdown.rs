@@ -26,6 +26,8 @@ const ROWS_PER_PAGE: usize = 64;
 const NUM_PAGES: usize = 64;
 
 fn main() {
+    // Declared before the Sim so invariant balance sweeps run after teardown.
+    let _check = dpdpu::check::CheckGuard::new();
     let wire_full = run(false);
     let wire_pushed = run(true);
     println!(

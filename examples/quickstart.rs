@@ -13,6 +13,8 @@ use dpdpu::core::{Dpdpu, DpdpuBuilder};
 use dpdpu::des::{now, Sim};
 
 fn main() {
+    // Declared before the Sim so invariant balance sweeps run after teardown.
+    let _check = dpdpu::check::CheckGuard::new();
     let mut sim = Sim::new();
     sim.spawn(async {
         // Boot the runtime through the builder: platform preset picked,

@@ -27,6 +27,8 @@ const PAGE: u64 = 8_192;
 const PAGES: u64 = 32;
 
 fn main() {
+    // Declared before the Sim so invariant balance sweeps run after teardown.
+    let _check = dpdpu::check::CheckGuard::new();
     let mut trace_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {

@@ -25,6 +25,8 @@
 //! sim.run();
 //! ```
 
+/// Conformance checking: simulation invariants, golden-file helpers.
+pub use dpdpu_check as check;
 /// Compute Engine: DP kernels, placement, sproc scheduling.
 pub use dpdpu_compute as compute;
 /// The assembled DPDPU runtime.

@@ -1,0 +1,58 @@
+//! Golden-trace conformance: every shipped scenario's seed-42 summary
+//! and Chrome trace are pinned as blessed fixtures under `tests/golden/`.
+//!
+//! A behaviour change that shifts virtual timings, event counts, or
+//! summary numbers shows up here as a line-level diff. To re-bless
+//! after an intentional change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_trace
+//! ```
+
+use std::path::PathBuf;
+
+use dpdpu::check::golden;
+
+/// Seed the fixtures are blessed at (the repo-wide default seed).
+const GOLDEN_SEED: u64 = 42;
+
+fn golden_path(file: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(file)
+}
+
+fn check_scenario(name: &str) {
+    let scenario = dpdpu_bench::scenarios::by_name(name).expect("scenario exists");
+    let run = scenario(GOLDEN_SEED);
+    golden::assert_matches(golden_path(&format!("{name}.stdout.txt")), &run.stdout);
+    golden::assert_matches(golden_path(&format!("{name}.trace.json")), &run.trace);
+}
+
+#[test]
+fn storage_faults_matches_golden() {
+    check_scenario("storage_faults");
+}
+
+#[test]
+fn dds_kv_matches_golden() {
+    check_scenario("dds_kv");
+}
+
+#[test]
+fn compute_pipeline_matches_golden() {
+    check_scenario("compute_pipeline");
+}
+
+#[test]
+fn every_scenario_has_golden_coverage() {
+    // Adding a scenario without blessing fixtures for it must fail
+    // loudly here, not silently skip conformance.
+    let covered = ["storage_faults", "dds_kv", "compute_pipeline"];
+    for (name, _) in dpdpu_bench::scenarios::all() {
+        assert!(
+            covered.contains(&name),
+            "scenario '{name}' has no golden-trace test; add one and bless fixtures"
+        );
+    }
+}

@@ -14,7 +14,8 @@
 //! it.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::scenarios::{self, ScenarioFn, ScenarioRun};
 
@@ -62,6 +63,16 @@ fn compare(
     })
 }
 
+/// One audit job: replay `(name, seed)` twice, byte-compare both channels.
+fn audit_one(name: &str, f: ScenarioFn, seed: u64) -> Vec<Divergence> {
+    let first: ScenarioRun = f(seed);
+    let second: ScenarioRun = f(seed);
+    let mut found = Vec::new();
+    found.extend(compare(name, seed, "stdout", &first.stdout, &second.stdout));
+    found.extend(compare(name, seed, "trace", &first.trace, &second.trace));
+    found
+}
+
 /// Replays each `(name, scenario)` twice per seed and byte-compares
 /// stdout and trace. Returns every divergence found (empty = fully
 /// deterministic).
@@ -73,13 +84,66 @@ pub fn audit_scenarios(
     let mut divergences = Vec::new();
     for (name, f) in scenarios {
         for &seed in seeds {
-            let first: ScenarioRun = f(seed);
-            let second: ScenarioRun = f(seed);
-            let before = divergences.len();
-            divergences.extend(compare(name, seed, "stdout", &first.stdout, &second.stdout));
-            divergences.extend(compare(name, seed, "trace", &first.trace, &second.trace));
-            progress(name, seed, divergences.len() == before);
+            let found = audit_one(name, *f, seed);
+            progress(name, seed, found.is_empty());
+            divergences.extend(found);
         }
+    }
+    divergences
+}
+
+/// Worker count the parallel auditor uses when the caller doesn't pick
+/// one: one per available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// [`audit_scenarios`] spread across `jobs` worker threads.
+///
+/// Each `(scenario, seed)` pair is an independent job — the simulator and
+/// telemetry sessions are thread-confined, so replaying different pairs on
+/// different OS threads cannot interact. Determinism of the *report* is
+/// preserved by construction: every job writes into its own slot, indexed
+/// by position in the serial matrix order, and progress/divergences are
+/// collected from those slots in that fixed order after all workers have
+/// joined. The output is byte-identical to the serial runner's no matter
+/// how the OS schedules the workers.
+pub fn audit_scenarios_parallel(
+    scenarios: &[(&'static str, ScenarioFn)],
+    seeds: &[u64],
+    jobs: usize,
+    mut progress: impl FnMut(&str, u64, bool),
+) -> Vec<Divergence> {
+    let matrix: Vec<(&'static str, ScenarioFn, u64)> = scenarios
+        .iter()
+        .flat_map(|&(name, f)| seeds.iter().map(move |&seed| (name, f, seed)))
+        .collect();
+    let workers = jobs.clamp(1, matrix.len().max(1));
+    let slots: Vec<Mutex<Option<Vec<Divergence>>>> =
+        matrix.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(name, f, seed)) = matrix.get(i) else {
+                    break;
+                };
+                *slots[i].lock().expect("audit slot poisoned") = Some(audit_one(name, f, seed));
+            });
+        }
+    });
+    let mut divergences = Vec::new();
+    for (slot, &(name, _, seed)) in slots.iter().zip(&matrix) {
+        let found = slot
+            .lock()
+            .expect("audit slot poisoned")
+            .take()
+            .expect("every job ran to completion");
+        progress(name, seed, found.is_empty());
+        divergences.extend(found);
     }
     divergences
 }
@@ -87,6 +151,15 @@ pub fn audit_scenarios(
 /// Audits every shipped scenario over `seeds`.
 pub fn audit_all(seeds: &[u64], progress: impl FnMut(&str, u64, bool)) -> Vec<Divergence> {
     audit_scenarios(&scenarios::all(), seeds, progress)
+}
+
+/// Parallel [`audit_all`] over `jobs` worker threads.
+pub fn audit_all_parallel(
+    seeds: &[u64],
+    jobs: usize,
+    progress: impl FnMut(&str, u64, bool),
+) -> Vec<Divergence> {
+    audit_scenarios_parallel(&scenarios::all(), seeds, jobs, progress)
 }
 
 /// Monotonic process-global counter — the planted nondeterminism.
@@ -117,5 +190,40 @@ mod tests {
         let d = compare("s", 1, "trace", "a\nb\n", "a\nc\n").expect("must diverge");
         assert_eq!(d.channel, "trace");
         assert!(d.to_string().contains("seed=1"), "{d}");
+    }
+
+    /// Renders a progress callback's observations as one comparable string.
+    fn progress_log(log: &mut String) -> impl FnMut(&str, u64, bool) + '_ {
+        move |name, seed, ok| {
+            log.push_str(&format!("{name} {seed} {ok}\n"));
+        }
+    }
+
+    #[test]
+    fn parallel_runner_reports_identically_to_serial() {
+        let seeds = [42, 7];
+        let mut serial = String::new();
+        let serial_div = audit_all(&seeds, progress_log(&mut serial));
+        for jobs in [1, 4, 64] {
+            let mut parallel = String::new();
+            let parallel_div = audit_all_parallel(&seeds, jobs, progress_log(&mut parallel));
+            assert_eq!(serial, parallel, "jobs={jobs} changed the report order");
+            assert_eq!(serial_div.len(), parallel_div.len());
+        }
+        assert!(
+            serial_div.is_empty(),
+            "shipped scenarios must be deterministic"
+        );
+    }
+
+    #[test]
+    fn parallel_runner_catches_planted_nondeterminism() {
+        let planted: [(&'static str, ScenarioFn); 1] =
+            [("planted_nondeterminism", planted_nondeterminism)];
+        let divergences = audit_scenarios_parallel(&planted, &[42], 2, |_, _, _| {});
+        assert!(
+            !divergences.is_empty(),
+            "plant must be detected in parallel mode"
+        );
     }
 }

@@ -3,13 +3,18 @@
 //! ```sh
 //! cargo run -p dpdpu-bench --bin audit_determinism                  # default seeds
 //! cargo run -p dpdpu-bench --bin audit_determinism -- --seeds 1,2  # custom seeds
+//! cargo run -p dpdpu-bench --bin audit_determinism -- --jobs 2     # worker cap
+//! cargo run -p dpdpu-bench --bin audit_determinism -- --serial     # one thread
 //! cargo run -p dpdpu-bench --bin audit_determinism -- --list       # scenario names
 //! cargo run -p dpdpu-bench --bin audit_determinism -- --self-test  # prove detection works
 //! ```
 //!
 //! Every shipped scenario is replayed twice per seed; any stdout or
 //! Chrome-trace byte difference between the two replays is a failure
-//! (exit 1). `--self-test` instead audits a deliberately
+//! (exit 1). The scenario × seed matrix runs across worker threads by
+//! default (one per core; simulations are thread-confined, and results
+//! are collected in fixed matrix order so the report never depends on
+//! scheduling). `--self-test` instead audits a deliberately
 //! nondeterministic scenario and fails unless the divergence is caught.
 
 use dpdpu_bench::audit;
@@ -20,9 +25,21 @@ const DEFAULT_SEEDS: [u64; 3] = [42, 7, 1234];
 fn main() {
     let mut seeds: Vec<u64> = DEFAULT_SEEDS.to_vec();
     let mut self_test = false;
+    let mut jobs = audit::default_jobs();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--jobs" => {
+                let n = args.next().unwrap_or_else(|| usage("--jobs needs a value"));
+                jobs = n
+                    .trim()
+                    .parse()
+                    .unwrap_or_else(|_| usage(&format!("bad job count: {n:?}")));
+                if jobs == 0 {
+                    usage("--jobs needs at least one worker");
+                }
+            }
+            "--serial" => jobs = 1,
             "--seeds" => {
                 let list = args
                     .next()
@@ -68,11 +85,12 @@ fn main() {
     }
 
     println!(
-        "auditing {} scenario(s) x {} seed(s), two replays each",
+        "auditing {} scenario(s) x {} seed(s), two replays each, {} worker(s)",
         dpdpu_bench::scenarios::all().len(),
-        seeds.len()
+        seeds.len(),
+        jobs,
     );
-    let divergences = audit::audit_all(&seeds, |name, seed, ok| {
+    let divergences = audit::audit_all_parallel(&seeds, jobs, |name, seed, ok| {
         println!(
             "  {} seed={seed}: {}",
             name,
@@ -95,6 +113,8 @@ fn main() {
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: audit_determinism [--seeds a,b,c] [--list] [--self-test]");
+    eprintln!(
+        "usage: audit_determinism [--seeds a,b,c] [--jobs N] [--serial] [--list] [--self-test]"
+    );
     std::process::exit(2)
 }

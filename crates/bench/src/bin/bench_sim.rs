@@ -1,0 +1,359 @@
+//! Wall-clock microbenchmarks of the simulator substrate itself.
+//!
+//! Every figure, ablation, and conformance run in this repo is bounded by
+//! how many simulated events per real second the DES executor sustains, so
+//! this bin pins that number down and tracks it across PRs:
+//!
+//! * `executor_wake_poll` — the pure wake → drain → poll cycle (no timers):
+//!   the executor microbench the perf trajectory is gated on;
+//! * `timer_throughput` — sleep-heavy tasks exercising the timer heap;
+//! * `timeout_churn` — a `timeout`-wrapped retry loop whose inner progress
+//!   spuriously re-polls the pending timer on every step (the fault-retry
+//!   pattern that used to push duplicate heap entries);
+//! * `channel_pingpong` / `semaphore_ops` — ops/sec of the two blocking
+//!   primitives every protocol model is built on;
+//! * `spans_tracing_on` / `spans_tracing_off` — telemetry span cost with a
+//!   session installed vs the disabled single-branch path.
+//!
+//! ```sh
+//! cargo run --release -p dpdpu-bench --bin bench_sim                 # full run
+//! cargo run --release -p dpdpu-bench --bin bench_sim -- --smoke     # CI-sized
+//! cargo run --release -p dpdpu-bench --bin bench_sim -- \
+//!     --baseline BENCH_sim.json --out BENCH_sim.json                # trajectory
+//! ```
+//!
+//! The run is summarised to stdout and, with `--out`, written as
+//! `BENCH_sim.json`: current `results` plus the `baseline` events/sec map
+//! carried over from `--baseline` (so the file always records both the
+//! pre-change and post-change numbers). Regressions beyond 2× against the
+//! baseline are *soft* failures: a `WARN` line, exit 0 — unless `--strict`.
+//!
+//! Wall-clock timing only; nothing here feeds back into virtual time, so
+//! determinism of the simulated workloads is untouched.
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+use dpdpu_des::{channel, join_all, sleep, spawn, timeout, yield_now, Semaphore, Sim};
+use dpdpu_telemetry::json::Json;
+use dpdpu_telemetry::Telemetry;
+
+/// One measured microbenchmark.
+struct BenchResult {
+    name: &'static str,
+    /// Simulated events (polls, timer firings, ops, spans) per run.
+    events: u64,
+    /// Best wall-clock seconds over the measured iterations.
+    secs: f64,
+}
+
+impl BenchResult {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.secs
+    }
+}
+
+/// Times `iters` runs of `f` (after one warm-up), keeping the best.
+fn bench(name: &'static str, events: u64, iters: u32, mut f: impl FnMut()) -> BenchResult {
+    f(); // warm-up
+    let mut best = f64::MAX;
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    let r = BenchResult {
+        name,
+        events,
+        secs: best,
+    };
+    println!(
+        "{name:<24} {:>10.3} ms  {:>12.0} events/s",
+        best * 1e3,
+        r.events_per_sec()
+    );
+    r
+}
+
+fn run_all(scale: u64) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+
+    // The executor microbench: T tasks ping the wake list with yield_now,
+    // so every event is exactly one wake + one drain pass + one poll, with
+    // no timer-heap or channel work mixed in.
+    {
+        let tasks = 256u64;
+        let yields = 128 * scale;
+        results.push(bench("executor_wake_poll", tasks * yields, 5, move || {
+            let mut sim = Sim::new();
+            for _ in 0..tasks {
+                sim.spawn(async move {
+                    for _ in 0..yields {
+                        yield_now().await;
+                    }
+                });
+            }
+            black_box(sim.run());
+        }));
+    }
+
+    // Timer heap throughput: every event is a register + pop + advance.
+    {
+        let tasks = 64u64;
+        let sleeps = 512 * scale;
+        results.push(bench("timer_throughput", tasks * sleeps, 5, move || {
+            let mut sim = Sim::new();
+            for t in 0..tasks {
+                sim.spawn(async move {
+                    for _ in 0..sleeps {
+                        sleep(1 + (t % 3)).await;
+                    }
+                });
+            }
+            black_box(sim.run());
+        }));
+    }
+
+    // The fault-retry shape: a long timeout guarding a loop that makes
+    // steady progress. Each inner sleep wakes the task, and the pending
+    // timeout timer is spuriously re-polled on every step.
+    {
+        let outer = 128 * scale;
+        let inner = 64u64;
+        results.push(bench("timeout_churn", outer * inner, 3, move || {
+            let mut sim = Sim::new();
+            sim.spawn(async move {
+                for _ in 0..outer {
+                    let r = timeout(1_000_000_000, async {
+                        for _ in 0..inner {
+                            sleep(1).await;
+                        }
+                    })
+                    .await;
+                    assert!(r.is_ok());
+                }
+            });
+            black_box(sim.run());
+        }));
+    }
+
+    // Channel round trips: two tasks, one message in flight.
+    {
+        let trips = 1_024 * scale;
+        results.push(bench("channel_pingpong", 2 * trips, 5, move || {
+            let mut sim = Sim::new();
+            sim.spawn(async move {
+                let (tx_a, mut rx_a) = channel::<u64>();
+                let (tx_b, mut rx_b) = channel::<u64>();
+                spawn(async move {
+                    while let Some(v) = rx_a.recv().await {
+                        if tx_b.send(v + 1).is_err() {
+                            break;
+                        }
+                    }
+                });
+                tx_a.send(0).unwrap();
+                for _ in 1..trips {
+                    let v = rx_b.recv().await.unwrap();
+                    if tx_a.send(v).is_err() {
+                        break;
+                    }
+                }
+            });
+            black_box(sim.run());
+        }));
+    }
+
+    // Semaphore ops under contention: 16 tasks on 4 permits.
+    {
+        let tasks = 16u64;
+        let acquires = 128 * scale;
+        results.push(bench("semaphore_ops", tasks * acquires, 5, move || {
+            let mut sim = Sim::new();
+            sim.spawn(async move {
+                let sem = Semaphore::new(4);
+                let mut handles = Vec::new();
+                for _ in 0..tasks {
+                    let sem = sem.clone();
+                    handles.push(spawn(async move {
+                        for _ in 0..acquires {
+                            let _p = sem.acquire().await;
+                            yield_now().await;
+                        }
+                    }));
+                }
+                join_all(handles).await;
+            });
+            black_box(sim.run());
+        }));
+    }
+
+    // Span recording with a telemetry session installed: guard open +
+    // attribute + close per event.
+    {
+        let spans = 512 * scale;
+        results.push(bench("spans_tracing_on", spans, 3, move || {
+            let t = Telemetry::install();
+            let mut sim = Sim::new();
+            sim.spawn(async move {
+                for i in 0..spans {
+                    let _s = dpdpu_telemetry::span("dpu", "bench-engine", "op").with("i", i & 7);
+                    sleep(1).await;
+                }
+            });
+            sim.run();
+            Telemetry::uninstall();
+            black_box(t.tracer().len());
+        }));
+    }
+
+    // The disabled path: same call shape, no session installed. This is
+    // the cost every un-traced run pays at each instrumentation point.
+    {
+        let calls = 8_192 * scale;
+        results.push(bench("spans_tracing_off", calls, 5, move || {
+            Telemetry::uninstall();
+            for i in 0..calls {
+                let mut s = dpdpu_telemetry::span("dpu", "bench-engine", "op");
+                s.attr("i", i & 7);
+                black_box(&s);
+                dpdpu_des::probe::emit_span("bench-engine", "op", 0, 1);
+            }
+        }));
+    }
+
+    results
+}
+
+fn render_json(results: &[BenchResult], baseline: &BTreeMap<String, f64>, mode: &str) -> String {
+    let mut out = String::from("{\n  \"bench\": \"sim\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"events\": {}, \"secs\": {:.6}, \"events_per_sec\": {:.1}}}{}\n",
+            r.name,
+            r.events,
+            r.secs,
+            r.events_per_sec(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n  \"baseline\": {\n");
+    let n = baseline.len();
+    for (i, (name, rate)) in baseline.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{name}\": {rate:.1}{}\n",
+            if i + 1 < n { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Reads the `baseline` map out of a previous `BENCH_sim.json`; falls back
+/// to that file's own `results` when it carries no baseline section (so the
+/// first file in the trajectory seeds the comparison).
+fn load_baseline(path: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("note: no baseline at {path}; comparisons skipped");
+        return map;
+    };
+    let doc = match Json::parse(&text) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("WARN: unparseable baseline {path}: {e}");
+            return map;
+        }
+    };
+    if let Some(Json::Obj(base)) = doc.get("baseline") {
+        for (k, v) in base {
+            if let Some(rate) = v.as_f64() {
+                map.insert(k.clone(), rate);
+            }
+        }
+    }
+    if map.is_empty() {
+        if let Some(results) = doc.get("results").and_then(Json::as_arr) {
+            for r in results {
+                if let (Some(name), Some(rate)) = (
+                    r.get("name").and_then(Json::as_str),
+                    r.get("events_per_sec").and_then(Json::as_f64),
+                ) {
+                    map.insert(name.to_string(), rate);
+                }
+            }
+        }
+    }
+    map
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut strict = false;
+    let mut out_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--strict" => strict = true,
+            "--out" => out_path = Some(args.next().unwrap_or_else(|| usage("--out needs a path"))),
+            "--baseline" => {
+                baseline_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage("--baseline needs a path")),
+                )
+            }
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let mode = if smoke { "smoke" } else { "full" };
+    println!("simulator wall-clock microbenchmarks ({mode}, best of N)\n");
+    let scale = if smoke { 4 } else { 64 };
+    let results = run_all(scale);
+
+    let baseline = baseline_path
+        .as_deref()
+        .map(load_baseline)
+        .unwrap_or_default();
+
+    let mut regressed = false;
+    if !baseline.is_empty() {
+        println!("\nvs baseline:");
+        for r in &results {
+            let Some(&base) = baseline.get(r.name) else {
+                continue;
+            };
+            let ratio = r.events_per_sec() / base;
+            let flag = if ratio < 0.5 {
+                regressed = true;
+                "  WARN: >2x regression"
+            } else {
+                ""
+            };
+            println!("{:<24} {ratio:>6.2}x{flag}", r.name);
+        }
+        if regressed {
+            eprintln!("WARN: at least one microbench regressed >2x vs baseline");
+        }
+    }
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, render_json(&results, &baseline, mode)).expect("write bench json");
+        println!("\nwrote {path}");
+    }
+
+    if strict && regressed {
+        std::process::exit(1);
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: bench_sim [--smoke] [--strict] [--out PATH] [--baseline PATH]");
+    std::process::exit(2)
+}

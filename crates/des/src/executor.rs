@@ -11,6 +11,7 @@ use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
@@ -19,34 +20,65 @@ use crate::time::Time;
 
 type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
 
-/// Wake list shared with wakers. Wakers must be `Send + Sync`, so this is
-/// the only piece of the executor behind a real mutex; it is uncontended in
-/// practice because the simulation is single-threaded.
+/// Wake list shared with wakers. Wakers must be `Send + Sync`, so the list
+/// carries a mutex-protected `remote` lane — but in practice every wake
+/// originates from a poll on the executor thread, so there is also a
+/// lock-free owner-thread `local` lane. A waker picks the lane by checking
+/// whether the thread's currently-running `Sim` owns this very list (a
+/// thread-local read + pointer compare); only foreign-thread wakes — which
+/// nothing in-tree performs — pay for the mutex. The dirty flags are set on
+/// every wake so drain passes where nothing woke skip both lanes entirely.
 #[derive(Default)]
 struct WakeList {
-    woken: Mutex<Vec<usize>>,
+    /// Owner-thread lane. Only touched when `CURRENT` names the `Sim`
+    /// owning this list, which pins the accessor to the executor thread —
+    /// that invariant, not a lock, is what makes the `Sync` impl below
+    /// sound.
+    local: std::cell::UnsafeCell<Vec<usize>>,
+    local_dirty: Cell<bool>,
+    /// Foreign-thread lane (and wakes fired outside `Sim::run`).
+    remote: Mutex<Vec<usize>>,
+    remote_dirty: AtomicBool,
 }
+
+// SAFETY: `local`/`local_dirty` are only accessed on the thread whose
+// running `Sim` owns this list (checked via the thread-local `CURRENT`
+// before every touch); `Rc<SimShared>` cannot leave that thread, so those
+// accesses are single-threaded. All other fields are `Sync` on their own.
+unsafe impl Sync for WakeList {}
 
 struct TaskWaker {
     list: Arc<WakeList>,
     task: usize,
 }
 
+impl TaskWaker {
+    fn wake_task(&self) {
+        let on_owner_thread = CURRENT.with(|c| {
+            c.borrow()
+                .as_ref()
+                .is_some_and(|s| Arc::ptr_eq(&s.wake_list, &self.list))
+        });
+        if on_owner_thread {
+            // SAFETY: the currently-entered Sim owns this list, so we are
+            // on the executor thread — the only thread touching `local`.
+            unsafe { (*self.list.local.get()).push(self.task) };
+            self.list.local_dirty.set(true);
+        } else {
+            let mut woken = self.list.remote.lock().expect("wake list poisoned");
+            woken.push(self.task);
+            self.list.remote_dirty.store(true, Ordering::Release);
+        }
+    }
+}
+
 impl Wake for TaskWaker {
     fn wake(self: Arc<Self>) {
-        self.list
-            .woken
-            .lock()
-            .expect("wake list poisoned")
-            .push(self.task);
+        self.wake_task();
     }
 
     fn wake_by_ref(self: &Arc<Self>) {
-        self.list
-            .woken
-            .lock()
-            .expect("wake list poisoned")
-            .push(self.task);
+        self.wake_task();
     }
 }
 
@@ -80,6 +112,9 @@ pub(crate) struct SimShared {
     timer_seq: Cell<u64>,
     /// Tasks spawned while the simulation is running (or before it starts).
     spawned: RefCell<Vec<BoxFuture>>,
+    /// Fast-path flag mirroring `!spawned.is_empty()`, so the run loop's
+    /// per-poll admission check is a plain `Cell` read.
+    has_spawned: Cell<bool>,
     wake_list: Arc<WakeList>,
 }
 
@@ -132,9 +167,16 @@ impl Drop for EnterGuard {
 pub struct Sim {
     shared: Rc<SimShared>,
     tasks: Vec<Option<BoxFuture>>,
+    /// One cached waker per task slot, created with the slot and shared by
+    /// every poll of whatever task occupies it — the hot path never
+    /// allocates a fresh `Arc<TaskWaker>` per poll.
+    wakers: Vec<Waker>,
     free: Vec<usize>,
     ready: VecDeque<usize>,
     queued: Vec<bool>,
+    /// Reusable drain buffer swapped with the shared wake list, so neither
+    /// side loses its capacity between iterations.
+    scratch: Vec<usize>,
 }
 
 impl Default for Sim {
@@ -153,18 +195,29 @@ impl Sim {
                 timers: RefCell::new(BinaryHeap::new()),
                 timer_seq: Cell::new(0),
                 spawned: RefCell::new(Vec::new()),
+                has_spawned: Cell::new(false),
                 wake_list: Arc::new(WakeList::default()),
             }),
             tasks: Vec::new(),
+            wakers: Vec::new(),
             free: Vec::new(),
             ready: VecDeque::new(),
             queued: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
     /// Current virtual time in nanoseconds.
     pub fn now(&self) -> Time {
         self.shared.now.get()
+    }
+
+    /// Timer entries currently registered. Diagnostic: `Sleep` suppresses
+    /// duplicate registration on spurious re-polls, so this stays at one
+    /// entry per pending sleep no matter how often `timeout`/`race`
+    /// re-poll their timers.
+    pub fn pending_timers(&self) -> usize {
+        self.shared.timers.borrow().len()
     }
 
     /// Spawns a root task. Tasks spawned before [`Sim::run`] start at time 0
@@ -220,6 +273,10 @@ impl Sim {
     }
 
     fn admit_spawned(&mut self) {
+        if !self.shared.has_spawned.get() {
+            return;
+        }
+        self.shared.has_spawned.set(false);
         let mut spawned = self.shared.spawned.borrow_mut();
         for fut in spawned.drain(..) {
             let id = match self.free.pop() {
@@ -230,7 +287,12 @@ impl Sim {
                 None => {
                     self.tasks.push(Some(fut));
                     self.queued.push(false);
-                    self.tasks.len() - 1
+                    let id = self.tasks.len() - 1;
+                    self.wakers.push(Waker::from(Arc::new(TaskWaker {
+                        list: self.shared.wake_list.clone(),
+                        task: id,
+                    })));
+                    id
                 }
             };
             if !self.queued[id] {
@@ -241,40 +303,65 @@ impl Sim {
     }
 
     fn drain_woken(&mut self) {
-        let woken: Vec<usize> = {
-            let mut list = self
-                .shared
-                .wake_list
-                .woken
-                .lock()
-                .expect("wake list poisoned");
-            std::mem::take(&mut *list)
-        };
-        for id in woken {
-            // Stale wakes for completed tasks are ignored.
-            if id < self.tasks.len() && self.tasks[id].is_some() && !self.queued[id] {
-                self.queued[id] = true;
-                self.ready.push_back(id);
+        let wake_list = &self.shared.wake_list;
+        if wake_list.local_dirty.get() {
+            wake_list.local_dirty.set(false);
+            // Swap the owner-thread lane out against the (empty) scratch
+            // buffer: both vectors keep their grown capacity, so
+            // steady-state wakes and drains are allocation-free.
+            let mut scratch = std::mem::take(&mut self.scratch);
+            // SAFETY: `drain_woken` runs on the thread that owns this Sim,
+            // the only thread permitted to touch `local` (see `WakeList`).
+            let local = unsafe { &mut *wake_list.local.get() };
+            std::mem::swap(local, &mut scratch);
+            for &id in &scratch {
+                self.enqueue_woken(id);
+            }
+            scratch.clear();
+            self.scratch = scratch;
+        }
+        if self
+            .shared
+            .wake_list
+            .remote_dirty
+            .swap(false, Ordering::Acquire)
+        {
+            let remote = std::mem::take(
+                &mut *self
+                    .shared
+                    .wake_list
+                    .remote
+                    .lock()
+                    .expect("wake list poisoned"),
+            );
+            for id in remote {
+                self.enqueue_woken(id);
             }
         }
     }
 
+    fn enqueue_woken(&mut self, id: usize) {
+        // Stale wakes for completed tasks are ignored.
+        if id < self.tasks.len() && self.tasks[id].is_some() && !self.queued[id] {
+            self.queued[id] = true;
+            self.ready.push_back(id);
+        }
+    }
+
     fn poll_task(&mut self, id: usize) {
-        let Some(mut fut) = self.tasks[id].take() else {
-            return;
+        // Poll in place: the future stays in its slot (nothing a task can
+        // reach re-enters `Sim`, so the slot is stable across the poll),
+        // and the cached waker is shared by every poll of this slot.
+        let poll = {
+            let Some(fut) = self.tasks[id].as_mut() else {
+                return;
+            };
+            let mut cx = Context::from_waker(&self.wakers[id]);
+            fut.as_mut().poll(&mut cx)
         };
-        let waker = Waker::from(Arc::new(TaskWaker {
-            list: self.shared.wake_list.clone(),
-            task: id,
-        }));
-        let mut cx = Context::from_waker(&waker);
-        match fut.as_mut().poll(&mut cx) {
-            Poll::Ready(()) => {
-                self.free.push(id);
-            }
-            Poll::Pending => {
-                self.tasks[id] = Some(fut);
-            }
+        if poll.is_ready() {
+            self.tasks[id] = None;
+            self.free.push(id);
         }
     }
 }
@@ -288,6 +375,7 @@ fn spawn_on<T: 'static>(
         let value = fut.await;
         let _ = tx.send(value);
     }));
+    shared.has_spawned.set(true);
     JoinHandle { rx }
 }
 
@@ -342,6 +430,9 @@ pub struct Sleep {
     deadline: Option<Time>,
     duration: Time,
     absolute: bool,
+    /// Waker stored in the registered timer entry. Kept so spurious
+    /// re-polls can tell whether that entry still wakes the right task.
+    registered: Option<Waker>,
 }
 
 impl Future for Sleep {
@@ -361,15 +452,29 @@ impl Future for Sleep {
                     if deadline <= now {
                         return Poll::Ready(());
                     }
-                    shared.register_timer(deadline, cx.waker().clone());
+                    let waker = cx.waker().clone();
+                    shared.register_timer(deadline, waker.clone());
+                    self.registered = Some(waker);
                     Poll::Pending
                 }
                 Some(deadline) if now >= deadline => Poll::Ready(()),
                 Some(deadline) => {
-                    // Spurious poll (e.g. inside race/timeout): re-register
-                    // with the current waker. Duplicate timer entries are
-                    // harmless — stale wakes are ignored.
-                    shared.register_timer(deadline, cx.waker().clone());
+                    // Spurious poll (a pending `timeout`/`race` re-polled as
+                    // its sibling progresses). The executor hands every poll
+                    // of a task the same cached waker, so the entry already
+                    // in the heap still wakes the right task — re-registering
+                    // would only push a duplicate and churn the heap. Only a
+                    // genuinely different waker (the future migrated tasks,
+                    // or an adaptor wrapped the waker) forces a new entry.
+                    if !self
+                        .registered
+                        .as_ref()
+                        .is_some_and(|w| w.will_wake(cx.waker()))
+                    {
+                        let waker = cx.waker().clone();
+                        shared.register_timer(deadline, waker.clone());
+                        self.registered = Some(waker);
+                    }
                     Poll::Pending
                 }
             }
@@ -383,6 +488,7 @@ pub fn sleep(ns: Time) -> Sleep {
         deadline: None,
         duration: ns,
         absolute: false,
+        registered: None,
     }
 }
 
@@ -393,6 +499,7 @@ pub fn sleep_until(t: Time) -> Sleep {
         deadline: None,
         duration: t,
         absolute: true,
+        registered: None,
     }
 }
 

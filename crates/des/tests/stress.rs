@@ -1,0 +1,151 @@
+//! Executor stress tests: the hot-path optimisations (cached wakers,
+//! scratch-buffer drains, the owner-thread wake lane, single timer entry
+//! per pending `Sleep`) must hold up at scale *and* leave observable
+//! behaviour — final virtual times, completion order — exactly where the
+//! unoptimised executor put it.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use dpdpu_des::{sleep, spawn, timeout, yield_now, Sim};
+
+#[test]
+fn hundred_thousand_concurrent_tasks() {
+    let tasks = 100_000u64;
+    let done = Rc::new(Cell::new(0u64));
+    let mut sim = Sim::new();
+    for t in 0..tasks {
+        let done = done.clone();
+        sim.spawn(async move {
+            yield_now().await;
+            sleep(1 + t % 7).await;
+            yield_now().await;
+            done.set(done.get() + 1);
+        });
+    }
+    let end = sim.run();
+    assert_eq!(done.get(), tasks);
+    // The slowest cohort sleeps 7ns from time 0; nothing else advances
+    // the clock.
+    assert_eq!(end, 7);
+}
+
+#[test]
+fn million_timer_firings_land_on_the_exact_final_time() {
+    let tasks = 100u64;
+    let sleeps = 10_000u64;
+    let mut sim = Sim::new();
+    for t in 0..tasks {
+        sim.spawn(async move {
+            for _ in 0..sleeps {
+                sleep(1 + t % 3).await;
+            }
+        });
+    }
+    let end = sim.run();
+    // Task durations are sleeps * (1 + t % 3); the t % 3 == 2 cohort
+    // finishes last.
+    assert_eq!(end, 3 * sleeps);
+    assert_eq!(sim.pending_timers(), 0);
+}
+
+#[test]
+fn deep_spawn_join_chain() {
+    let depth = 10_000u64;
+    let hops = Rc::new(Cell::new(0u64));
+    let mut sim = Sim::new();
+    {
+        let hops = hops.clone();
+        sim.spawn(async move {
+            let mut handle = spawn(async {
+                sleep(1).await;
+                0u64
+            });
+            for _ in 0..depth {
+                let prev = handle;
+                handle = spawn(async move {
+                    let hops = prev.await;
+                    sleep(1).await;
+                    hops + 1
+                });
+            }
+            hops.set(handle.await);
+        });
+    }
+    let end = sim.run();
+    // Link i completes at virtual time i + 1: the chain serialises.
+    assert_eq!(hops.get(), depth);
+    assert_eq!(end, depth + 1);
+}
+
+/// Completion order — the observable trace of wake order — must be
+/// identical between replays of the same workload, and the exact final
+/// virtual time must match the analytic answer. Guards the drain/queue
+/// rewrite against reordering wakes.
+#[test]
+fn wake_order_is_identical_across_replays() {
+    fn replay() -> (Vec<u64>, u64) {
+        let order = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new();
+        for t in 0..2_000u64 {
+            let order = order.clone();
+            sim.spawn(async move {
+                for _ in 0..=(t % 5) {
+                    sleep(1 + (t * 7919) % 13).await;
+                }
+                order.borrow_mut().push(t);
+            });
+        }
+        let end = sim.run();
+        drop(sim);
+        (
+            Rc::try_unwrap(order).expect("sim dropped").into_inner(),
+            end,
+        )
+    }
+
+    let (first, end_first) = replay();
+    let (second, end_second) = replay();
+    assert_eq!(first.len(), 2_000);
+    assert_eq!(first, second, "completion order must be reproducible");
+    assert_eq!(end_first, end_second);
+    let expected = (0..2_000u64)
+        .map(|t| (1 + t % 5) * (1 + (t * 7919) % 13))
+        .max()
+        .unwrap();
+    assert_eq!(end_first, expected);
+}
+
+/// A pending `Sleep` that is spuriously re-polled (the `timeout` pattern:
+/// inner progress wakes the task while the deadline timer stays pending)
+/// must keep exactly one timer-heap entry, not push a duplicate per
+/// re-poll.
+#[test]
+fn spurious_repolls_keep_one_timer_entry() {
+    let steps = 1_000u64;
+    let deadline = 1_000_000u64;
+    let mut sim = Sim::new();
+    sim.spawn(async move {
+        let r = timeout(deadline, async {
+            for _ in 0..steps {
+                sleep(1).await;
+            }
+        })
+        .await;
+        assert!(r.is_ok(), "inner future beats the deadline");
+    });
+    // Pause mid-flight: the heap must hold the timeout deadline plus at
+    // most the one inner sleep — hundreds of entries here means the
+    // deadline was re-registered on every spurious re-poll.
+    sim.run_until(steps / 2);
+    assert!(
+        sim.pending_timers() <= 2,
+        "duplicate timer entries piled up: {}",
+        sim.pending_timers()
+    );
+    // The stale deadline entry still fires and advances the clock, same
+    // as before the optimisation.
+    let end = sim.run();
+    assert_eq!(end, deadline);
+    assert_eq!(sim.pending_timers(), 0);
+}

@@ -1,0 +1,132 @@
+//! String interning for telemetry labels.
+//!
+//! Span process/track/name labels and attribute keys repeat endlessly —
+//! a million-request run produces millions of spans drawn from a few
+//! dozen distinct strings. The tracer therefore stores every label as a
+//! [`Sym`]: a `u32` index into the session's append-only symbol table.
+//! Interning an already-known string is a hash lookup with zero
+//! allocation, so the enabled record path never touches the heap for
+//! labels; the strings are materialised again only when an exporter
+//! resolves them at Chrome-trace/summary render time.
+//!
+//! Symbol ids are assigned in first-intern order, which is itself
+//! deterministic (the simulation is single-threaded), so interning does
+//! not perturb byte-for-byte reproducibility of exported traces.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
+
+/// FNV-1a, the classic short-key hash. Label strings are a handful of
+/// bytes; SipHash's keyed setup costs more than hashing the whole label,
+/// so the intern map (and the symbol-keyed maps built on it) use this
+/// instead. Not DoS-resistant — fine for trusted, in-process label sets.
+#[derive(Default)]
+pub struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut hash = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = hash;
+    }
+}
+
+/// `BuildHasher` plugging [`FnvHasher`] into `HashMap`.
+pub type FnvBuild = BuildHasherDefault<FnvHasher>;
+
+/// An interned label: an index into one session's symbol table. Only
+/// meaningful to the [`Interner`] that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+/// Append-only symbol table with get-or-intern identity.
+pub struct Interner {
+    map: RefCell<HashMap<Rc<str>, u32, FnvBuild>>,
+    table: RefCell<Vec<Rc<str>>>,
+}
+
+impl Interner {
+    pub(crate) fn new() -> Self {
+        Interner {
+            map: RefCell::new(HashMap::default()),
+            table: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Returns the symbol for `s`, interning it on first sight.
+    /// Allocation-free when `s` is already known.
+    pub fn intern(&self, s: &str) -> Sym {
+        if let Some(&id) = self.map.borrow().get(s) {
+            return Sym(id);
+        }
+        let rc: Rc<str> = Rc::from(s);
+        let mut table = self.table.borrow_mut();
+        let id = u32::try_from(table.len()).expect("intern table overflow");
+        table.push(rc.clone());
+        self.map.borrow_mut().insert(rc, id);
+        Sym(id)
+    }
+
+    /// The string `sym` stands for. Cheap (`Rc` clone); panics on a
+    /// symbol from a different interner that is out of range here.
+    pub fn resolve(&self, sym: Sym) -> Rc<str> {
+        self.table.borrow()[sym.0 as usize].clone()
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.table.borrow().len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.table.borrow().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_resolves() {
+        let i = Interner::new();
+        let a = i.intern("dpu");
+        let b = i.intern("host");
+        let a2 = i.intern("dpu");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(&*i.resolve(a), "dpu");
+        assert_eq!(&*i.resolve(b), "host");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn ids_follow_first_intern_order() {
+        let i = Interner::new();
+        let syms: Vec<Sym> = ["c", "a", "b", "a", "c"]
+            .iter()
+            .map(|s| i.intern(s))
+            .collect();
+        assert_eq!(syms[0], syms[4]);
+        assert_eq!(syms[1], syms[3]);
+        assert_eq!(i.len(), 3);
+        // Resolution reflects first-sight order, not lexicographic order.
+        assert_eq!(&*i.resolve(syms[0]), "c");
+        assert_eq!(&*i.resolve(syms[1]), "a");
+        assert_eq!(&*i.resolve(syms[2]), "b");
+    }
+}

@@ -43,6 +43,7 @@
 //! automatically through the `dpdpu_des::probe` hook.
 
 mod chrome;
+pub mod intern;
 pub mod json;
 mod metrics;
 mod sampler;
@@ -55,6 +56,7 @@ use std::rc::Rc;
 use dpdpu_des::probe::{self, Probe};
 use dpdpu_des::Time;
 
+pub use intern::{Interner, Sym};
 pub use metrics::Registry;
 pub use sampler::{start_sampler, CounterSample, SamplerHandle};
 pub use span::{record_span, span, SpanGuard, SpanRecord, Tracer};
@@ -68,8 +70,10 @@ pub struct Telemetry {
     registry: Registry,
     sampler: sampler::SampleStore,
     /// Maps a resource track (server name) to its owning device
-    /// ("host", "dpu", ...). Unassigned tracks land under [`SIM_PROCESS`].
-    track_process: RefCell<std::collections::HashMap<String, String>>,
+    /// ("host", "dpu", ...), both as interned symbols so the per-event
+    /// probe path stays allocation-free. Unassigned tracks land under
+    /// [`SIM_PROCESS`].
+    track_process: RefCell<std::collections::HashMap<Sym, Sym, intern::FnvBuild>>,
 }
 
 /// Device name used for tracks nobody claimed.
@@ -85,9 +89,14 @@ struct DesProbe;
 impl Probe for DesProbe {
     fn span(&self, track: &str, name: &'static str, start: Time, end: Time) {
         if let Some(t) = Telemetry::current() {
-            let process = t.process_for(track);
+            // Labels repeat per resource, so after the first event for a
+            // track this is three hash lookups and a Vec push — no heap
+            // allocation on the per-event path.
+            let intern = t.tracer.interner();
+            let track = intern.intern(track);
+            let process = t.process_sym_for(track);
             t.tracer
-                .record(&process, track, name, start, end, Vec::new());
+                .record_syms(process, track, intern.intern(name), start, end, Vec::new());
         }
     }
 }
@@ -101,7 +110,7 @@ impl Telemetry {
             tracer: Tracer::new(),
             registry: Registry::new(),
             sampler: sampler::SampleStore::new(),
-            track_process: RefCell::new(std::collections::HashMap::new()),
+            track_process: RefCell::new(std::collections::HashMap::default()),
         });
         CURRENT.with(|c| *c.borrow_mut() = Some(t.clone()));
         probe::set_probe(Some(Rc::new(DesProbe)));
@@ -141,19 +150,30 @@ impl Telemetry {
 
     /// Declares that resource `track` belongs to device `process`, so its
     /// spans group under that device in the Chrome trace.
-    pub fn assign_track(&self, track: impl Into<String>, process: impl Into<String>) {
-        self.track_process
-            .borrow_mut()
-            .insert(track.into(), process.into());
+    pub fn assign_track(&self, track: impl AsRef<str>, process: impl AsRef<str>) {
+        let intern = self.tracer.interner();
+        self.track_process.borrow_mut().insert(
+            intern.intern(track.as_ref()),
+            intern.intern(process.as_ref()),
+        );
     }
 
     /// Device owning `track` ([`SIM_PROCESS`] when unassigned).
     pub fn process_for(&self, track: &str) -> String {
+        let track = self.tracer.interner().intern(track);
+        self.tracer
+            .interner()
+            .resolve(self.process_sym_for(track))
+            .to_string()
+    }
+
+    /// Symbol-level [`Telemetry::process_for`] for per-event use.
+    pub(crate) fn process_sym_for(&self, track: Sym) -> Sym {
         self.track_process
             .borrow()
-            .get(track)
-            .cloned()
-            .unwrap_or_else(|| SIM_PROCESS.to_string())
+            .get(&track)
+            .copied()
+            .unwrap_or_else(|| self.tracer.interner().intern(SIM_PROCESS))
     }
 
     /// Registers a timeline source: `sample` is polled by the sampler on

@@ -1,12 +1,18 @@
 //! The span tracer: nested, attributed virtual-time intervals.
+//!
+//! Labels (process, track, name, attribute keys) are stored as interned
+//! [`Sym`]bols — the enabled record path performs no heap allocation for
+//! labels, and the strings are resolved back only when an exporter asks
+//! for [`Tracer::spans`].
 
 use std::cell::{Cell, RefCell};
 
 use dpdpu_des::{now, Time};
 
+use crate::intern::{Interner, Sym};
 use crate::Telemetry;
 
-/// One finished span.
+/// One finished span, resolved to strings for exporters and tests.
 #[derive(Debug, Clone)]
 pub struct SpanRecord {
     /// Unique id (assigned at open, ascending).
@@ -27,11 +33,24 @@ pub struct SpanRecord {
     pub attrs: Vec<(String, String)>,
 }
 
-/// Collects [`SpanRecord`]s; owned by [`Telemetry`].
+/// Compact in-memory form: labels are symbols, values stay owned.
+struct RawSpan {
+    id: u64,
+    parent: Option<u64>,
+    process: Sym,
+    track: Sym,
+    name: Sym,
+    start: Time,
+    end: Time,
+    attrs: Vec<(Sym, String)>,
+}
+
+/// Collects spans; owned by [`Telemetry`].
 pub struct Tracer {
-    spans: RefCell<Vec<SpanRecord>>,
+    spans: RefCell<Vec<RawSpan>>,
     open: RefCell<Vec<u64>>,
     next_id: Cell<u64>,
+    intern: Interner,
 }
 
 impl Tracer {
@@ -40,6 +59,7 @@ impl Tracer {
             spans: RefCell::new(Vec::new()),
             open: RefCell::new(Vec::new()),
             next_id: Cell::new(1),
+            intern: Interner::new(),
         }
     }
 
@@ -47,6 +67,11 @@ impl Tracer {
         let id = self.next_id.get();
         self.next_id.set(id + 1);
         id
+    }
+
+    /// The session's label symbol table.
+    pub fn interner(&self) -> &Interner {
+        &self.intern
     }
 
     /// Records an already-finished span (used for retroactive intervals,
@@ -60,22 +85,66 @@ impl Tracer {
         end: Time,
         attrs: Vec<(String, String)>,
     ) {
+        let attrs = attrs
+            .into_iter()
+            .map(|(k, v)| (self.intern.intern(&k), v))
+            .collect();
+        self.record_syms(
+            self.intern.intern(process),
+            self.intern.intern(track),
+            self.intern.intern(name),
+            start,
+            end,
+            attrs,
+        );
+    }
+
+    /// Symbol-level [`Tracer::record`]: the allocation-free hot path used
+    /// by the DES probe adapter once its labels are interned.
+    pub(crate) fn record_syms(
+        &self,
+        process: Sym,
+        track: Sym,
+        name: Sym,
+        start: Time,
+        end: Time,
+        attrs: Vec<(Sym, String)>,
+    ) {
         let id = self.fresh_id();
-        self.spans.borrow_mut().push(SpanRecord {
+        self.spans.borrow_mut().push(RawSpan {
             id,
             parent: self.open.borrow().last().copied(),
-            process: process.to_string(),
-            track: track.to_string(),
-            name: name.to_string(),
+            process,
+            track,
+            name,
             start,
             end,
             attrs,
         });
     }
 
-    /// Snapshot of every finished span, in completion order.
+    /// Snapshot of every finished span in completion order, with labels
+    /// resolved back to strings. This is where symbols are materialised —
+    /// call it at export time, not per event.
     pub fn spans(&self) -> Vec<SpanRecord> {
-        self.spans.borrow().clone()
+        self.spans
+            .borrow()
+            .iter()
+            .map(|raw| SpanRecord {
+                id: raw.id,
+                parent: raw.parent,
+                process: self.intern.resolve(raw.process).to_string(),
+                track: self.intern.resolve(raw.track).to_string(),
+                name: self.intern.resolve(raw.name).to_string(),
+                start: raw.start,
+                end: raw.end,
+                attrs: raw
+                    .attrs
+                    .iter()
+                    .map(|(k, v)| (self.intern.resolve(*k).to_string(), v.clone()))
+                    .collect(),
+            })
+            .collect()
     }
 
     /// Number of finished spans.
@@ -91,12 +160,19 @@ impl Tracer {
 
 /// Opens a span on device `process`, resource `track`. The span closes —
 /// and is recorded — when the returned guard drops. When no [`Telemetry`]
-/// session is installed the guard is inert: no clock read, no allocation
-/// beyond the strings the caller already made, nothing recorded.
-pub fn span(process: &str, track: &str, name: impl Into<String>) -> SpanGuard {
+/// session is installed the guard is inert: no clock read, no allocation,
+/// nothing recorded. When one is installed, the labels are interned
+/// (allocation-free after first sight) rather than copied.
+pub fn span(process: &str, track: &str, name: impl AsRef<str>) -> SpanGuard {
     let Some(t) = Telemetry::current() else {
         return SpanGuard { inner: None };
     };
+    let intern = &t.tracer.intern;
+    let (process, track, name) = (
+        intern.intern(process),
+        intern.intern(track),
+        intern.intern(name.as_ref()),
+    );
     let id = t.tracer.fresh_id();
     let parent = t.tracer.open.borrow().last().copied();
     t.tracer.open.borrow_mut().push(id);
@@ -104,9 +180,9 @@ pub fn span(process: &str, track: &str, name: impl Into<String>) -> SpanGuard {
         inner: Some(OpenSpan {
             id,
             parent,
-            process: process.to_string(),
-            track: track.to_string(),
-            name: name.into(),
+            process,
+            track,
+            name,
             start: now(),
             attrs: Vec::new(),
         }),
@@ -123,22 +199,30 @@ pub fn record_span(
     attrs: &[(&str, &str)],
 ) {
     if let Some(t) = Telemetry::current() {
+        let intern = &t.tracer.intern;
         let attrs = attrs
             .iter()
-            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .map(|(k, v)| (intern.intern(k), v.to_string()))
             .collect();
-        t.tracer.record(process, track, name, start, end, attrs);
+        t.tracer.record_syms(
+            intern.intern(process),
+            intern.intern(track),
+            intern.intern(name),
+            start,
+            end,
+            attrs,
+        );
     }
 }
 
 struct OpenSpan {
     id: u64,
     parent: Option<u64>,
-    process: String,
-    track: String,
-    name: String,
+    process: Sym,
+    track: Sym,
+    name: Sym,
     start: Time,
-    attrs: Vec<(String, String)>,
+    attrs: Vec<(Sym, String)>,
 }
 
 /// RAII handle for an open span; records the span on drop.
@@ -150,7 +234,13 @@ impl SpanGuard {
     /// Attaches a key/value attribute (no-op when telemetry is disabled).
     pub fn attr(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
         if let Some(open) = self.inner.as_mut() {
-            open.attrs.push((key.to_string(), value.to_string()));
+            // The symbol is only valid for the session that opened the
+            // span; if that session is gone the span will be dropped on
+            // close anyway, so skipping the attribute is consistent.
+            if let Some(t) = Telemetry::current() {
+                open.attrs
+                    .push((t.tracer.intern.intern(key), value.to_string()));
+            }
         }
         self
     }
@@ -177,7 +267,7 @@ impl Drop for SpanGuard {
             stack.remove(pos);
         }
         drop(stack);
-        t.tracer.spans.borrow_mut().push(SpanRecord {
+        t.tracer.spans.borrow_mut().push(RawSpan {
             id: open.id,
             parent: open.parent,
             process: open.process,
@@ -266,5 +356,22 @@ mod tests {
         let children: Vec<_> = spans.iter().filter(|s| s.name == "child").collect();
         assert_eq!(children.len(), 3);
         assert!(children.iter().all(|c| c.parent == Some(root_id)));
+    }
+
+    #[test]
+    fn repeated_labels_intern_to_a_tiny_symbol_table() {
+        let t = Telemetry::install();
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            for _ in 0..1_000 {
+                let _s = span("dpu", "engine", "op").with("k", "v");
+                sleep(1).await;
+            }
+        });
+        sim.run();
+        Telemetry::uninstall();
+        assert_eq!(t.tracer().len(), 1_000);
+        // dpu, engine, op, k — every repeat hit the table.
+        assert_eq!(t.tracer().interner().len(), 4);
     }
 }

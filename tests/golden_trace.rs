@@ -10,8 +10,10 @@
 //! ```
 
 use std::path::PathBuf;
+use std::sync::OnceLock;
 
 use dpdpu::check::golden;
+use dpdpu_bench::scenarios::ScenarioRun;
 
 /// Seed the fixtures are blessed at (the repo-wide default seed).
 const GOLDEN_SEED: u64 = 42;
@@ -22,9 +24,30 @@ fn golden_path(file: &str) -> PathBuf {
         .join(file)
 }
 
+/// All scenario runs, captured exactly once for the whole test binary:
+/// one worker thread per scenario (simulations are thread-confined, so
+/// they cannot interact), joined in declaration order so the captured
+/// list — and any panic propagation — is deterministic.
+fn captures() -> &'static [(&'static str, ScenarioRun)] {
+    static CAPTURES: OnceLock<Vec<(&'static str, ScenarioRun)>> = OnceLock::new();
+    CAPTURES.get_or_init(|| {
+        let workers: Vec<_> = dpdpu_bench::scenarios::all()
+            .into_iter()
+            .map(|(name, f)| (name, std::thread::spawn(move || f(GOLDEN_SEED))))
+            .collect();
+        workers
+            .into_iter()
+            .map(|(name, h)| (name, h.join().expect("scenario capture panicked")))
+            .collect()
+    })
+}
+
 fn check_scenario(name: &str) {
-    let scenario = dpdpu_bench::scenarios::by_name(name).expect("scenario exists");
-    let run = scenario(GOLDEN_SEED);
+    let run = captures()
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, run)| run)
+        .expect("scenario exists");
     golden::assert_matches(golden_path(&format!("{name}.stdout.txt")), &run.stdout);
     golden::assert_matches(golden_path(&format!("{name}.trace.json")), &run.trace);
 }

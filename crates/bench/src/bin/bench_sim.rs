@@ -13,7 +13,11 @@
 //! * `channel_pingpong` / `semaphore_ops` — ops/sec of the two blocking
 //!   primitives every protocol model is built on;
 //! * `spans_tracing_on` / `spans_tracing_off` — telemetry span cost with a
-//!   session installed vs the disabled single-branch path.
+//!   session installed vs the disabled single-branch path;
+//! * `fleet_routing` — the cluster workload generator's pure-CPU half
+//!   (zipfian draw + consistent-hash ring lookup per request);
+//! * `cluster_fleet_sim` — wall-clock cost of one simulated cluster op
+//!   end-to-end (ring, admission, TCP, DDS server, SSD model).
 //!
 //! ```sh
 //! cargo run --release -p dpdpu-bench --bin bench_sim                 # full run
@@ -220,6 +224,68 @@ fn run_all(scale: u64) -> Vec<BenchResult> {
                 black_box(&s);
                 dpdpu_des::probe::emit_span("bench-engine", "op", 0, 1);
             }
+        }));
+    }
+
+    // The fleet hot path's pure-CPU half: one zipfian key draw plus one
+    // consistent-hash ring lookup per simulated request. This bounds
+    // how fast any cluster workload can *generate* load, independent of
+    // the protocol models.
+    {
+        use dpdpu_bench::fleet::{KeyDist, KeySampler};
+        use dpdpu_dds::cluster::HashRing;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let draws = 16_384 * scale;
+        results.push(bench("fleet_routing", draws, 5, move || {
+            let ring = HashRing::new(8, 512);
+            let sampler = KeySampler::new(&KeyDist::Zipfian {
+                keys: 1_024,
+                theta: 0.99,
+            });
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut acc = 0usize;
+            for _ in 0..draws {
+                acc ^= ring.shard_for(sampler.sample(&mut rng));
+            }
+            black_box(acc);
+        }));
+    }
+
+    // The fleet hot path end-to-end: a small sharded cluster driven by
+    // a pipelined fleet, counted in completed requests. This is the
+    // wall-clock cost of one simulated cluster op through the full
+    // stack (ring, admission, TCP, DDS server, SSD model).
+    {
+        let ops = 24 * scale;
+        results.push(bench("cluster_fleet_sim", ops, 3, move || {
+            use dpdpu_bench::fleet::{preload, run_fleet, FleetConfig, KeyDist};
+            use dpdpu_dds::cluster::{ClusterConfig, DdsCluster};
+            use dpdpu_hw::CpuPool;
+
+            let mut sim = Sim::new();
+            sim.spawn(async move {
+                let cluster = DdsCluster::build(ClusterConfig {
+                    shards: 2,
+                    ..ClusterConfig::default()
+                })
+                .await;
+                let client = cluster.connect(CpuPool::new("fleet", 32, 3_000_000_000));
+                let cfg = FleetConfig {
+                    clients: 4,
+                    ops_per_client: ops / 4,
+                    dist: KeyDist::Zipfian {
+                        keys: 64,
+                        theta: 0.99,
+                    },
+                    ..FleetConfig::default()
+                };
+                preload(&client, &cfg).await;
+                let report = run_fleet(&client, cfg).await;
+                black_box(report.ok);
+            });
+            black_box(sim.run());
         }));
     }
 

@@ -1,0 +1,8 @@
+//! Prints the fig10_cluster_scale table; see the module docs in
+//! `dpdpu_bench::fig10_cluster_scale`.
+
+fn main() {
+    // Conformance guard: every figure/ablation run is invariant-checked.
+    let _check = dpdpu_check::CheckGuard::new();
+    println!("{}", dpdpu_bench::fig10_cluster_scale::run());
+}

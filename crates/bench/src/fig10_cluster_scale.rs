@@ -1,0 +1,195 @@
+//! **Figure 10 (extension) — DDS savings scale out with the fleet.**
+//!
+//! The paper measures one DDS server (Figure 9). This sweep asks the
+//! production question: run N of them behind a consistent-hash router
+//! with an offered load that grows with the fleet, and check that (a)
+//! aggregate goodput scales near-linearly to 8 servers — the shards
+//! share nothing, so the router must not introduce a bottleneck — and
+//! (b) the *per-server* host-CPU saving from DPU offload holds at
+//! every fleet size and skew, so the paper's "10s of cores per server"
+//! headline multiplies across a rack instead of eroding.
+//!
+//! Each configuration is measured twice — offload disabled, then
+//! enabled — on identical workloads: 4 clients per server, a ×4
+//! sliding in-flight window each, 128 ops per client, 95/5
+//! read/update, and a key population that grows with the fleet (128
+//! keys per server — constant per-shard working set). The ring runs
+//! 512 virtual nodes: at 64 the 2-shard split is 58/42, and under a
+//! closed-loop fleet the hot shard's WAL-append convoys soak up every
+//! client's window slots, throttling the cold shard too.
+//! `saved/server` converts the per-request host-cycle delta to cores
+//! at a production rate of 5M req/s per server, matching Figure 9's
+//! scaling.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use dpdpu_dds::cluster::{ClusterConfig, DdsCluster};
+use dpdpu_dds::kv::INDEX_ENTRY_BYTES;
+use dpdpu_dds::server::DdsConfig;
+use dpdpu_des::Sim;
+use dpdpu_hw::CpuPool;
+
+use crate::fleet::{preload, run_fleet, FleetConfig, KeyDist, Mix};
+use crate::table::Table;
+
+const KEYS: u64 = 128;
+const CLIENTS_PER_SERVER: usize = 4;
+const OPS_PER_CLIENT: u64 = 128;
+/// Production per-server request rate the cycle delta is scaled to.
+const PROD_RATE: f64 = 5_000_000.0;
+
+/// Runs the sweep and renders the table.
+pub fn run() -> String {
+    let mut table = Table::new(&[
+        "servers",
+        "clients",
+        "dist",
+        "agg_kops",
+        "p50_us",
+        "p99_us",
+        "shed",
+        "saved_cores_per_server",
+    ]);
+    for servers in [1usize, 2, 4, 8] {
+        let keys = KEYS * servers as u64;
+        for dist in [
+            KeyDist::Uniform { keys },
+            KeyDist::Zipfian { keys, theta: 0.99 },
+        ] {
+            let base = measure(servers, dist, false);
+            let off = measure(servers, dist, true);
+            let saved = (base.host_cyc_per_req - off.host_cyc_per_req) * PROD_RATE / 3.0e9;
+            table.row(vec![
+                format!("{servers}"),
+                format!("{}", servers * CLIENTS_PER_SERVER),
+                dist.label(),
+                format!("{:.0}", off.agg_mops * 1e3),
+                format!("{:.1}", off.p50_us),
+                format!("{:.1}", off.p99_us),
+                format!("{}", off.shed),
+                format!("{:.2}", saved.max(0.0)),
+            ]);
+        }
+    }
+    format!(
+        "## Figure 10 (extension): cluster scale-out of DDS savings\n\
+         (target shape: aggregate goodput grows near-linearly with servers — \
+         shared-nothing shards behind a consistent-hash router — while the \
+         per-server host-core saving from DPU offload stays flat, so the \
+         Fig. 9 headline multiplies across the fleet)\n\n{}",
+        table.render(),
+    )
+}
+
+struct Measurement {
+    agg_mops: f64,
+    p50_us: f64,
+    p99_us: f64,
+    shed: u64,
+    host_cyc_per_req: f64,
+}
+
+fn measure(servers: usize, dist: KeyDist, offload: bool) -> Measurement {
+    let clients = servers * CLIENTS_PER_SERVER;
+    let mut sim = Sim::new();
+    let out = Rc::new(Cell::new(None));
+    let out2 = out.clone();
+    sim.spawn(async move {
+        let cluster = DdsCluster::build(ClusterConfig {
+            shards: servers,
+            vnodes: 512,
+            dds: DdsConfig {
+                offload_enabled: offload,
+                // Room for the whole per-shard key share (~KEYS each
+                // under the scaled population) plus imbalance headroom.
+                kv_index_budget: 2 * KEYS * INDEX_ENTRY_BYTES,
+                ..DdsConfig::default()
+            },
+            ..ClusterConfig::default()
+        })
+        .await;
+        // A fleet CPU pool wide enough that the load generators are
+        // never the bottleneck being measured.
+        let client = cluster.connect(CpuPool::new("fleet", (clients * 8).max(16), 3_000_000_000));
+        let cfg = FleetConfig {
+            clients,
+            ops_per_client: OPS_PER_CLIENT,
+            pipeline: 4,
+            gap_ns: 0,
+            dist,
+            mix: Mix::read_heavy(),
+            value_bytes: 256,
+            scan_len: 8,
+            seed: 42,
+        };
+        preload(&client, &cfg).await;
+        for i in 0..cluster.shards() {
+            cluster.platform(i).host_cpu.reset_stats();
+        }
+        let report = run_fleet(&client, cfg).await;
+        if std::env::var("FIG10_DEBUG").is_ok() {
+            for (i, node) in cluster.nodes.iter().enumerate() {
+                eprintln!(
+                    "  shard{i}: dpu={} host={} client_retries={} timeouts={}",
+                    node.served_dpu.get(),
+                    node.served_host.get(),
+                    client.shard_client(i).retries.get(),
+                    client.shard_client(i).timeouts.get()
+                );
+            }
+        }
+        let host_busy_ns: u64 = (0..cluster.shards())
+            .map(|i| cluster.platform(i).host_cpu.busy_ns())
+            .sum();
+        out2.set(Some(Measurement {
+            agg_mops: report.throughput_mops(),
+            p50_us: report.p50_ns as f64 / 1e3,
+            p99_us: report.p99_ns as f64 / 1e3,
+            shed: report.shed,
+            host_cyc_per_req: host_busy_ns as f64 * 3.0 / report.ok.max(1) as f64,
+        }));
+    });
+    sim.run();
+    out.take().expect("measurement must complete")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_goodput_scales_near_linearly() {
+        let one = measure(1, KeyDist::Uniform { keys: KEYS }, true);
+        let four = measure(4, KeyDist::Uniform { keys: KEYS * 4 }, true);
+        assert!(
+            four.agg_mops > 2.5 * one.agg_mops,
+            "4 shared-nothing servers should near-quadruple goodput: \
+             1 server {:.3} Mops, 4 servers {:.3} Mops",
+            one.agg_mops,
+            four.agg_mops
+        );
+    }
+
+    #[test]
+    fn per_server_saving_survives_scale_out_and_skew() {
+        for dist in [
+            KeyDist::Uniform { keys: KEYS * 2 },
+            KeyDist::Zipfian {
+                keys: KEYS * 2,
+                theta: 0.99,
+            },
+        ] {
+            let base = measure(2, dist, false);
+            let off = measure(2, dist, true);
+            assert!(
+                off.host_cyc_per_req * 2.0 < base.host_cyc_per_req,
+                "{}: offload should at least halve host cycles/req \
+                 (baseline {:.0}, offloaded {:.0})",
+                dist.label(),
+                base.host_cyc_per_req,
+                off.host_cyc_per_req
+            );
+        }
+    }
+}

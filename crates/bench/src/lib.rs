@@ -9,7 +9,8 @@
 //! calibrated models in `dpdpu_hw::costs`).
 //!
 //! Binaries: `fig1_compression`, `fig2_storage_cpu`, `fig3_network_cpu`,
-//! `fig7_rdma`, `fig8_roundtrips`, `fig9_dds_savings`, `abl_scheduler`,
+//! `fig7_rdma`, `fig8_roundtrips`, `fig9_dds_savings`,
+//! `fig10_cluster_scale`, `abl_scheduler`,
 //! `abl_placement`, `abl_cache_split`, `abl_fast_persist`,
 //! `abl_partial_offload`, `abl_tenant_iso`, `abl_pipeline`, `abl_faults`,
 //! and `all_figures` (runs everything).
@@ -24,12 +25,14 @@ pub mod abl_placement;
 pub mod abl_scheduler;
 pub mod abl_tenant_iso;
 pub mod audit;
+pub mod fig10_cluster_scale;
 pub mod fig1_compression;
 pub mod fig2_storage_cpu;
 pub mod fig3_network_cpu;
 pub mod fig7_rdma;
 pub mod fig8_roundtrips;
 pub mod fig9_dds_savings;
+pub mod fleet;
 pub mod scenarios;
 pub mod table;
 
@@ -45,6 +48,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("fig7", fig7_rdma::run),
         ("fig8", fig8_roundtrips::run),
         ("fig9", fig9_dds_savings::run),
+        ("fig10", fig10_cluster_scale::run),
         ("A1", abl_scheduler::run),
         ("A2", abl_placement::run),
         ("A3", abl_cache_split::run),

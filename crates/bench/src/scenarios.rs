@@ -43,6 +43,7 @@ pub fn all() -> Vec<(&'static str, ScenarioFn)> {
         ("storage_faults", storage_faults as ScenarioFn),
         ("dds_kv", dds_kv),
         ("compute_pipeline", compute_pipeline),
+        ("cluster_fleet", cluster_fleet),
     ]
 }
 
@@ -276,6 +277,72 @@ pub fn compute_pipeline(seed: u64) -> ScenarioRun {
         let line = out.borrow_mut().take().unwrap();
         let _ = writeln!(stdout, "## scenario compute_pipeline (seed {seed})");
         let _ = writeln!(stdout, "{line}");
+    })
+}
+
+/// Scenario 4 — a workload fleet against a 3-shard DDS cluster under
+/// link drops and SSD read errors: zipfian keys route through the
+/// consistent-hash ring to per-node DPU platforms, scans fan out to
+/// every shard, and the cluster-conservation invariant must balance
+/// every issued request against completed + shed + failed.
+pub fn cluster_fleet(seed: u64) -> ScenarioRun {
+    use dpdpu_dds::cluster::{ClusterConfig, DdsCluster};
+
+    use crate::fleet::{preload, run_fleet, FleetConfig, KeyDist, Mix};
+
+    harness(|stdout| {
+        let guard = SessionGuard::new(FaultPlan::new(seed).link_drops(0.01).ssd_read_errors(0.01));
+        let out = Rc::new(RefCell::new(None::<(String, String)>));
+        let out2 = out.clone();
+        let mut sim = Sim::new();
+        sim.spawn(async move {
+            let cluster = DdsCluster::build(ClusterConfig {
+                shards: 3,
+                ..ClusterConfig::default()
+            })
+            .await;
+            let client = cluster.connect(CpuPool::new("fleet", 32, 3_000_000_000));
+            let cfg = FleetConfig {
+                clients: 4,
+                ops_per_client: 24,
+                pipeline: 4,
+                dist: KeyDist::Zipfian {
+                    keys: 48,
+                    theta: 0.99,
+                },
+                mix: Mix {
+                    read_pct: 80,
+                    update_pct: 15,
+                    scan_pct: 5,
+                },
+                value_bytes: 128,
+                scan_len: 4,
+                seed,
+                ..FleetConfig::default()
+            };
+            preload(&client, &cfg).await;
+            let report = run_fleet(&client, cfg).await;
+            let shards = cluster
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, node)| {
+                    format!(
+                        "node{i}:{}+{}",
+                        node.served_dpu.get(),
+                        node.served_host.get()
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            *out2.borrow_mut() = Some((report.summary(), shards));
+        });
+        sim.run();
+        let (summary, shards) = out.borrow_mut().take().unwrap();
+        let injected = guard.session.report().total();
+        let _ = writeln!(stdout, "## scenario cluster_fleet (seed {seed})");
+        let _ = writeln!(stdout, "{summary} injected={injected}");
+        let _ = writeln!(stdout, "served dpu+host per shard: {shards}");
     })
 }
 

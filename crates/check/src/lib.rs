@@ -30,6 +30,7 @@
 //! | [`Invariant::KernelGroundTruth`] | a compute kernel output that contradicts the kernels-crate ground truth |
 //! | [`Invariant::UtilizationBound`] | accumulated busy time above `slots × elapsed` |
 //! | [`Invariant::FaultHygiene`] | an injected fault neither retried, degraded, nor surfaced |
+//! | [`Invariant::ClusterConservation`] | cluster ops issued ≠ completed + failed/shed per shard |
 //!
 //! ## Modes
 //!
@@ -51,8 +52,9 @@ use dpdpu_des::probe::{self, Probe};
 use dpdpu_des::{try_now, Time};
 
 pub mod golden;
+pub mod linearizability;
 
-/// The ten classes of simulation invariants enforced by this crate.
+/// The classes of simulation invariants enforced by this crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Invariant {
     /// Virtual time never decreases within one executor run.
@@ -75,6 +77,10 @@ pub enum Invariant {
     UtilizationBound,
     /// Every injected fault is retried, degraded, or surfaced.
     FaultHygiene,
+    /// Every cluster request issued to a shard is resolved: completed,
+    /// failed, or shed by admission control. Nothing vanishes between
+    /// the router and a shard's server.
+    ClusterConservation,
 }
 
 impl Invariant {
@@ -91,6 +97,7 @@ impl Invariant {
             Invariant::KernelGroundTruth => "kernel-ground-truth",
             Invariant::UtilizationBound => "utilization-bound",
             Invariant::FaultHygiene => "fault-hygiene",
+            Invariant::ClusterConservation => "cluster-conservation",
         }
     }
 }
@@ -155,6 +162,7 @@ pub struct CheckSession {
     links: RefCell<BTreeMap<String, FlowStat>>,
     ssd: RefCell<BTreeMap<String, FlowStat>>,
     pcie: RefCell<BTreeMap<String, FlowStat>>,
+    cluster: RefCell<BTreeMap<String, FlowStat>>,
     kernels_checked: Cell<u64>,
     faults_injected: RefCell<BTreeMap<String, u64>>,
     faults_handled: RefCell<BTreeMap<(String, &'static str), u64>>,
@@ -175,6 +183,7 @@ impl CheckSession {
             links: RefCell::new(BTreeMap::new()),
             ssd: RefCell::new(BTreeMap::new()),
             pcie: RefCell::new(BTreeMap::new()),
+            cluster: RefCell::new(BTreeMap::new()),
             kernels_checked: Cell::new(0),
             faults_injected: RefCell::new(BTreeMap::new()),
             faults_handled: RefCell::new(BTreeMap::new()),
@@ -354,6 +363,24 @@ impl CheckSession {
                 ));
             }
         }
+        for (shard, f) in self.cluster.borrow().iter() {
+            if f.in_ops != f.out_ops + f.dropped_ops || f.in_bytes != f.out_bytes + f.dropped_bytes
+            {
+                pending.push((
+                    Invariant::ClusterConservation,
+                    format!(
+                        "cluster shard '{shard}': {} ops/{} B issued, {} ops/{} B completed, \
+                         {} ops/{} B failed-or-shed",
+                        f.in_ops,
+                        f.in_bytes,
+                        f.out_ops,
+                        f.out_bytes,
+                        f.dropped_ops,
+                        f.dropped_bytes
+                    ),
+                ));
+            }
+        }
         {
             let injected = self.faults_injected.borrow();
             let handled = self.faults_handled.borrow();
@@ -405,6 +432,18 @@ impl CheckSession {
             self.kernels_checked.get(),
             self.violations.borrow().len(),
         );
+        // Cluster accounting joins the report only when a cluster ran —
+        // single-server golden summaries stay byte-identical.
+        let cluster = self.cluster.borrow();
+        let cluster_ops: u64 = cluster.values().map(|f| f.in_ops).sum();
+        if cluster_ops > 0 {
+            let cluster_shed: u64 = cluster.values().map(|f| f.dropped_ops).sum();
+            let _ = write!(
+                out,
+                " cluster_shards={} cluster_ops={cluster_ops} cluster_shed={cluster_shed}",
+                cluster.len(),
+            );
+        }
         out
     }
 
@@ -650,6 +689,42 @@ pub fn pcie_in(link: &str, bytes: u64) {
 /// A DMA of `bytes` fully crossed the named PCIe link.
 pub fn pcie_done(link: &str, bytes: u64) {
     with_session(|s| s.flow_out(&s.pcie, Invariant::PcieConservation, link, bytes, false));
+}
+
+/// A cluster request of `bytes` was issued to the named shard
+/// (`site` is the shard's stable label, e.g. `"node0"`).
+pub fn cluster_op_issued(site: &str, bytes: u64) {
+    with_session(|s| {
+        CheckSession::flow_in(&s.cluster, site, bytes);
+        s.note_now();
+    });
+}
+
+/// An issued cluster request completed successfully.
+pub fn cluster_op_ok(site: &str, bytes: u64) {
+    with_session(|s| {
+        s.flow_out(
+            &s.cluster,
+            Invariant::ClusterConservation,
+            site,
+            bytes,
+            false,
+        )
+    });
+}
+
+/// An issued cluster request terminated without a result: a terminal
+/// client error or an admission-control shed.
+pub fn cluster_op_failed(site: &str, bytes: u64) {
+    with_session(|s| {
+        s.flow_out(
+            &s.cluster,
+            Invariant::ClusterConservation,
+            site,
+            bytes,
+            true,
+        )
+    });
 }
 
 /// A compute kernel executed: `err` carries a ground-truth mismatch

@@ -37,9 +37,20 @@ use crate::sproc::SprocRegistry;
 /// File-system capacity the runtime formats at boot, in 4 KB blocks.
 const FS_CAPACITY_BLOCKS: u64 = 1 << 24;
 
+/// Hardware preset applied when no explicit platform is given. Kept
+/// symbolic (not an eager `Platform`) so a later [`DpdpuBuilder::tag`]
+/// or [`DpdpuBuilder::boot_cluster`] can still name the resources.
+#[derive(Debug, Clone, Copy)]
+enum Preset {
+    Bluefield2,
+    Bluefield3,
+}
+
 /// Fluent builder for [`Dpdpu`].
 pub struct DpdpuBuilder {
     platform: Option<Rc<Platform>>,
+    preset: Preset,
+    tag: String,
     sched_policy: SchedPolicy,
     tenant_weights: Vec<u64>,
     fault_plan: Option<FaultPlan>,
@@ -50,6 +61,8 @@ impl Default for DpdpuBuilder {
     fn default() -> Self {
         DpdpuBuilder {
             platform: None,
+            preset: Preset::Bluefield2,
+            tag: String::new(),
             sched_policy: SchedPolicy::Fcfs,
             tenant_weights: vec![1],
             fault_plan: None,
@@ -72,14 +85,37 @@ impl DpdpuBuilder {
     }
 
     /// Preset: EPYC host + BlueField-2 DPU (the paper's test rig).
-    pub fn bluefield2(self) -> Self {
-        self.platform(Platform::new(HostSpec::epyc(), DpuSpec::bluefield2()))
+    pub fn bluefield2(mut self) -> Self {
+        self.preset = Preset::Bluefield2;
+        self
     }
 
     /// Preset: EPYC host + BlueField-3 DPU (no RegEx engine — the
     /// heterogeneity case of §5).
-    pub fn bluefield3(self) -> Self {
-        self.platform(Platform::new(HostSpec::epyc(), DpuSpec::bluefield3()))
+    pub fn bluefield3(mut self) -> Self {
+        self.preset = Preset::Bluefield3;
+        self
+    }
+
+    /// Prefixes every preset-built resource name with `tag.` — required
+    /// when several platforms share one simulation, so CPU pools, PCIe
+    /// links, and SSDs stay distinct in telemetry and conformance
+    /// accounting. Ignored when an explicit [`platform`](Self::platform)
+    /// is supplied.
+    pub fn tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = tag.into();
+        self
+    }
+
+    fn preset_platform(&self, tag: &str) -> Rc<Platform> {
+        match self.preset {
+            Preset::Bluefield2 => {
+                Platform::new_tagged(HostSpec::epyc(), DpuSpec::bluefield2(), tag)
+            }
+            Preset::Bluefield3 => {
+                Platform::new_tagged(HostSpec::epyc(), DpuSpec::bluefield3(), tag)
+            }
+        }
     }
 
     /// Sproc scheduling policy for the runtime's [`Scheduler`].
@@ -121,8 +157,41 @@ impl DpdpuBuilder {
         // invariant checker. An outer `CheckGuard` (strict, owned by the
         // caller) is respected — this only fills the slot when empty.
         dpdpu_check::CheckSession::ensure_installed();
-        let faults = self.fault_plan.map(FaultSession::install);
-        let platform = self.platform.unwrap_or_else(Platform::default_bf2);
+        let faults = self.fault_plan.clone().map(FaultSession::install);
+        let platform = match &self.platform {
+            Some(p) => p.clone(),
+            None => self.preset_platform(&self.tag),
+        };
+        self.boot_one(platform, faults)
+    }
+
+    /// Boots `n` independent runtimes inside one simulation, each on
+    /// its own `node{i}`-tagged preset platform (prefixed by
+    /// [`tag`](Self::tag) when set). The fault plan, if any, is
+    /// installed once and shared — fault sessions are per-thread, not
+    /// per-platform.
+    pub fn boot_cluster(self, n: usize) -> Vec<Rc<Dpdpu>> {
+        assert!(n > 0, "cluster must have at least one node");
+        assert!(
+            self.platform.is_none(),
+            "boot_cluster builds its own platforms; don't pass an explicit one"
+        );
+        dpdpu_check::CheckSession::ensure_installed();
+        let faults = self.fault_plan.clone().map(FaultSession::install);
+        (0..n)
+            .map(|i| {
+                let node_tag = if self.tag.is_empty() {
+                    format!("node{i}")
+                } else {
+                    format!("{}.node{i}", self.tag)
+                };
+                let platform = self.preset_platform(&node_tag);
+                self.boot_one(platform, faults.clone())
+            })
+            .collect()
+    }
+
+    fn boot_one(&self, platform: Rc<Platform>, faults: Option<Rc<FaultSession>>) -> Rc<Dpdpu> {
         if self.telemetry {
             if let Some(t) = dpdpu_telemetry::Telemetry::current() {
                 platform.register_telemetry(&t);
@@ -140,7 +209,7 @@ impl DpdpuBuilder {
             platform.dpu_cpu.clone(),
             platform.host_cpu.clone(),
             self.sched_policy,
-            self.tenant_weights,
+            self.tenant_weights.clone(),
         );
         Rc::new(Dpdpu {
             platform,
@@ -190,6 +259,33 @@ mod tests {
         });
         sim.run();
         FaultSession::uninstall();
+    }
+
+    #[test]
+    fn boot_cluster_isolates_node_resources() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let nodes = DpdpuBuilder::new().boot_cluster(3);
+            assert_eq!(nodes.len(), 3);
+            let names: std::collections::HashSet<String> = nodes
+                .iter()
+                .map(|n| n.platform.host_cpu.name().to_string())
+                .collect();
+            assert_eq!(names.len(), 3, "host CPU pools must be distinct");
+            assert_eq!(nodes[0].platform.tag, "node0");
+            assert_eq!(nodes[2].platform.tag, "node2");
+            // Every node's storage stack works independently.
+            for (i, node) in nodes.iter().enumerate() {
+                let f = node.storage.create("t").await.unwrap();
+                node.storage
+                    .write(f, 0, format!("node-{i}").as_bytes())
+                    .await
+                    .unwrap();
+                let back = node.storage.read(f, 0, 6).await.unwrap();
+                assert_eq!(&back, format!("node-{i}").as_bytes());
+            }
+        });
+        sim.run();
     }
 
     #[test]

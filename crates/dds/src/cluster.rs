@@ -1,0 +1,591 @@
+//! Sharded DDS cluster: a consistent-hash router over N independent
+//! storage servers, each a full DPU platform.
+//!
+//! The paper measures a *single* DDS server (Figure 9). Production
+//! disaggregated storage runs fleets of them: keys are partitioned
+//! across servers by consistent hashing, every server runs its own DPU
+//! offload stack, and the aggregate host-core saving is (ideally) the
+//! per-server saving times the fleet size. This module wires that up
+//! inside one simulation:
+//!
+//! * [`HashRing`] — a virtual-node consistent-hash ring. Adding or
+//!   removing a shard moves only ~`1/N` of the key space.
+//! * [`DdsCluster`] — N [`Dds`] servers on [`Platform::new_tagged`]
+//!   platforms (`node0`, `node1`, …), so every CPU pool, PCIe link and
+//!   SSD is a distinct, separately-metered resource.
+//! * [`ClusterClient`] — a client endpoint with one TCP connection per
+//!   shard, key routing, and per-shard admission control: when a
+//!   shard's in-flight window is full the request is *shed* immediately
+//!   ([`DpdpuError::Unavailable`]) instead of queueing without bound.
+//!
+//! Every request is accounted to the conformance layer
+//! ([`dpdpu_check::cluster_op_issued`] / `_ok` / `_failed`): issued ==
+//! completed + failed-or-shed per shard, end of run, or the run fails.
+
+use std::rc::Rc;
+
+use bytes::Bytes;
+
+use dpdpu_core::DpdpuError;
+use dpdpu_des::{Counter, Semaphore};
+use dpdpu_hw::{CpuPool, DpuSpec, HostSpec, LinkConfig, Platform};
+use dpdpu_net::tcp::{tcp_duplex, TcpParams, TcpSide};
+
+use crate::server::{Dds, DdsClient, DdsConfig};
+
+/// 64-bit finalizer (splitmix64): uncorrelates adjacent keys before
+/// they land on the ring.
+pub fn ring_hash(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring with virtual nodes.
+///
+/// Each shard owns `vnodes` pseudo-random points on a 64-bit ring; a
+/// key belongs to the shard owning the first point at or after the
+/// key's hash (wrapping). Virtual nodes smooth the per-shard load and
+/// bound key movement on membership change to roughly `1/N`.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(point, shard)`, sorted by point.
+    points: Vec<(u64, usize)>,
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// A ring over shards `0..shards`, each with `vnodes` points.
+    pub fn new(shards: usize, vnodes: usize) -> Self {
+        assert!(shards > 0, "a ring needs at least one shard");
+        assert!(vnodes > 0, "virtual-node count must be positive");
+        let mut ring = HashRing {
+            points: Vec::with_capacity(shards * vnodes),
+            vnodes,
+        };
+        for shard in 0..shards {
+            ring.insert_points(shard);
+        }
+        ring.points.sort_unstable();
+        ring
+    }
+
+    fn insert_points(&mut self, shard: usize) {
+        for v in 0..self.vnodes {
+            // Distinct namespace per (shard, vnode): hash of a value no
+            // key hash can collide with systematically.
+            let point = ring_hash((shard as u64) << 32 | (v as u64) | 0xC1A5_0000_0000_0000);
+            self.points.push((point, shard));
+        }
+    }
+
+    /// Adds a shard's points to the ring.
+    pub fn add_shard(&mut self, shard: usize) {
+        assert!(
+            !self.points.iter().any(|&(_, s)| s == shard),
+            "shard {shard} already on the ring"
+        );
+        self.insert_points(shard);
+        self.points.sort_unstable();
+    }
+
+    /// Removes a shard's points from the ring.
+    pub fn remove_shard(&mut self, shard: usize) {
+        self.points.retain(|&(_, s)| s != shard);
+        assert!(!self.points.is_empty(), "cannot remove the last shard");
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_for(&self, key: u64) -> usize {
+        let h = ring_hash(key);
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        self.points[idx % self.points.len()].1
+    }
+
+    /// Number of distinct shards on the ring.
+    pub fn shard_count(&self) -> usize {
+        let mut shards: Vec<usize> = self.points.iter().map(|&(_, s)| s).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards.len()
+    }
+}
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of storage servers.
+    pub shards: usize,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// Per-server DDS configuration.
+    pub dds: DdsConfig,
+    /// Per-shard client-side in-flight cap; requests beyond it are shed
+    /// with [`DpdpuError::Unavailable`] (admission control).
+    pub admission: usize,
+    /// Client-to-server network link.
+    pub link: LinkConfig,
+    /// TCP parameters for every connection.
+    pub tcp: TcpParams,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shards: 2,
+            vnodes: 64,
+            dds: DdsConfig::default(),
+            admission: 64,
+            link: LinkConfig::rack_100g(),
+            tcp: TcpParams::default(),
+        }
+    }
+}
+
+/// N independent DDS servers on tagged platforms.
+pub struct DdsCluster {
+    /// The servers, index = shard id.
+    pub nodes: Vec<Rc<Dds>>,
+    config: ClusterConfig,
+}
+
+impl DdsCluster {
+    /// Builds `config.shards` servers, each on its own
+    /// `node{i}`-tagged BlueField-2 platform.
+    pub async fn build(config: ClusterConfig) -> Rc<Self> {
+        assert!(config.shards > 0, "cluster needs at least one shard");
+        let mut nodes = Vec::with_capacity(config.shards);
+        for i in 0..config.shards {
+            let platform =
+                Platform::new_tagged(HostSpec::epyc(), DpuSpec::bluefield2(), &format!("node{i}"));
+            if let Some(t) = dpdpu_telemetry::Telemetry::current() {
+                platform.register_telemetry(&t);
+            }
+            nodes.push(Dds::build(platform, config.dds).await);
+        }
+        Rc::new(DdsCluster { nodes, config })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The platform backing shard `i`.
+    pub fn platform(&self, i: usize) -> &Rc<Platform> {
+        self.nodes[i].platform()
+    }
+
+    /// Connects a client: one duplex TCP connection per shard (server
+    /// side terminated on each node's DPU), a shared hash ring, and
+    /// per-shard admission windows.
+    pub fn connect(self: &Rc<Self>, client_cpu: Rc<CpuPool>) -> Rc<ClusterClient> {
+        let ring = HashRing::new(self.shards(), self.config.vnodes);
+        let mut conns = Vec::with_capacity(self.shards());
+        for (i, dds) in self.nodes.iter().enumerate() {
+            let platform = dds.platform();
+            let server_side = TcpSide::offloaded(
+                platform.host_cpu.clone(),
+                platform.dpu_cpu.clone(),
+                platform.host_dpu_pcie.clone(),
+            );
+            let client_side = TcpSide::host(client_cpu.clone());
+            let ((client_tx, client_rx), (server_tx, server_rx)) =
+                tcp_duplex(client_side, server_side, self.config.link, self.config.tcp);
+            dds.serve(server_rx, server_tx);
+            let label = format!("node{i}");
+            conns.push(ShardConn {
+                admission: Semaphore::new_labeled(
+                    &format!("{label}.admission"),
+                    self.config.admission,
+                ),
+                client: DdsClient::new(client_tx, client_rx),
+                shed: Counter::new(),
+                label,
+            });
+        }
+        Rc::new(ClusterClient { ring, conns })
+    }
+}
+
+/// One client's connection to one shard.
+struct ShardConn {
+    label: String,
+    client: Rc<DdsClient>,
+    admission: Semaphore,
+    shed: Counter,
+}
+
+/// A sharded client endpoint: key routing, per-shard connections, and
+/// admission control.
+pub struct ClusterClient {
+    ring: HashRing,
+    conns: Vec<ShardConn>,
+}
+
+impl ClusterClient {
+    /// The shard that owns `key`.
+    pub fn shard_for(&self, key: u64) -> usize {
+        self.ring.shard_for(key)
+    }
+
+    /// Requests shed by shard `i`'s admission control so far.
+    pub fn shed(&self, i: usize) -> u64 {
+        self.conns[i].shed.get()
+    }
+
+    /// Total requests shed across all shards.
+    pub fn total_shed(&self) -> u64 {
+        self.conns.iter().map(|c| c.shed.get()).sum()
+    }
+
+    /// The raw per-shard client (for pipelined workloads that manage
+    /// their own batching on top of routing).
+    pub fn shard_client(&self, i: usize) -> &Rc<DdsClient> {
+        &self.conns[i].client
+    }
+
+    /// Runs `op` against shard `shard` under admission control and
+    /// conservation accounting. `bytes` is the request's payload size.
+    async fn with_admission<T, F, Fut>(
+        &self,
+        shard: usize,
+        bytes: u64,
+        op: F,
+    ) -> Result<T, DpdpuError>
+    where
+        F: FnOnce(Rc<DdsClient>) -> Fut,
+        Fut: std::future::Future<Output = Result<T, DpdpuError>>,
+    {
+        let conn = &self.conns[shard];
+        dpdpu_check::cluster_op_issued(&conn.label, bytes);
+        let Some(_permit) = conn.admission.try_acquire() else {
+            conn.shed.inc();
+            dpdpu_check::cluster_op_failed(&conn.label, bytes);
+            if let Some(c) = dpdpu_telemetry::counter("cluster_shed", &[("shard", &conn.label)]) {
+                c.inc();
+            }
+            return Err(DpdpuError::Unavailable("shard admission window"));
+        };
+        if let Some(c) = dpdpu_telemetry::counter("cluster_requests", &[("shard", &conn.label)]) {
+            c.inc();
+        }
+        let result = op(conn.client.clone()).await;
+        match &result {
+            Ok(_) => dpdpu_check::cluster_op_ok(&conn.label, bytes),
+            Err(_) => dpdpu_check::cluster_op_failed(&conn.label, bytes),
+        }
+        result
+    }
+
+    /// Routed KV get.
+    pub async fn kv_get(&self, key: u64) -> Result<Option<Bytes>, DpdpuError> {
+        let shard = self.shard_for(key);
+        self.with_admission(shard, 8, |c| async move { c.kv_get(key).await })
+            .await
+    }
+
+    /// Routed KV put.
+    pub async fn kv_put(&self, key: u64, value: Bytes) -> Result<(), DpdpuError> {
+        let shard = self.shard_for(key);
+        let bytes = 8 + value.len() as u64;
+        self.with_admission(shard, bytes, |c| async move { c.kv_put(key, value).await })
+            .await
+    }
+
+    /// Cluster-wide range scan: the range's keys are scattered across
+    /// shards by the hash partitioning, so every shard is queried and
+    /// the results merged in key order.
+    pub async fn kv_scan(
+        &self,
+        start_key: u64,
+        count: u32,
+    ) -> Result<Vec<(u64, Bytes)>, DpdpuError> {
+        let mut merged = Vec::new();
+        for shard in 0..self.conns.len() {
+            let mut part = self
+                .with_admission(
+                    shard,
+                    12,
+                    |c| async move { c.kv_scan(start_key, count).await },
+                )
+                .await?;
+            merged.append(&mut part);
+        }
+        merged.sort_by_key(|&(k, _)| k);
+        // A shard only returns keys it owns, but be safe under
+        // membership churn: drop duplicates, first owner wins.
+        merged.dedup_by_key(|&mut (k, _)| k);
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    use dpdpu_des::Sim;
+
+    /// Runs an async test body to completion, failing loudly if the
+    /// simulation quiesces before the body finishes.
+    fn run_async<Fut: std::future::Future<Output = ()> + 'static>(fut: Fut) {
+        let mut sim = Sim::new();
+        let done = Rc::new(std::cell::Cell::new(false));
+        let flag = done.clone();
+        sim.spawn(async move {
+            fut.await;
+            flag.set(true);
+        });
+        sim.run();
+        assert!(
+            done.get(),
+            "simulation deadlocked before the test body completed"
+        );
+    }
+
+    /// 10K distinct keys drawn from a zipfian(θ≈1) rank distribution
+    /// over 100K ranks, scrambled onto the full u64 space — the key
+    /// population a skewed KV workload routes through the ring.
+    fn zipfian_keys(n: usize) -> Vec<u64> {
+        let ranks = 100_000usize;
+        let mut cum = Vec::with_capacity(ranks);
+        let mut total = 0.0f64;
+        for r in 1..=ranks {
+            total += 1.0 / r as f64;
+            cum.push(total);
+        }
+        // Deterministic xorshift uniforms; inversion-sample the rank.
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        let mut seen = HashSet::new();
+        let mut keys = Vec::with_capacity(n);
+        while keys.len() < n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let u = (x >> 11) as f64 / (1u64 << 53) as f64 * total;
+            let rank = cum.partition_point(|&c| c < u) + 1;
+            if seen.insert(rank) {
+                keys.push(ring_hash(rank as u64 ^ 0xDEAD_BEEF_CAFE_F00D));
+            }
+        }
+        keys
+    }
+
+    #[test]
+    fn ring_balances_zipfian_keys_within_2x() {
+        let shards = 8;
+        let ring = HashRing::new(shards, 64);
+        let keys = zipfian_keys(10_000);
+        let mut load = vec![0usize; shards];
+        for &k in &keys {
+            load[ring.shard_for(k)] += 1;
+        }
+        let mean = keys.len() / shards;
+        for (shard, &n) in load.iter().enumerate() {
+            assert!(
+                n <= 2 * mean && n >= mean / 2,
+                "shard {shard} owns {n} of {} keys (mean {mean}): outside the 2x bound",
+                keys.len()
+            );
+        }
+    }
+
+    #[test]
+    fn ring_add_shard_moves_less_than_2_over_n() {
+        let n = 8;
+        let before = HashRing::new(n, 64);
+        let mut after = before.clone();
+        after.add_shard(n);
+        let keys = zipfian_keys(10_000);
+        let moved = keys
+            .iter()
+            .filter(|&&k| before.shard_for(k) != after.shard_for(k))
+            .count();
+        // Consistent hashing moves ~1/(n+1) of keys to the new shard;
+        // anything at or past 2/n means the ring reshuffled.
+        assert!(
+            moved < keys.len() * 2 / n,
+            "adding a shard moved {moved}/{} keys (bound {})",
+            keys.len(),
+            keys.len() * 2 / n
+        );
+        // Every moved key landed on the new shard — no lateral moves.
+        for &k in &keys {
+            if before.shard_for(k) != after.shard_for(k) {
+                assert_eq!(after.shard_for(k), n, "key moved between old shards");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_remove_shard_moves_only_its_keys() {
+        let n = 8;
+        let before = HashRing::new(n, 64);
+        let mut after = before.clone();
+        after.remove_shard(3);
+        let keys = zipfian_keys(10_000);
+        let mut moved = 0;
+        for &k in &keys {
+            let old = before.shard_for(k);
+            let new = after.shard_for(k);
+            if old == 3 {
+                assert_ne!(new, 3, "removed shard still owns a key");
+                moved += 1;
+            } else {
+                assert_eq!(old, new, "a surviving shard's key moved");
+            }
+        }
+        assert!(
+            moved < keys.len() * 2 / n,
+            "removing a shard moved {moved}/{} keys (bound {})",
+            keys.len(),
+            keys.len() * 2 / n
+        );
+    }
+
+    #[test]
+    fn ring_is_deterministic_across_instances() {
+        let a = HashRing::new(5, 32);
+        let b = HashRing::new(5, 32);
+        for k in 0..1_000u64 {
+            assert_eq!(a.shard_for(k), b.shard_for(k));
+        }
+    }
+
+    #[test]
+    fn cluster_routes_puts_and_gets_across_all_shards() {
+        let _check = dpdpu_check::CheckGuard::new();
+        run_async(async {
+            let cluster = DdsCluster::build(ClusterConfig {
+                shards: 4,
+                ..ClusterConfig::default()
+            })
+            .await;
+            let client_cpu = CpuPool::new("client", 16, 3_000_000_000);
+            let client = cluster.connect(client_cpu);
+            for key in 0..64u64 {
+                client
+                    .kv_put(key, Bytes::from(format!("value-{key}")))
+                    .await
+                    .unwrap();
+            }
+            for key in 0..64u64 {
+                assert_eq!(
+                    client.kv_get(key).await.unwrap().unwrap(),
+                    Bytes::from(format!("value-{key}")),
+                );
+            }
+            // 64 hashed keys across 4 shards: every server saw traffic.
+            for (i, node) in cluster.nodes.iter().enumerate() {
+                assert!(
+                    node.served_dpu.get() + node.served_host.get() > 0,
+                    "shard {i} served nothing"
+                );
+            }
+            assert_eq!(client.total_shed(), 0, "no overload in this workload");
+        });
+    }
+
+    #[test]
+    fn cluster_scan_merges_shards_in_key_order() {
+        run_async(async {
+            let cluster = DdsCluster::build(ClusterConfig {
+                shards: 3,
+                ..ClusterConfig::default()
+            })
+            .await;
+            let client_cpu = CpuPool::new("client", 16, 3_000_000_000);
+            let client = cluster.connect(client_cpu);
+            for key in 0..16u64 {
+                client
+                    .kv_put(key, Bytes::from(vec![key as u8; 16]))
+                    .await
+                    .unwrap();
+            }
+            let hits = client.kv_scan(0, 16).await.unwrap();
+            assert_eq!(hits.len(), 16);
+            let keys: Vec<u64> = hits.iter().map(|&(k, _)| k).collect();
+            assert_eq!(keys, (0..16u64).collect::<Vec<_>>());
+            // The range really was scattered: more than one shard holds it.
+            let owners: HashSet<usize> = (0..16u64).map(|k| client.shard_for(k)).collect();
+            assert!(
+                owners.len() > 1,
+                "hash partitioning should scatter the range"
+            );
+        });
+    }
+
+    #[test]
+    fn admission_control_sheds_when_a_shard_saturates() {
+        let _check = dpdpu_check::CheckGuard::new();
+        run_async(async {
+            let cluster = DdsCluster::build(ClusterConfig {
+                shards: 2,
+                admission: 2,
+                ..ClusterConfig::default()
+            })
+            .await;
+            let client_cpu = CpuPool::new("client", 16, 3_000_000_000);
+            let client = cluster.connect(client_cpu);
+            client.kv_put(1, Bytes::from_static(b"v")).await.unwrap();
+            // Fire a burst far above the 2-deep admission window.
+            let mut handles = Vec::new();
+            for _ in 0..32 {
+                let client = client.clone();
+                handles.push(dpdpu_des::spawn(async move {
+                    match client.kv_get(1).await {
+                        Ok(v) => {
+                            assert_eq!(v.unwrap(), Bytes::from_static(b"v"));
+                            true
+                        }
+                        Err(DpdpuError::Unavailable(_)) => false,
+                        Err(e) => panic!("unexpected error {e:?}"),
+                    }
+                }));
+            }
+            let mut ok = 0u64;
+            let mut shed = 0u64;
+            for h in handles {
+                if h.await {
+                    ok += 1;
+                } else {
+                    shed += 1;
+                }
+            }
+            assert!(shed > 0, "burst must overflow the admission window");
+            assert!(ok > 0, "admitted requests must complete");
+            assert_eq!(client.total_shed(), shed);
+            // Every issued op resolved — the CheckGuard verifies the
+            // cluster-conservation invariant on drop.
+            let report = dpdpu_check::CheckSession::current().unwrap().report();
+            assert!(report.contains("cluster_ops="), "report: {report}");
+            assert!(
+                report.contains(&format!("cluster_shed={shed}")),
+                "report: {report}"
+            );
+        });
+    }
+
+    #[test]
+    fn tagged_platforms_keep_per_shard_resources_distinct() {
+        run_async(async {
+            let cluster = DdsCluster::build(ClusterConfig {
+                shards: 2,
+                ..ClusterConfig::default()
+            })
+            .await;
+            let names: HashSet<String> = (0..2)
+                .map(|i| cluster.platform(i).host_cpu.name().to_string())
+                .collect();
+            assert_eq!(names.len(), 2, "host CPU pools must be distinct: {names:?}");
+            let mut loads = HashMap::new();
+            for i in 0..2 {
+                loads.insert(i, cluster.platform(i).tag.clone());
+            }
+            assert_eq!(loads[&0], "node0");
+            assert_eq!(loads[&1], "node1");
+        });
+    }
+}

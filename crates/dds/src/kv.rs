@@ -96,13 +96,24 @@ impl KvStore {
     }
 
     /// Inserts or updates an index entry, respecting the DPU budget.
+    ///
+    /// Updates are newest-offset-wins: log offsets are reserved in put
+    /// arrival order before any await, but the index update runs after
+    /// the storage write completes, and concurrent same-key puts can
+    /// complete out of reservation order. Letting a lower offset
+    /// overwrite a higher one would resurrect the older value — a lost
+    /// update under a linearizability check.
     fn index_insert(&self, key: u64, entry: IndexEntry) {
         if let Some(e) = self.dpu_index.borrow_mut().get_mut(&key) {
-            *e = entry;
+            if entry.value_offset > e.value_offset {
+                *e = entry;
+            }
             return;
         }
         if let Some(e) = self.host_index.borrow_mut().get_mut(&key) {
-            *e = entry;
+            if entry.value_offset > e.value_offset {
+                *e = entry;
+            }
             return;
         }
         let dpu_used = self.dpu_index.borrow().len() as u64 * INDEX_ENTRY_BYTES;
@@ -204,6 +215,28 @@ impl KvStore {
                 Ok(Some(Bytes::from(data)))
             }
         }
+    }
+
+    /// True when every *present* key of the dense range
+    /// `[start_key, start_key + count)` is DPU-resident, so the DPU can
+    /// serve the scan alone. A range with no present keys is trivially
+    /// DPU-servable.
+    pub fn range_resident_dpu(&self, start_key: u64, count: u32) -> bool {
+        let host = self.host_index.borrow();
+        (start_key..start_key.saturating_add(count as u64)).all(|k| !host.contains_key(&k))
+    }
+
+    /// Multi-get over the dense key range `[start_key, start_key +
+    /// count)`: returns the present keys in ascending order with their
+    /// current values.
+    pub async fn scan(&self, start_key: u64, count: u32) -> Result<Vec<(u64, Bytes)>, FsError> {
+        let mut out = Vec::new();
+        for key in start_key..start_key.saturating_add(count as u64) {
+            if let Some(value) = self.get(key).await? {
+                out.push((key, value));
+            }
+        }
+        Ok(out)
     }
 
     /// Number of keys in each partition `(dpu, host)`.
@@ -389,6 +422,68 @@ mod tests {
                 "intact records survive"
             );
             assert_eq!(kv.get(2).await.unwrap(), None, "torn record discarded");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn stale_index_update_cannot_resurrect_old_value() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let kv = store(&p, 1 << 20).await;
+            kv.put(1, b"v1").await.unwrap(); // value at offset 12
+            kv.put(1, b"v2").await.unwrap(); // value at offset 26
+                                             // A late-completing concurrent put of the older version tries
+                                             // to re-install its (lower) offset: newest-offset-wins must
+                                             // ignore it.
+            kv.index_insert(
+                1,
+                IndexEntry {
+                    value_offset: 12,
+                    value_len: 2,
+                },
+            );
+            assert_eq!(kv.get(1).await.unwrap().unwrap(), Bytes::from_static(b"v2"));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn scan_returns_present_keys_in_order() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let kv = store(&p, 1 << 20).await;
+            for k in [7u64, 3, 5] {
+                kv.put(k, format!("v{k}").as_bytes()).await.unwrap();
+            }
+            let hits = kv.scan(0, 10).await.unwrap();
+            let keys: Vec<u64> = hits.iter().map(|(k, _)| *k).collect();
+            assert_eq!(keys, vec![3, 5, 7]);
+            assert_eq!(hits[1].1, Bytes::from_static(b"v5"));
+            assert!(kv.scan(100, 50).await.unwrap().is_empty());
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn range_residency_tracks_host_overflow() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            // Budget for 4 entries: keys 0..4 land on the DPU, 4..8 host.
+            let kv = store(&p, 4 * INDEX_ENTRY_BYTES).await;
+            for k in 0..8u64 {
+                kv.put(k, b"x").await.unwrap();
+            }
+            assert!(kv.range_resident_dpu(0, 4));
+            assert!(!kv.range_resident_dpu(0, 8));
+            assert!(!kv.range_resident_dpu(4, 2));
+            assert!(
+                kv.range_resident_dpu(100, 16),
+                "absent range is trivially DPU-servable"
+            );
         });
         sim.run();
     }

@@ -26,6 +26,7 @@
 //!
 //! [`FileService`]: dpdpu_storage::FileService
 
+pub mod cluster;
 pub mod director;
 pub mod kv;
 pub mod offload;

@@ -42,6 +42,12 @@ pub struct PageServer {
     /// Optional DPU-memory page cache in front of the SSD (§9 "caching
     /// in DPU-backed file system"); write-invalidated by log arrival.
     cache: Option<Rc<PageCache>>,
+    /// Per-page invalidation epoch, bumped by every log arrival. A read
+    /// snapshots the epoch before awaiting the SSD and only installs its
+    /// image into the cache if the epoch is unchanged afterwards —
+    /// otherwise a `cache.put` landing after a concurrent `invalidate`
+    /// would re-insert a stale image.
+    epochs: RefCell<HashMap<u64, u64>>,
     /// WAL records appended.
     pub log_records: Counter,
     /// Records replayed into page images.
@@ -89,6 +95,7 @@ impl PageServer {
             wal_tail: std::cell::Cell::new(wal_size),
             pending: RefCell::new(HashMap::new()),
             cache,
+            epochs: RefCell::new(HashMap::new()),
             log_records: Counter::new(),
             replayed: Counter::new(),
         });
@@ -155,6 +162,7 @@ impl PageServer {
             wal_tail: std::cell::Cell::new(0),
             pending: RefCell::new(HashMap::new()),
             cache,
+            epochs: RefCell::new(HashMap::new()),
             log_records: Counter::new(),
             replayed: Counter::new(),
         }))
@@ -189,11 +197,19 @@ impl PageServer {
             .or_default()
             .push(LogRecord { offset, delta });
         if let Some(cache) = &self.cache {
-            // The cached image is about to go stale.
+            // The cached image is about to go stale. The epoch bump also
+            // cancels any in-flight read's pending `cache.put` for this
+            // page (it snapshotted the old epoch before its SSD await).
+            *self.epochs.borrow_mut().entry(page_id).or_default() += 1;
             cache.invalidate(self.pages, page_id * self.page_size as u64);
         }
         self.log_records.inc();
         Ok(())
+    }
+
+    /// Current invalidation epoch of `page_id`.
+    fn epoch(&self, page_id: u64) -> u64 {
+        self.epochs.borrow().get(&page_id).copied().unwrap_or(0)
     }
 
     /// True when the page has no pending log — DPU-servable.
@@ -222,12 +238,17 @@ impl PageServer {
                 return Ok(Bytes::from(data));
             }
         }
+        let epoch = self.epoch(page_id);
         let data = self
             .service
             .read(self.pages, offset, self.page_size as u64)
             .await?;
         if let Some(cache) = &self.cache {
-            cache.put(self.pages, offset, data.clone());
+            // Skip the install if a log record invalidated the page while
+            // the read was in flight — the image we hold predates it.
+            if self.epoch(page_id) == epoch {
+                cache.put(self.pages, offset, data.clone());
+            }
         }
         Ok(Bytes::from(data))
     }
@@ -239,6 +260,7 @@ impl PageServer {
             return Ok(());
         };
         let base = page_id * self.page_size as u64;
+        let epoch = self.epoch(page_id);
         let mut image = self
             .service
             .read(self.pages, base, self.page_size as u64)
@@ -251,8 +273,12 @@ impl PageServer {
         }
         self.service.write(self.pages, base, &image).await?;
         if let Some(cache) = &self.cache {
-            // Refresh the cache with the replayed image.
-            cache.put(self.pages, base, image);
+            // Refresh the cache with the replayed image — unless another
+            // log record arrived mid-replay, in which case this image is
+            // already missing a delta and must not be cached.
+            if self.epoch(page_id) == epoch {
+                cache.put(self.pages, base, image);
+            }
         }
         Ok(())
     }
@@ -388,6 +414,63 @@ mod tests {
             ps.append_log(4, 0, Bytes::from_static(b"NEW"))
                 .await
                 .unwrap();
+            let page = ps.get_page_host(4, &p.host_cpu).await.unwrap();
+            assert_eq!(&page[0..3], b"NEW");
+            let again = ps.get_page_dpu(4).await.unwrap();
+            assert_eq!(&again[0..3], b"NEW", "cache must never serve stale images");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn log_arrival_mid_read_cannot_reinstall_stale_image() {
+        // Regression: `append_log` invalidates the cache, but a cold
+        // `get_page_dpu` whose SSD read is in flight when the record
+        // lands still holds the pre-log image; its `cache.put` executes
+        // *after* the invalidate. Without the epoch guard it re-inserts
+        // the stale image and later reads serve pre-log bytes.
+        //
+        // Interleaving (WAL appends are slower than page reads because
+        // the partial-block WAL write read-modify-writes its block,
+        // ~79us + 14us, vs ~80us for the 8 KB page read):
+        //   t=0     appender starts `append_log(4, ..)`
+        //   t=40us  reader starts `get_page_dpu(4)` — page still clean,
+        //           pre-log epoch snapshotted, SSD read in flight
+        //   t~95us  append completes: pending + epoch bump + invalidate
+        //   t~120us reader's read returns the pre-log image; the install
+        //           must be skipped (epoch changed)
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let fs = ExtentFs::format(BlockDevice::new(p.ssd.clone(), 1 << 20));
+            let svc = FileService::new(fs, p.dpu_cpu.clone(), p.dpu_ssd_pcie.clone());
+            let cache = PageCache::new(&p.dpu_mem, 16, 8_192).unwrap();
+            let ps = PageServer::with_cache(svc, 64, 8_192, Some(cache.clone()))
+                .await
+                .unwrap();
+            let appender = {
+                let ps = ps.clone();
+                dpdpu_des::spawn(async move {
+                    ps.append_log(4, 0, Bytes::from_static(b"NEW"))
+                        .await
+                        .unwrap();
+                })
+            };
+            dpdpu_des::sleep(40_000).await;
+            // The append is mid-flight: durable write not yet complete,
+            // so the page is still clean and DPU-routable.
+            assert!(ps.is_clean(4), "append must still be in flight");
+            let stale = ps.get_page_dpu(4).await.unwrap();
+            assert!(stale.iter().all(|&b| b == 0), "read raced the append");
+            // The record landed while our read was in flight…
+            assert!(!ps.is_clean(4), "append must complete before the read");
+            appender.await;
+            // …so the guarded install must have been skipped.
+            assert!(
+                cache.get(ps.pages, 4 * 8_192).is_none(),
+                "in-flight read re-installed an invalidated image"
+            );
+            // After replay, reads observe the fresh bytes.
             let page = ps.get_page_host(4, &p.host_cpu).await.unwrap();
             assert_eq!(&page[0..3], b"NEW");
             let again = ps.get_page_dpu(4).await.unwrap();

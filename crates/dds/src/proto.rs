@@ -44,6 +44,15 @@ pub enum Request {
         /// Replacement bytes.
         delta: Bytes,
     },
+    /// KV range scan: every present key in `[start_key, start_key + count)`.
+    KvScan {
+        /// Request id.
+        req_id: u64,
+        /// First key of the dense range.
+        start_key: u64,
+        /// Number of consecutive keys scanned.
+        count: u32,
+    },
 }
 
 impl Request {
@@ -53,7 +62,8 @@ impl Request {
             Request::KvGet { req_id, .. }
             | Request::KvPut { req_id, .. }
             | Request::GetPage { req_id, .. }
-            | Request::AppendLog { req_id, .. } => *req_id,
+            | Request::AppendLog { req_id, .. }
+            | Request::KvScan { req_id, .. } => *req_id,
         }
     }
 
@@ -90,6 +100,16 @@ impl Request {
                 b.put_u32_le(*offset);
                 b.put_u32_le(delta.len() as u32);
                 b.put_slice(delta);
+            }
+            Request::KvScan {
+                req_id,
+                start_key,
+                count,
+            } => {
+                b.put_u8(5);
+                b.put_u64_le(*req_id);
+                b.put_u64_le(*start_key);
+                b.put_u32_le(*count);
             }
         }
         b.freeze()
@@ -129,6 +149,11 @@ impl Request {
                     delta: c.bytes(len)?,
                 })
             }
+            5 => Ok(Request::KvScan {
+                req_id,
+                start_key: c.u64()?,
+                count: c.u32()?,
+            }),
             t => Err(ProtoError::BadTag(t)),
         }
     }
@@ -188,6 +213,14 @@ pub enum Response {
         /// Failure class.
         code: ErrorCode,
     },
+    /// Scan result: the present keys of the requested range, ascending,
+    /// each with its current value.
+    Scan {
+        /// Correlated request id.
+        req_id: u64,
+        /// `(key, value)` pairs in ascending key order.
+        entries: Vec<(u64, Bytes)>,
+    },
 }
 
 impl Response {
@@ -197,7 +230,8 @@ impl Response {
             Response::Data { req_id, .. }
             | Response::NotFound { req_id }
             | Response::Ok { req_id }
-            | Response::Error { req_id, .. } => *req_id,
+            | Response::Error { req_id, .. }
+            | Response::Scan { req_id, .. } => *req_id,
         }
     }
 
@@ -224,6 +258,16 @@ impl Response {
                 b.put_u64_le(*req_id);
                 b.put_u8(code.to_wire());
             }
+            Response::Scan { req_id, entries } => {
+                b.put_u8(5);
+                b.put_u64_le(*req_id);
+                b.put_u32_le(entries.len() as u32);
+                for (key, value) in entries {
+                    b.put_u64_le(*key);
+                    b.put_u32_le(value.len() as u32);
+                    b.put_slice(value);
+                }
+            }
         }
         b.freeze()
     }
@@ -246,6 +290,17 @@ impl Response {
                 let req_id = c.u64()?;
                 let code = ErrorCode::from_wire(c.u8()?)?;
                 Ok(Response::Error { req_id, code })
+            }
+            5 => {
+                let req_id = c.u64()?;
+                let n = c.u32()? as usize;
+                let mut entries = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let key = c.u64()?;
+                    let len = c.u32()? as usize;
+                    entries.push((key, c.bytes(len)?));
+                }
+                Ok(Response::Scan { req_id, entries })
             }
             t => Err(ProtoError::BadTag(t)),
         }
@@ -427,6 +482,11 @@ mod tests {
                 offset: 100,
                 delta: Bytes::from_static(b"delta"),
             },
+            Request::KvScan {
+                req_id: 5,
+                start_key: 1_000,
+                count: 32,
+            },
         ];
         for r in cases {
             assert_eq!(Request::decode(&r.encode()).unwrap(), r);
@@ -449,6 +509,17 @@ mod tests {
             Response::Error {
                 req_id: 5,
                 code: ErrorCode::Unavailable,
+            },
+            Response::Scan {
+                req_id: 6,
+                entries: vec![
+                    (10, Bytes::from_static(b"a")),
+                    (12, Bytes::from_static(b"bb")),
+                ],
+            },
+            Response::Scan {
+                req_id: 7,
+                entries: vec![],
             },
         ];
         for r in cases {

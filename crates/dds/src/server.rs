@@ -82,6 +82,10 @@ pub struct Dds {
     /// Requests that failed on both paths and were answered with
     /// [`Response::Error`].
     pub exec_errors: Counter,
+    /// Duplicate requests (client retries of an id this connection has
+    /// already answered) served from the per-connection replay cache
+    /// instead of being re-executed.
+    pub dup_replays: Counter,
 }
 
 impl Dds {
@@ -122,6 +126,7 @@ impl Dds {
             served_host: Counter::new(),
             host_fallbacks: Counter::new(),
             exec_errors: Counter::new(),
+            dup_replays: Counter::new(),
         })
     }
 
@@ -138,6 +143,12 @@ impl Dds {
             // offloading: the log protocol needs host memory).
             Request::KvPut { .. } | Request::AppendLog { .. } => false,
             Request::GetPage { page_id, .. } => self.pages.is_clean(*page_id),
+            // A scan is DPU-servable only when every present key of the
+            // range is DPU-resident; one host-partition key drags the
+            // whole request to the host.
+            Request::KvScan {
+                start_key, count, ..
+            } => self.kv.range_resident_dpu(*start_key, *count),
         }
     }
 
@@ -148,6 +159,7 @@ impl Dds {
             Request::KvPut { .. } => "KvPut",
             Request::GetPage { .. } => "GetPage",
             Request::AppendLog { .. } => "AppendLog",
+            Request::KvScan { .. } => "KvScan",
         };
         let mut req_span = dpdpu_telemetry::span("dpu", "dds-server", format!("req:{req_kind}"));
         // Parse + director lookup on the DPU.
@@ -261,26 +273,62 @@ impl Dds {
                     .await?;
                 Response::Ok { req_id: *req_id }
             }
+            Request::KvScan {
+                req_id,
+                start_key,
+                count,
+            } => Response::Scan {
+                req_id: *req_id,
+                entries: self.kv.scan(*start_key, *count).await?,
+            },
         })
     }
 
     /// Serves requests from a TCP stream, answering on another. Each
     /// request is handled concurrently (the DPU pipeline of §4).
+    ///
+    /// Execution is **at-most-once per connection**: clients retry with
+    /// the same request id, so a duplicate of an in-flight request is
+    /// dropped (the original's response is still on its way) and a
+    /// duplicate of a completed one is answered from a replay cache
+    /// without re-executing. Without this, a zombie duplicate of an old
+    /// write landing after a newer same-key write would silently
+    /// resurrect the old value — a lost update.
     pub fn serve(self: &Rc<Self>, mut rx: TcpReceiver, tx: TcpSender) {
         let this = self.clone();
         spawn(async move {
             let mut deframer = crate::proto::Deframer::new();
+            // req_id -> None while in flight, Some(framed response) once
+            // answered. Lives as long as the connection.
+            let dedup: Rc<RefCell<HashMap<u64, Option<Bytes>>>> =
+                Rc::new(RefCell::new(HashMap::new()));
             while let Some(chunk) = rx.recv().await {
                 for msg in deframer.push(&chunk) {
                     let req = match Request::decode(&msg) {
                         Ok(r) => r,
                         Err(_) => continue, // non-storage traffic: ignore here
                     };
+                    let req_id = req.req_id();
+                    match dedup.borrow_mut().entry(req_id) {
+                        std::collections::hash_map::Entry::Occupied(e) => {
+                            if let Some(cached) = e.get() {
+                                this.dup_replays.inc();
+                                tx.send(cached.clone());
+                            }
+                            continue;
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(None);
+                        }
+                    }
                     let this = this.clone();
                     let tx = tx.clone();
+                    let dedup = dedup.clone();
                     spawn(async move {
                         let resp = this.handle(req).await;
-                        tx.send(crate::proto::frame(&resp.encode()));
+                        let framed = crate::proto::frame(&resp.encode());
+                        dedup.borrow_mut().insert(req_id, Some(framed.clone()));
+                        tx.send(framed);
                     });
                 }
             }
@@ -450,6 +498,25 @@ impl DdsClient {
         }
     }
 
+    /// KV range scan: present keys of `[start_key, start_key + count)`.
+    pub async fn kv_scan(
+        &self,
+        start_key: u64,
+        count: u32,
+    ) -> Result<Vec<(u64, Bytes)>, DpdpuError> {
+        match self
+            .call(|req_id| Request::KvScan {
+                req_id,
+                start_key,
+                count,
+            })
+            .await?
+        {
+            Response::Scan { entries, .. } => Ok(entries),
+            other => unreachable!("unexpected scan response {other:?}"),
+        }
+    }
+
     /// GetPage.
     pub async fn get_page(&self, page_id: u64) -> Result<Bytes, DpdpuError> {
         match self
@@ -559,6 +626,116 @@ mod tests {
                 Bytes::from_static(b"value-2")
             );
             assert_eq!(client.kv_get(42).await.unwrap(), None);
+        });
+    }
+
+    #[test]
+    fn kv_scan_end_to_end_routes_by_residency() {
+        run_async(async {
+            let config = DdsConfig {
+                kv_index_budget: 4 * crate::kv::INDEX_ENTRY_BYTES,
+                ..DdsConfig::default()
+            };
+            let (dds, client, _p) = testbed(config).await;
+            for k in 0..8u64 {
+                client
+                    .kv_put(k, Bytes::from(vec![k as u8; 64]))
+                    .await
+                    .unwrap();
+            }
+            let served_dpu_before = dds.served_dpu.get();
+            // Keys 0..4 are DPU-resident: that scan serves on the DPU.
+            let hits = client.kv_scan(0, 4).await.unwrap();
+            assert_eq!(hits.len(), 4);
+            assert_eq!(dds.served_dpu.get(), served_dpu_before + 1);
+            // Keys 4..8 overflowed to the host: host-served scan.
+            let served_host_before = dds.served_host.get();
+            let hits = client.kv_scan(0, 8).await.unwrap();
+            assert_eq!(hits.len(), 8);
+            assert_eq!(hits[5], (5, Bytes::from(vec![5u8; 64])));
+            assert_eq!(dds.served_host.get(), served_host_before + 1);
+        });
+    }
+
+    #[test]
+    fn duplicate_requests_replay_without_reexecution() {
+        run_async(async {
+            let platform = Platform::default_bf2();
+            let dds = Dds::build(platform.clone(), DdsConfig::default()).await;
+            let client_cpu = CpuPool::new("client", 16, 3_000_000_000);
+            let server_side = TcpSide::offloaded(
+                platform.host_cpu.clone(),
+                platform.dpu_cpu.clone(),
+                platform.host_dpu_pcie.clone(),
+            );
+            let client_side = TcpSide::host(client_cpu);
+            let (c2s_tx, c2s_rx) = tcp_stream(
+                client_side.clone(),
+                server_side.clone(),
+                LinkConfig::rack_100g(),
+                TcpParams::default(),
+            );
+            let (s2c_tx, mut s2c_rx) = tcp_stream(
+                server_side,
+                client_side,
+                LinkConfig::rack_100g(),
+                TcpParams::default(),
+            );
+            dds.serve(c2s_rx, s2c_tx);
+            let mut deframer = crate::proto::Deframer::new();
+            let mut responses = Vec::new();
+            // Preload one key, then re-send the same get three times — as
+            // a retrying client does after timeouts.
+            c2s_tx.send(crate::proto::frame(
+                &Request::KvPut {
+                    req_id: 1,
+                    key: 1,
+                    value: Bytes::from_static(b"v"),
+                }
+                .encode(),
+            ));
+            while responses.is_empty() {
+                let chunk = s2c_rx.recv().await.expect("stream open");
+                for msg in deframer.push(&chunk) {
+                    responses.push(Response::decode(&msg).unwrap());
+                }
+            }
+            assert_eq!(responses[0], Response::Ok { req_id: 1 });
+            let served_before = dds.served_dpu.get() + dds.served_host.get();
+            // Await each response before re-sending: the duplicates reach
+            // the server after the original completed, so they replay the
+            // cached response. (In-flight duplicates are dropped instead —
+            // the retrying client's timeout covers that case.)
+            for round in 1..=3 {
+                c2s_tx.send(crate::proto::frame(
+                    &Request::KvGet {
+                        req_id: 777,
+                        key: 1,
+                    }
+                    .encode(),
+                ));
+                while responses.len() < 1 + round {
+                    let chunk = s2c_rx.recv().await.expect("stream open");
+                    for msg in deframer.push(&chunk) {
+                        responses.push(Response::decode(&msg).unwrap());
+                    }
+                }
+            }
+            for resp in &responses[1..] {
+                assert_eq!(
+                    *resp,
+                    Response::Data {
+                        req_id: 777,
+                        data: Bytes::from_static(b"v")
+                    }
+                );
+            }
+            assert_eq!(
+                dds.served_dpu.get() + dds.served_host.get(),
+                served_before + 1,
+                "duplicates must not re-execute"
+            );
+            assert_eq!(dds.dup_replays.get(), 2);
         });
     }
 

@@ -40,6 +40,12 @@ pub struct Platform {
     pub ssd: Rc<Ssd>,
     /// Optional PCIe peer accelerator (GPU/FPGA; §5 extension).
     pub peer: RefCellPeer,
+    /// Node tag prefixed onto every resource name (empty for a
+    /// single-platform sim). Gives each server of a cluster its own
+    /// resource identities, so the conformance layer's per-resource
+    /// utilisation/capacity accounting and telemetry tracks never merge
+    /// two nodes into one.
+    pub tag: String,
 }
 
 /// Late-bound peer accelerator slot (installed after construction so
@@ -49,6 +55,22 @@ pub type RefCellPeer = std::cell::RefCell<Option<Rc<PeerDevice>>>;
 impl Platform {
     /// Builds a platform from specs.
     pub fn new(host: HostSpec, dpu: DpuSpec) -> Rc<Self> {
+        Self::new_tagged(host, dpu, "")
+    }
+
+    /// Builds a platform whose every resource name carries `tag` as a
+    /// `"{tag}."` prefix (empty tag = the plain single-platform names).
+    /// Cluster simulations instantiate one tagged platform per storage
+    /// server so CPU pools, PCIe links, and SSDs stay distinguishable in
+    /// telemetry tracks and in the conformance layer's accounting.
+    pub fn new_tagged(host: HostSpec, dpu: DpuSpec, tag: &str) -> Rc<Self> {
+        let named = |base: &str| -> String {
+            if tag.is_empty() {
+                base.to_string()
+            } else {
+                format!("{tag}.{base}")
+            }
+        };
         let mut accels = BTreeMap::new();
         for spec in &dpu.accels {
             accels.insert(
@@ -62,18 +84,23 @@ impl Platform {
             );
         }
         Rc::new(Platform {
-            host_cpu: CpuPool::new(format!("{}-cpu", host.name), host.cores, host.clock_hz),
-            dpu_cpu: CpuPool::new(format!("{}-cpu", dpu.name), dpu.cores, dpu.clock_hz),
+            host_cpu: CpuPool::new(
+                named(&format!("{}-cpu", host.name)),
+                host.cores,
+                host.clock_hz,
+            ),
+            dpu_cpu: CpuPool::new(named(&format!("{}-cpu", dpu.name)), dpu.cores, dpu.clock_hz),
             accels,
             host_mem: Memory::new(host.mem_bytes),
             dpu_mem: Memory::new(dpu.mem_bytes),
-            host_dpu_pcie: PcieLink::new("host-dpu", dpu.pcie_bytes_per_sec),
-            dpu_ssd_pcie: PcieLink::new("dpu-ssd", dpu.pcie_bytes_per_sec),
-            host_ssd_pcie: PcieLink::new("host-ssd", dpu.pcie_bytes_per_sec),
-            ssd: Ssd::new("nvme0"),
+            host_dpu_pcie: PcieLink::new(named("host-dpu"), dpu.pcie_bytes_per_sec),
+            dpu_ssd_pcie: PcieLink::new(named("dpu-ssd"), dpu.pcie_bytes_per_sec),
+            host_ssd_pcie: PcieLink::new(named("host-ssd"), dpu.pcie_bytes_per_sec),
+            ssd: Ssd::new(&named("nvme0")),
             peer: std::cell::RefCell::new(None),
             host_spec: host,
             dpu_spec: dpu,
+            tag: tag.to_string(),
         })
     }
 
@@ -101,23 +128,37 @@ impl Platform {
 
     /// Registers this platform's resources with a telemetry session:
     /// span tracks are grouped under their owning device ("host", "dpu",
-    /// "ssd", "fabric"), capacity gauges land in the metrics registry,
-    /// and utilisation/queue-depth sources feed the timeline sampler.
+    /// "ssd", "fabric" — prefixed `"{tag}."` on a tagged platform, so a
+    /// cluster renders one process group per node), capacity gauges land
+    /// in the metrics registry, and utilisation/queue-depth sources feed
+    /// the timeline sampler.
     pub fn register_telemetry(self: &Rc<Self>, t: &dpdpu_telemetry::Telemetry) {
         use dpdpu_des::now;
 
+        let group = |base: &str| -> String {
+            if self.tag.is_empty() {
+                base.to_string()
+            } else {
+                format!("{}.{base}", self.tag)
+            }
+        };
+        let host_group = group("host");
+        let dpu_group = group("dpu");
+        let ssd_group = group("ssd");
+        let fabric_group = group("fabric");
+
         // Span tracks → devices (Chrome: one process per device, one
         // thread per resource).
-        t.assign_track(self.host_cpu.name(), "host");
-        t.assign_track(self.dpu_cpu.name(), "dpu");
+        t.assign_track(self.host_cpu.name(), &host_group);
+        t.assign_track(self.dpu_cpu.name(), &dpu_group);
         for kind in self.accels.keys() {
-            t.assign_track(format!("accel-{kind:?}"), "dpu");
+            t.assign_track(format!("accel-{kind:?}"), &dpu_group);
         }
         let (ssd_rd, ssd_wr) = self.ssd.track_names();
-        t.assign_track(ssd_rd, "ssd");
-        t.assign_track(ssd_wr, "ssd");
+        t.assign_track(ssd_rd, &ssd_group);
+        t.assign_track(ssd_wr, &ssd_group);
         for link in [&self.host_dpu_pcie, &self.dpu_ssd_pcie, &self.host_ssd_pcie] {
-            t.assign_track(link.name(), "fabric");
+            t.assign_track(link.name(), &fabric_group);
         }
 
         // Static capacity gauges.

@@ -276,6 +276,43 @@ pub fn tcp_stream(
         .expect("one stream")
 }
 
+/// One endpoint's handles on a duplex TCP connection: a sender toward
+/// the peer and a receiver for the peer's messages.
+pub type TcpEndpoint = (TcpSender, TcpReceiver);
+
+/// Creates one duplex TCP connection between `a` and `b`: two simplex
+/// streams (a→b and b→a), each with its own physical link pair.
+/// Returns `(a_endpoint, b_endpoint)`.
+pub fn tcp_duplex(
+    a: TcpSide,
+    b: TcpSide,
+    link_cfg: LinkConfig,
+    params: TcpParams,
+) -> (TcpEndpoint, TcpEndpoint) {
+    let (a2b_tx, a2b_rx) = tcp_stream(a.clone(), b.clone(), link_cfg, params);
+    let (b2a_tx, b2a_rx) = tcp_stream(b, a, link_cfg, params);
+    ((a2b_tx, b2a_rx), (b2a_tx, a2b_rx))
+}
+
+/// Connection fan-out for a client fleet: `streams` duplex connections
+/// from `a` to `b` whose forward streams share one physical link (and
+/// likewise the reverse streams) — the contention pattern of many
+/// clients behind one NIC port talking to one server port.
+pub fn tcp_mux_duplex(
+    a: TcpSide,
+    b: TcpSide,
+    link_cfg: LinkConfig,
+    params: TcpParams,
+    streams: usize,
+) -> Vec<(TcpEndpoint, TcpEndpoint)> {
+    let fwd = tcp_mux(a.clone(), b.clone(), link_cfg, params, streams);
+    let rev = tcp_mux(b, a, link_cfg, params, streams);
+    fwd.into_iter()
+        .zip(rev)
+        .map(|((a2b_tx, a2b_rx), (b2a_tx, b2a_rx))| ((a2b_tx, b2a_rx), (b2a_tx, a2b_rx)))
+        .collect()
+}
+
 /// Creates `streams` simplex TCP connections from `src` to `dst` that
 /// **share one physical link** in each direction (data forward, ACKs
 /// reverse) — connections contend for wire time exactly as parallel

@@ -68,10 +68,20 @@ fn compute_pipeline_matches_golden() {
 }
 
 #[test]
+fn cluster_fleet_matches_golden() {
+    check_scenario("cluster_fleet");
+}
+
+#[test]
 fn every_scenario_has_golden_coverage() {
     // Adding a scenario without blessing fixtures for it must fail
     // loudly here, not silently skip conformance.
-    let covered = ["storage_faults", "dds_kv", "compute_pipeline"];
+    let covered = [
+        "storage_faults",
+        "dds_kv",
+        "compute_pipeline",
+        "cluster_fleet",
+    ];
     for (name, _) in dpdpu_bench::scenarios::all() {
         assert!(
             covered.contains(&name),

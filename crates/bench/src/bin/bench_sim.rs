@@ -17,7 +17,10 @@
 //! * `fleet_routing` — the cluster workload generator's pure-CPU half
 //!   (zipfian draw + consistent-hash ring lookup per request);
 //! * `cluster_fleet_sim` — wall-clock cost of one simulated cluster op
-//!   end-to-end (ring, admission, TCP, DDS server, SSD model).
+//!   end-to-end (ring, admission, TCP, DDS server, SSD model);
+//! * `rdma_fabric` — wall-clock cost of one echo round trip over the
+//!   host-verbs RDMA cluster fabric (credit pumps, framing, QP + NIC +
+//!   link models).
 //!
 //! ```sh
 //! cargo run --release -p dpdpu-bench --bin bench_sim                 # full run
@@ -284,6 +287,44 @@ fn run_all(scale: u64) -> Vec<BenchResult> {
                 preload(&client, &cfg).await;
                 let report = run_fleet(&client, cfg).await;
                 black_box(report.ok);
+            });
+            black_box(sim.run());
+        }));
+    }
+
+    // One fabric echo round trip per counted event: client request and
+    // echoed response each cross the credit-flow pumps, the wire
+    // framing, and the verbs/NIC/link models — the per-message floor
+    // any fabric-riding workload pays.
+    {
+        let msgs = 96 * scale;
+        results.push(bench("rdma_fabric", msgs, 3, move || {
+            use dpdpu_hw::{CpuPool, LinkConfig};
+            use dpdpu_net::fabric::{transport_for, Endpoint, FabricKind, FabricParams};
+            use dpdpu_net::tcp::TcpParams;
+
+            let mut sim = Sim::new();
+            sim.spawn(async move {
+                let a = Endpoint::host(CpuPool::new("bench-a", 8, 3_000_000_000));
+                let b = Endpoint::host(CpuPool::new("bench-b", 8, 3_000_000_000));
+                let t = transport_for(
+                    FabricKind::Rdma,
+                    LinkConfig::rack_100g(),
+                    TcpParams::default(),
+                    FabricParams::default(),
+                );
+                let (ca, cb) = t.connect(&a, &b, "bench");
+                let (a_tx, mut a_rx) = ca.split();
+                let (b_tx, mut b_rx) = cb.split();
+                spawn(async move {
+                    while let Some(req) = b_rx.recv().await {
+                        b_tx.send(req);
+                    }
+                });
+                for i in 0..msgs {
+                    a_tx.send(bytes::Bytes::from(vec![i as u8; 64]));
+                    black_box(a_rx.recv().await);
+                }
             });
             black_box(sim.run());
         }));

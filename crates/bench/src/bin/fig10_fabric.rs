@@ -1,0 +1,37 @@
+//! Prints the fig10_fabric table; see the module docs in
+//! `dpdpu_bench::fig10_fabric`.
+//!
+//! ```sh
+//! cargo run -p dpdpu-bench --bin fig10_fabric                      # full sweep
+//! cargo run -p dpdpu-bench --bin fig10_fabric -- --fabric rdma-offload
+//! ```
+
+use dpdpu_net::fabric::FabricKind;
+
+fn main() {
+    let mut only = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fabric" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage("--fabric needs a value"));
+                only = Some(
+                    FabricKind::parse(&v)
+                        .unwrap_or_else(|| usage(&format!("unknown fabric: {v:?}"))),
+                );
+            }
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    // Conformance guard: every figure/ablation run is invariant-checked.
+    let _check = dpdpu_check::CheckGuard::new();
+    println!("{}", dpdpu_bench::fig10_fabric::run_filtered(only));
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: fig10_fabric [--fabric tcp|rdma|rdma-offload]");
+    std::process::exit(2)
+}

@@ -1,0 +1,195 @@
+//! **Figure 10 (fabric) — what the shard transport costs the host.**
+//!
+//! The scale-out sweep (`fig10_cluster_scale`) varies the fleet; this
+//! one varies the *fabric* the shards are reached over. The same
+//! workload — 4 clients per server, ×4 pipelining, 128 ops each,
+//! 95/5 read/update over a uniform key population — runs against
+//! 1→8-server clusters three times: offloaded TCP (the seed's
+//! hard-coded transport), host-verbs RDMA (the host CPU issues every
+//! WQE and polls every CQ), and DPU-issued RDMA (the host enqueues
+//! descriptors on NE rings; the DPU posts the verbs and the server
+//! side terminates on the DPU, so the server host touches nothing).
+//!
+//! The reproduction target: aggregate goodput stays equal-or-better
+//! as verbs move off the host, while per-request server host cycles
+//! drop — TCP pays two ring crossings per request, host-verbs RDMA
+//! pays verb-issue plus CQ-poll cycles, rdma-offload pays zero.
+//! `saved/server` converts each fabric's per-request host-cycle delta
+//! against TCP to cores at a production rate of 5M req/s per server.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use dpdpu_dds::cluster::{ClusterConfig, DdsCluster};
+use dpdpu_dds::kv::INDEX_ENTRY_BYTES;
+use dpdpu_dds::server::DdsConfig;
+use dpdpu_des::Sim;
+use dpdpu_hw::CpuPool;
+use dpdpu_net::fabric::FabricKind;
+
+use crate::fleet::{preload, run_fleet, FleetConfig, KeyDist, Mix};
+use crate::table::Table;
+
+const KEYS: u64 = 128;
+const CLIENTS_PER_SERVER: usize = 4;
+const OPS_PER_CLIENT: u64 = 128;
+/// Production per-server request rate the cycle delta is scaled to.
+const PROD_RATE: f64 = 5_000_000.0;
+
+/// Runs the full sweep and renders the table.
+pub fn run() -> String {
+    run_filtered(None)
+}
+
+/// Runs the sweep, optionally restricted to one fabric (`--fabric` on
+/// the binary). TCP is always measured — it is the savings baseline.
+pub fn run_filtered(only: Option<FabricKind>) -> String {
+    let mut table = Table::new(&[
+        "servers",
+        "fabric",
+        "agg_kops",
+        "p50_us",
+        "p99_us",
+        "host_cyc_per_req",
+        "saved_cores_per_server",
+    ]);
+    for servers in [1usize, 2, 4, 8] {
+        let tcp = measure(servers, FabricKind::Tcp);
+        for fabric in FabricKind::ALL {
+            if only.is_some_and(|k| k != fabric) {
+                continue;
+            }
+            let other;
+            let m = if fabric == FabricKind::Tcp {
+                &tcp
+            } else {
+                other = measure(servers, fabric);
+                &other
+            };
+            let saved = (tcp.host_cyc_per_req - m.host_cyc_per_req) * PROD_RATE / 3.0e9;
+            table.row(vec![
+                format!("{servers}"),
+                format!("{fabric}"),
+                format!("{:.0}", m.agg_mops * 1e3),
+                format!("{:.1}", m.p50_us),
+                format!("{:.1}", m.p99_us),
+                format!("{:.0}", m.host_cyc_per_req),
+                format!("{:.2}", saved.max(0.0)),
+            ]);
+        }
+    }
+    format!(
+        "## Figure 10 (fabric): shard-transport host cost across the fleet\n\
+         (target shape: aggregate goodput holds equal-or-better as verbs move \
+         off the host, while per-request server host cycles fall from TCP's \
+         ring crossings through host-verbs RDMA to zero under DPU-issued \
+         rdma-offload, so the per-server core saving multiplies with rate)\n\n{}",
+        table.render(),
+    )
+}
+
+struct Measurement {
+    agg_mops: f64,
+    p50_us: f64,
+    p99_us: f64,
+    host_cyc_per_req: f64,
+}
+
+fn measure(servers: usize, fabric: FabricKind) -> Measurement {
+    let clients = servers * CLIENTS_PER_SERVER;
+    let mut sim = Sim::new();
+    let out = Rc::new(Cell::new(None));
+    let out2 = out.clone();
+    sim.spawn(async move {
+        let cluster = DdsCluster::build(ClusterConfig {
+            shards: servers,
+            vnodes: 512,
+            fabric,
+            dds: DdsConfig {
+                kv_index_budget: 2 * KEYS * INDEX_ENTRY_BYTES,
+                ..DdsConfig::default()
+            },
+            ..ClusterConfig::default()
+        })
+        .await;
+        let client = cluster.connect(CpuPool::new("fleet", (clients * 8).max(16), 3_000_000_000));
+        let cfg = FleetConfig {
+            clients,
+            ops_per_client: OPS_PER_CLIENT,
+            pipeline: 4,
+            gap_ns: 0,
+            dist: KeyDist::Uniform {
+                keys: KEYS * servers as u64,
+            },
+            mix: Mix::read_heavy(),
+            value_bytes: 256,
+            scan_len: 8,
+            seed: 42,
+        };
+        preload(&client, &cfg).await;
+        for i in 0..cluster.shards() {
+            cluster.platform(i).host_cpu.reset_stats();
+        }
+        let report = run_fleet(&client, cfg).await;
+        let host_busy_ns: u64 = (0..cluster.shards())
+            .map(|i| cluster.platform(i).host_cpu.busy_ns())
+            .sum();
+        out2.set(Some(Measurement {
+            agg_mops: report.throughput_mops(),
+            p50_us: report.p50_ns as f64 / 1e3,
+            p99_us: report.p99_ns as f64 / 1e3,
+            host_cyc_per_req: host_busy_ns as f64 * 3.0 / report.ok.max(1) as f64,
+        }));
+    });
+    sim.run();
+    out.take().expect("measurement must complete")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offload_fabric_cuts_host_cycles_at_equal_or_better_goodput() {
+        let tcp = measure(2, FabricKind::Tcp);
+        let off = measure(2, FabricKind::RdmaOffload);
+        assert!(
+            off.host_cyc_per_req < tcp.host_cyc_per_req,
+            "DPU-issued verbs must cost the server hosts fewer cycles/req \
+             than TCP (tcp {:.0}, rdma-offload {:.0})",
+            tcp.host_cyc_per_req,
+            off.host_cyc_per_req
+        );
+        assert!(
+            off.agg_mops >= tcp.agg_mops,
+            "moving verbs off the host must not cost goodput \
+             (tcp {:.3} Mops, rdma-offload {:.3} Mops)",
+            tcp.agg_mops,
+            off.agg_mops
+        );
+    }
+
+    #[test]
+    fn host_verbs_rdma_sits_between_tcp_and_offload() {
+        // Host-verbs RDMA removes the kernel/ring path but still burns
+        // host cycles on verb issue + CQ polls: cheaper than neither
+        // extreme is a modelling bug.
+        let tcp = measure(2, FabricKind::Tcp);
+        let rdma = measure(2, FabricKind::Rdma);
+        let off = measure(2, FabricKind::RdmaOffload);
+        assert!(
+            off.host_cyc_per_req < rdma.host_cyc_per_req,
+            "offload must beat host-verbs on host cycles \
+             (rdma {:.0}, rdma-offload {:.0})",
+            rdma.host_cyc_per_req,
+            off.host_cyc_per_req
+        );
+        assert!(
+            rdma.p50_us <= tcp.p50_us,
+            "kernel-bypass RDMA must not add median latency over TCP \
+             (tcp {:.1}us, rdma {:.1}us)",
+            tcp.p50_us,
+            rdma.p50_us
+        );
+    }
+}

@@ -44,6 +44,7 @@ pub fn all() -> Vec<(&'static str, ScenarioFn)> {
         ("dds_kv", dds_kv),
         ("compute_pipeline", compute_pipeline),
         ("cluster_fleet", cluster_fleet),
+        ("cluster_fabric", cluster_fabric),
     ]
 }
 
@@ -343,6 +344,70 @@ pub fn cluster_fleet(seed: u64) -> ScenarioRun {
         let _ = writeln!(stdout, "## scenario cluster_fleet (seed {seed})");
         let _ = writeln!(stdout, "{summary} injected={injected}");
         let _ = writeln!(stdout, "served dpu+host per shard: {shards}");
+    })
+}
+
+/// Scenario 5 — the same shard workload over every cluster fabric:
+/// offloaded TCP, host-verbs RDMA, and DPU-issued RDMA each carry an
+/// identical fleet against a 2-shard cluster while the fault plan drops
+/// link messages; the fabric's WQE gate must retry every dropped verb
+/// (no request may be lost) and the fabric-conservation invariant must
+/// balance sent against delivered bytes and credits per direction. The
+/// per-fabric server host time documents what each transport costs the
+/// host: TCP pays ring crossings, host-verbs RDMA pays verb issue and
+/// CQ polls, rdma-offload pays nothing.
+pub fn cluster_fabric(seed: u64) -> ScenarioRun {
+    use dpdpu_dds::cluster::{ClusterConfig, DdsCluster};
+    use dpdpu_net::fabric::FabricKind;
+
+    use crate::fleet::{preload, run_fleet, FleetConfig, KeyDist, Mix};
+
+    harness(|stdout| {
+        let _ = writeln!(stdout, "## scenario cluster_fabric (seed {seed})");
+        for fabric in FabricKind::ALL {
+            let guard = SessionGuard::new(FaultPlan::new(seed ^ 0xFAB).link_drops(0.01));
+            let out = Rc::new(RefCell::new(None::<(String, u64)>));
+            let out2 = out.clone();
+            let mut sim = Sim::new();
+            sim.spawn(async move {
+                let cluster = DdsCluster::build(ClusterConfig {
+                    shards: 2,
+                    fabric,
+                    ..ClusterConfig::default()
+                })
+                .await;
+                let client =
+                    cluster.connect(CpuPool::new(format!("fleet-{fabric}"), 32, 3_000_000_000));
+                let cfg = FleetConfig {
+                    clients: 3,
+                    ops_per_client: 16,
+                    pipeline: 4,
+                    dist: KeyDist::Uniform { keys: 32 },
+                    mix: Mix {
+                        read_pct: 85,
+                        update_pct: 15,
+                        scan_pct: 0,
+                    },
+                    value_bytes: 128,
+                    scan_len: 4,
+                    seed,
+                    ..FleetConfig::default()
+                };
+                preload(&client, &cfg).await;
+                let report = run_fleet(&client, cfg).await;
+                let host_busy: u64 = (0..cluster.shards())
+                    .map(|i| cluster.platform(i).host_cpu.busy_ns())
+                    .sum();
+                *out2.borrow_mut() = Some((report.summary(), host_busy));
+            });
+            sim.run();
+            let (summary, host_busy) = out.borrow_mut().take().unwrap();
+            let injected = guard.session.report().total();
+            let _ = writeln!(
+                stdout,
+                "fabric={fabric} {summary} injected={injected} server_host_busy_ns={host_busy}"
+            );
+        }
     })
 }
 

@@ -31,6 +31,7 @@
 //! | [`Invariant::UtilizationBound`] | accumulated busy time above `slots × elapsed` |
 //! | [`Invariant::FaultHygiene`] | an injected fault neither retried, degraded, nor surfaced |
 //! | [`Invariant::ClusterConservation`] | cluster ops issued ≠ completed + failed/shed per shard |
+//! | [`Invariant::FabricConservation`] | fabric messages delivered ≠ sent, or credit debt above the advertised window |
 //!
 //! ## Modes
 //!
@@ -81,6 +82,12 @@ pub enum Invariant {
     /// failed, or shed by admission control. Nothing vanishes between
     /// the router and a shard's server.
     ClusterConservation,
+    /// Fabric flow control is honest: per connection direction, every
+    /// data message sent is eventually delivered (messages and bytes),
+    /// credits returned never exceed credits consumed, and the credit
+    /// debt (consumed − returned) never exceeds the advertised window —
+    /// i.e. the sender can never overrun the receiver's posted buffers.
+    FabricConservation,
 }
 
 impl Invariant {
@@ -98,6 +105,7 @@ impl Invariant {
             Invariant::UtilizationBound => "utilization-bound",
             Invariant::FaultHygiene => "fault-hygiene",
             Invariant::ClusterConservation => "cluster-conservation",
+            Invariant::FabricConservation => "fabric-conservation",
         }
     }
 }
@@ -147,6 +155,23 @@ struct FlowStat {
     dropped_bytes: u64,
 }
 
+/// Credit/byte accounting for one fabric connection direction.
+///
+/// `window` accumulates across connections that reuse a site label
+/// (e.g. a scenario running one sim per fabric kind): each instance
+/// contributes its own credit budget, so the streaming debt bound
+/// stays sound over the whole session.
+#[derive(Default)]
+struct FabricStat {
+    window: u64,
+    sent_msgs: u64,
+    sent_bytes: u64,
+    delivered_msgs: u64,
+    delivered_bytes: u64,
+    credits_consumed: u64,
+    credits_returned: u64,
+}
+
 /// Fault-hygiene categories with a handling obligation. The other
 /// categories (delays, slow I/O, stalls, overload windows) only stretch
 /// completion time and need no recovery action.
@@ -163,6 +188,7 @@ pub struct CheckSession {
     ssd: RefCell<BTreeMap<String, FlowStat>>,
     pcie: RefCell<BTreeMap<String, FlowStat>>,
     cluster: RefCell<BTreeMap<String, FlowStat>>,
+    fabric: RefCell<BTreeMap<String, FabricStat>>,
     kernels_checked: Cell<u64>,
     faults_injected: RefCell<BTreeMap<String, u64>>,
     faults_handled: RefCell<BTreeMap<(String, &'static str), u64>>,
@@ -184,6 +210,7 @@ impl CheckSession {
             ssd: RefCell::new(BTreeMap::new()),
             pcie: RefCell::new(BTreeMap::new()),
             cluster: RefCell::new(BTreeMap::new()),
+            fabric: RefCell::new(BTreeMap::new()),
             kernels_checked: Cell::new(0),
             faults_injected: RefCell::new(BTreeMap::new()),
             faults_handled: RefCell::new(BTreeMap::new()),
@@ -381,6 +408,27 @@ impl CheckSession {
                 ));
             }
         }
+        for (site, f) in self.fabric.borrow().iter() {
+            if f.sent_msgs != f.delivered_msgs || f.sent_bytes != f.delivered_bytes {
+                pending.push((
+                    Invariant::FabricConservation,
+                    format!(
+                        "fabric '{site}': {} msgs/{} B sent vs {} msgs/{} B delivered \
+                         at end of run",
+                        f.sent_msgs, f.sent_bytes, f.delivered_msgs, f.delivered_bytes
+                    ),
+                ));
+            }
+            if f.credits_returned > f.credits_consumed {
+                pending.push((
+                    Invariant::FabricConservation,
+                    format!(
+                        "fabric '{site}': {} credits returned exceed {} consumed",
+                        f.credits_returned, f.credits_consumed
+                    ),
+                ));
+            }
+        }
         {
             let injected = self.faults_injected.borrow();
             let handled = self.faults_handled.borrow();
@@ -442,6 +490,23 @@ impl CheckSession {
                 out,
                 " cluster_shards={} cluster_ops={cluster_ops} cluster_shed={cluster_shed}",
                 cluster.len(),
+            );
+        }
+        // Fabric accounting likewise only appears when a non-TCP fabric
+        // actually moved traffic, so pre-fabric goldens are untouched.
+        let fabric = self.fabric.borrow();
+        let fabric_msgs: u64 = fabric.values().map(|f| f.sent_msgs).sum();
+        if fabric_msgs > 0 {
+            let fabric_bytes: u64 = fabric.values().map(|f| f.sent_bytes).sum();
+            let outstanding: u64 = fabric
+                .values()
+                .map(|f| f.credits_consumed.saturating_sub(f.credits_returned))
+                .sum();
+            let _ = write!(
+                out,
+                " fabric_sites={} fabric_msgs={fabric_msgs} fabric_bytes={fabric_bytes} \
+                 fabric_credit_debt={outstanding}",
+                fabric.len(),
             );
         }
         out
@@ -724,6 +789,104 @@ pub fn cluster_op_failed(site: &str, bytes: u64) {
             bytes,
             true,
         )
+    });
+}
+
+/// A fabric connection direction opened with a credit window of
+/// `window` data messages. Reusing a site label adds the new window to
+/// the site's budget (each connection instance brings its own posted
+/// receives).
+pub fn fabric_conn_open(site: &str, window: u64) {
+    with_session(|s| {
+        s.fabric
+            .borrow_mut()
+            .entry(site.to_string())
+            .or_default()
+            .window += window;
+        s.note_now();
+    });
+}
+
+/// The fabric sender committed a data message of `bytes` to the wire
+/// path for `site` (one direction of one connection).
+pub fn fabric_msg_sent(site: &str, bytes: u64) {
+    with_session(|s| {
+        let mut map = s.fabric.borrow_mut();
+        let f = map.entry(site.to_string()).or_default();
+        f.sent_msgs += 1;
+        f.sent_bytes += bytes;
+        s.note_now();
+    });
+}
+
+/// The fabric receiver handed a data message of `bytes` to the
+/// application for `site`. Flags delivery overdraft immediately.
+pub fn fabric_msg_delivered(site: &str, bytes: u64) {
+    with_session(|s| {
+        let mut overdraft = None;
+        {
+            let mut map = s.fabric.borrow_mut();
+            let f = map.entry(site.to_string()).or_default();
+            f.delivered_msgs += 1;
+            f.delivered_bytes += bytes;
+            if f.delivered_msgs > f.sent_msgs || f.delivered_bytes > f.sent_bytes {
+                overdraft = Some(format!(
+                    "fabric '{site}': {} msgs/{} B delivered exceeds {} msgs/{} B sent",
+                    f.delivered_msgs, f.delivered_bytes, f.sent_msgs, f.sent_bytes
+                ));
+            }
+        }
+        if let Some(msg) = overdraft {
+            s.violate(Invariant::FabricConservation, msg);
+        }
+    });
+}
+
+/// The fabric sender spent `n` credits for `site`. Flags a window
+/// overrun immediately: outstanding debt must never exceed the
+/// advertised window, or posted receives could underflow.
+pub fn fabric_credit_consumed(site: &str, n: u64) {
+    with_session(|s| {
+        let mut overrun = None;
+        {
+            let mut map = s.fabric.borrow_mut();
+            let f = map.entry(site.to_string()).or_default();
+            f.credits_consumed += n;
+            let debt = f.credits_consumed.saturating_sub(f.credits_returned);
+            if debt > f.window {
+                overrun = Some(format!(
+                    "fabric '{site}': credit debt {debt} exceeds window {} \
+                     ({} consumed, {} returned)",
+                    f.window, f.credits_consumed, f.credits_returned
+                ));
+            }
+        }
+        if let Some(msg) = overrun {
+            s.violate(Invariant::FabricConservation, msg);
+        }
+    });
+}
+
+/// The receiver granted `n` credits back to the sender for `site`.
+/// Flags over-return immediately: the receiver cannot return credit it
+/// was never given.
+pub fn fabric_credit_returned(site: &str, n: u64) {
+    with_session(|s| {
+        let mut over = None;
+        {
+            let mut map = s.fabric.borrow_mut();
+            let f = map.entry(site.to_string()).or_default();
+            f.credits_returned += n;
+            if f.credits_returned > f.credits_consumed {
+                over = Some(format!(
+                    "fabric '{site}': {} credits returned exceed {} consumed",
+                    f.credits_returned, f.credits_consumed
+                ));
+            }
+        }
+        if let Some(msg) = over {
+            s.violate(Invariant::FabricConservation, msg);
+        }
     });
 }
 

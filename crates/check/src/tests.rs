@@ -246,3 +246,95 @@ fn report_has_stable_shape() {
         assert!(r.contains("violations=0"), "{r}");
     });
 }
+
+#[test]
+fn fabric_conservation_accepts_balanced_direction() {
+    let (_, v) = collecting(|_| {
+        fabric_conn_open("c0.a2b", 4);
+        for _ in 0..6 {
+            fabric_credit_consumed("c0.a2b", 1);
+            fabric_msg_sent("c0.a2b", 128);
+            fabric_msg_delivered("c0.a2b", 128);
+            fabric_credit_returned("c0.a2b", 1);
+        }
+    });
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn fabric_conservation_catches_lost_message_at_finish() {
+    let (_, v) = collecting(|_| {
+        fabric_conn_open("c0.a2b", 8);
+        fabric_credit_consumed("c0.a2b", 1);
+        fabric_msg_sent("c0.a2b", 128);
+        // never delivered
+    });
+    assert!(has(&v, Invariant::FabricConservation), "{v:?}");
+}
+
+#[test]
+fn fabric_conservation_catches_delivery_overdraft_immediately() {
+    let (_, v) = collecting(|_| {
+        fabric_conn_open("c0.a2b", 8);
+        fabric_msg_delivered("c0.a2b", 128); // delivered what was never sent
+    });
+    assert!(has(&v, Invariant::FabricConservation), "{v:?}");
+}
+
+#[test]
+fn fabric_conservation_catches_window_overrun_immediately() {
+    let (_, v) = collecting(|_| {
+        fabric_conn_open("c0.a2b", 2);
+        fabric_credit_consumed("c0.a2b", 1);
+        fabric_credit_consumed("c0.a2b", 1);
+        fabric_credit_consumed("c0.a2b", 1); // debt 3 > window 2
+    });
+    assert!(has(&v, Invariant::FabricConservation), "{v:?}");
+}
+
+#[test]
+fn fabric_conservation_catches_credit_over_return() {
+    let (_, v) = collecting(|_| {
+        fabric_conn_open("c0.a2b", 8);
+        fabric_credit_consumed("c0.a2b", 1);
+        fabric_credit_returned("c0.a2b", 2); // returned more than consumed
+    });
+    assert!(has(&v, Invariant::FabricConservation), "{v:?}");
+}
+
+#[test]
+fn fabric_window_accumulates_across_reopens() {
+    // A site label reused by a second connection instance brings its
+    // own credit budget: debt up to the summed windows is legal.
+    let (_, v) = collecting(|_| {
+        fabric_conn_open("c0.a2b", 2);
+        fabric_conn_open("c0.a2b", 2);
+        for _ in 0..4 {
+            fabric_credit_consumed("c0.a2b", 1);
+            fabric_msg_sent("c0.a2b", 64);
+            fabric_msg_delivered("c0.a2b", 64);
+        }
+        for _ in 0..4 {
+            fabric_credit_returned("c0.a2b", 1);
+        }
+    });
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn report_gains_fabric_segment_only_with_fabric_traffic() {
+    let (_, _) = collecting(|s| {
+        assert!(!s.report().contains("fabric_"), "{}", s.report());
+        fabric_conn_open("c0.a2b", 8);
+        assert!(!s.report().contains("fabric_"), "{}", s.report());
+        fabric_credit_consumed("c0.a2b", 1);
+        fabric_msg_sent("c0.a2b", 64);
+        fabric_msg_delivered("c0.a2b", 64);
+        fabric_credit_returned("c0.a2b", 1);
+        let r = s.report();
+        assert!(r.contains("fabric_sites=1"), "{r}");
+        assert!(r.contains("fabric_msgs=1"), "{r}");
+        assert!(r.contains("fabric_bytes=64"), "{r}");
+        assert!(r.contains("fabric_credit_debt=0"), "{r}");
+    });
+}

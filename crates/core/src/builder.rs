@@ -29,6 +29,7 @@ use std::rc::Rc;
 use dpdpu_compute::{ComputeEngine, SchedPolicy, Scheduler};
 use dpdpu_faults::{FaultPlan, FaultSession};
 use dpdpu_hw::{DpuSpec, HostSpec, Platform};
+use dpdpu_net::fabric::FabricKind;
 use dpdpu_storage::{BlockDevice, ExtentFs, FileService, HostFrontEnd};
 
 use crate::runtime::Dpdpu;
@@ -55,6 +56,7 @@ pub struct DpdpuBuilder {
     tenant_weights: Vec<u64>,
     fault_plan: Option<FaultPlan>,
     telemetry: bool,
+    fabric: FabricKind,
 }
 
 impl Default for DpdpuBuilder {
@@ -67,6 +69,7 @@ impl Default for DpdpuBuilder {
             tenant_weights: vec![1],
             fault_plan: None,
             telemetry: true,
+            fabric: FabricKind::Tcp,
         }
     }
 }
@@ -148,6 +151,15 @@ impl DpdpuBuilder {
         self
     }
 
+    /// Which cluster fabric this runtime's cluster connections should
+    /// ride (default [`FabricKind::Tcp`]). The runtime itself opens no
+    /// connections; the choice is carried as [`Dpdpu::fabric`] for the
+    /// serving layers (e.g. a DDS `ClusterConfig`) to consume.
+    pub fn fabric(mut self, kind: FabricKind) -> Self {
+        self.fabric = kind;
+        self
+    }
+
     /// Boots the runtime: installs the fault plan (if any), formats the
     /// file system, starts the DPU file service, host front end, Compute
     /// Engine, and sproc scheduler. Must be called inside a running
@@ -219,6 +231,7 @@ impl DpdpuBuilder {
             scheduler,
             sprocs: SprocRegistry::new(),
             faults,
+            fabric: self.fabric,
         })
     }
 }

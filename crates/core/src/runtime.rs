@@ -7,6 +7,7 @@ use bytes::Bytes;
 use dpdpu_compute::{ComputeEngine, KernelInput, KernelOp, KernelOutput, Placement, Scheduler};
 use dpdpu_faults::FaultSession;
 use dpdpu_hw::Platform;
+use dpdpu_net::fabric::FabricKind;
 use dpdpu_net::tcp::TcpSender;
 use dpdpu_storage::{FileId, FileService, HostFrontEnd};
 
@@ -32,6 +33,10 @@ pub struct Dpdpu {
     /// The fault session installed at boot, if the builder was given a
     /// plan (handle for injection counts and reports).
     pub faults: Option<Rc<FaultSession>>,
+    /// The cluster fabric chosen at build time
+    /// ([`DpdpuBuilder::fabric`]); serving layers route their shard
+    /// connections over it.
+    pub fabric: FabricKind,
 }
 
 impl Dpdpu {

@@ -13,10 +13,12 @@
 //! * [`DdsCluster`] — N [`Dds`] servers on [`Platform::new_tagged`]
 //!   platforms (`node0`, `node1`, …), so every CPU pool, PCIe link and
 //!   SSD is a distinct, separately-metered resource.
-//! * [`ClusterClient`] — a client endpoint with one TCP connection per
-//!   shard, key routing, and per-shard admission control: when a
-//!   shard's in-flight window is full the request is *shed* immediately
-//!   ([`DpdpuError::Unavailable`]) instead of queueing without bound.
+//! * [`ClusterClient`] — a client endpoint with one fabric connection
+//!   per shard ([`FabricKind::Tcp`] by default; RDMA and DPU-issued
+//!   RDMA via [`ClusterConfig::fabric`]), key routing, and per-shard
+//!   admission control: when a shard's in-flight window is full the
+//!   request is *shed* immediately ([`DpdpuError::Unavailable`])
+//!   instead of queueing without bound.
 //!
 //! Every request is accounted to the conformance layer
 //! ([`dpdpu_check::cluster_op_issued`] / `_ok` / `_failed`): issued ==
@@ -28,8 +30,9 @@ use bytes::Bytes;
 
 use dpdpu_core::DpdpuError;
 use dpdpu_des::{Counter, Semaphore};
-use dpdpu_hw::{CpuPool, DpuSpec, HostSpec, LinkConfig, Platform};
-use dpdpu_net::tcp::{tcp_duplex, TcpParams, TcpSide};
+use dpdpu_hw::{CpuPool, DpuSpec, HostSpec, LinkConfig, PcieLink, Platform};
+use dpdpu_net::fabric::{transport_for, Endpoint, FabricKind, FabricParams};
+use dpdpu_net::tcp::TcpParams;
 
 use crate::server::{Dds, DdsClient, DdsConfig};
 
@@ -128,6 +131,11 @@ pub struct ClusterConfig {
     pub link: LinkConfig,
     /// TCP parameters for every connection.
     pub tcp: TcpParams,
+    /// Which transport carries per-shard request/response traffic.
+    pub fabric: FabricKind,
+    /// RDMA-fabric tunables (credit window, bulk threshold, backoff);
+    /// ignored by the TCP fabric.
+    pub fabric_params: FabricParams,
 }
 
 impl Default for ClusterConfig {
@@ -139,6 +147,8 @@ impl Default for ClusterConfig {
             admission: 64,
             link: LinkConfig::rack_100g(),
             tcp: TcpParams::default(),
+            fabric: FabricKind::Tcp,
+            fabric_params: FabricParams::default(),
         }
     }
 }
@@ -177,24 +187,57 @@ impl DdsCluster {
         self.nodes[i].platform()
     }
 
-    /// Connects a client: one duplex TCP connection per shard (server
-    /// side terminated on each node's DPU), a shared hash ring, and
-    /// per-shard admission windows.
+    /// Connects a client: one duplex fabric connection per shard
+    /// (server side terminated on each node's DPU), a shared hash ring,
+    /// and per-shard admission windows.
+    ///
+    /// With [`FabricKind::RdmaOffload`] the client also gets NE rings:
+    /// a client-side DPU (same BlueField-2 part as the servers) is
+    /// created to poll them and issue the verbs, so `client_cpu` pays
+    /// only ring enqueues and completion polls.
     pub fn connect(self: &Rc<Self>, client_cpu: Rc<CpuPool>) -> Rc<ClusterClient> {
         let ring = HashRing::new(self.shards(), self.config.vnodes);
+        let transport = transport_for(
+            self.config.fabric,
+            self.config.link,
+            self.config.tcp,
+            self.config.fabric_params,
+        );
+        let client_ep = match self.config.fabric {
+            FabricKind::RdmaOffload => {
+                let spec = DpuSpec::bluefield2();
+                Endpoint::offloaded(
+                    client_cpu.clone(),
+                    CpuPool::new(
+                        format!("{}-dpu", client_cpu.name()),
+                        spec.cores,
+                        spec.clock_hz,
+                    ),
+                    PcieLink::new(
+                        format!("{}-pcie", client_cpu.name()),
+                        spec.pcie_bytes_per_sec,
+                    ),
+                )
+            }
+            _ => Endpoint::host(client_cpu.clone()),
+        };
         let mut conns = Vec::with_capacity(self.shards());
         for (i, dds) in self.nodes.iter().enumerate() {
             let platform = dds.platform();
-            let server_side = TcpSide::offloaded(
+            let server_ep = Endpoint::offloaded(
                 platform.host_cpu.clone(),
                 platform.dpu_cpu.clone(),
                 platform.host_dpu_pcie.clone(),
             );
-            let client_side = TcpSide::host(client_cpu.clone());
-            let ((client_tx, client_rx), (server_tx, server_rx)) =
-                tcp_duplex(client_side, server_side, self.config.link, self.config.tcp);
-            dds.serve(server_rx, server_tx);
             let label = format!("node{i}");
+            let (client_conn, server_conn) = transport.connect(
+                &client_ep,
+                &server_ep,
+                &format!("{}-{label}", client_cpu.name()),
+            );
+            let (server_tx, server_rx) = server_conn.split();
+            dds.serve(server_rx, server_tx);
+            let (client_tx, client_rx) = client_conn.split();
             conns.push(ShardConn {
                 admission: Semaphore::new_labeled(
                     &format!("{label}.admission"),
@@ -486,6 +529,60 @@ mod tests {
             }
             assert_eq!(client.total_shed(), 0, "no overload in this workload");
         });
+    }
+
+    #[test]
+    fn cluster_routes_over_every_fabric() {
+        // The same put/get workload must behave identically over every
+        // shard transport. The DDS application itself still host-executes
+        // writes on every fabric, but the transport's own host cost
+        // differs: offloaded TCP pays host ring cycles per message,
+        // host-verbs RDMA pays verb-issue/CQ-poll cycles, and
+        // rdma-offload pays nothing — so server host time must be
+        // strictly lowest there.
+        let mut host_busy: HashMap<FabricKind, u64> = HashMap::new();
+        for fabric in FabricKind::ALL {
+            let _check = dpdpu_check::CheckGuard::new();
+            let busy = Rc::new(std::cell::Cell::new(0u64));
+            let busy2 = busy.clone();
+            run_async(async move {
+                let cluster = DdsCluster::build(ClusterConfig {
+                    shards: 3,
+                    fabric,
+                    ..ClusterConfig::default()
+                })
+                .await;
+                let client_cpu = CpuPool::new("client", 16, 3_000_000_000);
+                let client = cluster.connect(client_cpu);
+                for key in 0..48u64 {
+                    client
+                        .kv_put(key, Bytes::from(format!("{fabric}-{key}")))
+                        .await
+                        .unwrap();
+                }
+                for key in 0..48u64 {
+                    assert_eq!(
+                        client.kv_get(key).await.unwrap().unwrap(),
+                        Bytes::from(format!("{fabric}-{key}")),
+                        "{fabric}: wrong value back"
+                    );
+                }
+                busy2.set(
+                    (0..cluster.shards())
+                        .map(|i| cluster.platform(i).host_cpu.busy_ns())
+                        .sum(),
+                );
+            });
+            host_busy.insert(fabric, busy.get());
+        }
+        assert!(
+            host_busy[&FabricKind::RdmaOffload] < host_busy[&FabricKind::Tcp],
+            "rdma-offload must spend less server-host time than TCP: {host_busy:?}"
+        );
+        assert!(
+            host_busy[&FabricKind::RdmaOffload] < host_busy[&FabricKind::Rdma],
+            "rdma-offload must spend less server-host time than host-verbs RDMA: {host_busy:?}"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ use bytes::Bytes;
 use dpdpu_core::DpdpuError;
 use dpdpu_des::{oneshot, spawn, timeout, Counter, OneshotSender};
 use dpdpu_hw::{costs, Platform};
-use dpdpu_net::tcp::{TcpReceiver, TcpSender};
+use dpdpu_net::fabric::{FabricReceiver, FabricSender};
 use dpdpu_storage::{BlockDevice, ExtentFs, FileService, FsError};
 
 use crate::director::{Route, TrafficDirector};
@@ -284,8 +284,10 @@ impl Dds {
         })
     }
 
-    /// Serves requests from a TCP stream, answering on another. Each
-    /// request is handled concurrently (the DPU pipeline of §4).
+    /// Serves requests from one half of a fabric connection, answering
+    /// on the other. Accepts raw TCP halves or any
+    /// [`dpdpu_net::fabric`] connection's halves. Each request is
+    /// handled concurrently (the DPU pipeline of §4).
     ///
     /// Execution is **at-most-once per connection**: clients retry with
     /// the same request id, so a duplicate of an in-flight request is
@@ -294,7 +296,9 @@ impl Dds {
     /// without re-executing. Without this, a zombie duplicate of an old
     /// write landing after a newer same-key write would silently
     /// resurrect the old value — a lost update.
-    pub fn serve(self: &Rc<Self>, mut rx: TcpReceiver, tx: TcpSender) {
+    pub fn serve(self: &Rc<Self>, rx: impl Into<FabricReceiver>, tx: impl Into<FabricSender>) {
+        let mut rx = rx.into();
+        let tx = tx.into();
         let this = self.clone();
         spawn(async move {
             let mut deframer = crate::proto::Deframer::new();
@@ -336,7 +340,8 @@ impl Dds {
     }
 }
 
-/// A client that correlates responses by request id over a TCP pair.
+/// A client that correlates responses by request id over a fabric
+/// connection (TCP by default; any [`dpdpu_net::fabric`] kind).
 ///
 /// Every call runs under a [`RetryPolicy`]: a per-attempt response
 /// timeout, exponential backoff between attempts, an attempt limit, and
@@ -344,7 +349,7 @@ impl Dds {
 /// state — a response, a typed [`DpdpuError`], or deadline expiry — even
 /// when the network drops frames or the server answers with an error.
 pub struct DdsClient {
-    tx: TcpSender,
+    tx: FabricSender,
     pending: Rc<RefCell<HashMap<u64, OneshotSender<Response>>>>,
     next_id: std::cell::Cell<u64>,
     policy: std::cell::Cell<RetryPolicy>,
@@ -357,9 +362,11 @@ pub struct DdsClient {
 }
 
 impl DdsClient {
-    /// Builds a client over an established TCP pair and starts its
-    /// response demultiplexer.
-    pub fn new(tx: TcpSender, mut rx: TcpReceiver) -> Rc<Self> {
+    /// Builds a client over an established connection's halves (TCP or
+    /// any fabric) and starts its response demultiplexer.
+    pub fn new(tx: impl Into<FabricSender>, rx: impl Into<FabricReceiver>) -> Rc<Self> {
+        let tx = tx.into();
+        let mut rx = rx.into();
         let pending: Rc<RefCell<HashMap<u64, OneshotSender<Response>>>> =
             Rc::new(RefCell::new(HashMap::new()));
         {

@@ -20,8 +20,13 @@
 //! * [`dfi`] — a DFI-style flow interface (pipelined record shipping)
 //!   layered over either RDMA path, showing how an existing
 //!   communication framework adopts the NE by swapping its transport.
+//! * [`fabric`] — the cluster fabric: a `Transport`/`Connection` trait
+//!   pair over which `DdsCluster` moves its per-shard request/response
+//!   traffic, with TCP, host-verbs RDMA, and DPU-issued (NE-ring) RDMA
+//!   implementations behind one credit-flow-controlled RPC framing.
 
 pub mod dfi;
+pub mod fabric;
 pub mod rdma;
 pub mod rdma_offload;
 pub mod tcp;

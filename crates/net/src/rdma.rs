@@ -61,6 +61,15 @@ pub struct RdmaStats {
     pub ops: Counter,
     /// Payload bytes moved.
     pub bytes: Counter,
+    /// Two-sided sends that arrived with **no** posted receive. Real
+    /// hardware raises receiver-not-ready (RNR NAK) here and the sender
+    /// backs off and retries; this model buffers the payload in the NIC
+    /// instead (nothing is ever silently dropped) but counts each event
+    /// so flow-control layers can prove their window kept the backlog
+    /// bounded.
+    pub rnr: Counter,
+    /// High-water mark of that NIC-buffered backlog.
+    pub rnr_peak: Counter,
 }
 
 struct Completion {
@@ -102,8 +111,33 @@ pub fn rdma_pair(
     b_cpu: Rc<CpuPool>,
     cfg: LinkConfig,
 ) -> (Rc<RdmaQp>, Rc<RdmaQp>) {
-    let (link_ab, rx_ab) = Link::new("rdma-ab", cfg);
-    let (link_ba, rx_ba) = Link::new("rdma-ba", cfg);
+    rdma_pair_named(a_cpu, b_cpu, cfg, "rdma", false)
+}
+
+/// [`rdma_pair`] with a caller-chosen link-name prefix and an optional
+/// fault exemption.
+///
+/// Distinct names keep the conservation accounting of several QP pairs
+/// in one simulation separate. Fault-exempt pairs are for transports
+/// that inject loss *above* the NIC (e.g. the cluster fabric's dropped
+/// WQEs with RNR-style retry): a NicMsg silently lost on the wire would
+/// strand its completion forever, so the wire itself must be lossless.
+pub fn rdma_pair_named(
+    a_cpu: Rc<CpuPool>,
+    b_cpu: Rc<CpuPool>,
+    cfg: LinkConfig,
+    label: &str,
+    fault_exempt: bool,
+) -> (Rc<RdmaQp>, Rc<RdmaQp>) {
+    let build = |name: String| {
+        if fault_exempt {
+            Link::new_fault_exempt(name, cfg)
+        } else {
+            Link::new(name, cfg)
+        }
+    };
+    let (link_ab, rx_ab) = build(format!("{label}-ab"));
+    let (link_ba, rx_ba) = build(format!("{label}-ba"));
     let a = make_qp(a_cpu, link_ab, rx_ba);
     let b = make_qp(b_cpu, link_ba, rx_ab);
     (a, b)
@@ -182,7 +216,19 @@ fn make_qp(
                                     Some(tx) => {
                                         let _ = tx.send(payload);
                                     }
-                                    None => matcher_recv.borrow_mut().pending.push_back(payload),
+                                    None => {
+                                        // Receiver not ready: the RNR
+                                        // case. Buffer (never drop) and
+                                        // count it.
+                                        let mut rs = matcher_recv.borrow_mut();
+                                        rs.pending.push_back(payload);
+                                        matcher_stats.rnr.inc();
+                                        let depth = rs.pending.len() as u64;
+                                        let peak = matcher_stats.rnr_peak.get();
+                                        if depth > peak {
+                                            matcher_stats.rnr_peak.add(depth - peak);
+                                        }
+                                    }
                                 }
                             }
                             let resp_bytes = if kind == RdmaOpKind::Read { bytes } else { 0 };
@@ -255,6 +301,45 @@ impl RdmaQp {
         let _ = rx.await;
         // Completion poll.
         self.cpu.exec(costs::RDMA_CQ_POLL_CYCLES).await;
+    }
+
+    /// Posts one operation and returns as soon as the WQE is on the
+    /// queue pair; the completion-queue entry is reaped by a spawned
+    /// poller that pays the CQ-poll cycles when it lands. An RC QP
+    /// transmits WQEs in post order, so back-to-back pipelined posts
+    /// from one pump keep wire order while their round trips overlap —
+    /// the verbs pipelining a message stream needs to avoid paying one
+    /// full network round trip per message. Total CPU cost is the same
+    /// as [`post`](Self::post); only the issuing task's wait changes.
+    ///
+    /// Not for one-sided *reads* a caller consumes the result of —
+    /// those need [`post`](Self::post)'s completion semantics.
+    pub async fn post_pipelined(&self, kind: RdmaOpKind, bytes: u64, payload: Option<Bytes>) {
+        self.cpu.exec(costs::RDMA_VERB_ISSUE_CYCLES).await;
+        let op_id = self.next_op.get();
+        self.next_op.set(op_id + 1);
+        let (tx, rx) = oneshot();
+        if self
+            .nic_tx
+            .send((
+                NicMsg::Request {
+                    kind,
+                    bytes,
+                    payload,
+                    op_id,
+                },
+                tx,
+            ))
+            .is_err()
+        {
+            panic!("NIC engine gone");
+        }
+        let cpu = self.cpu.clone();
+        spawn(async move {
+            if rx.await.is_ok() {
+                cpu.exec(costs::RDMA_CQ_POLL_CYCLES).await;
+            }
+        });
     }
 
     /// One-sided write of `bytes`.
@@ -395,6 +480,46 @@ mod tests {
         });
         sim.run();
         assert!(done.get(), "buffered recv deadlocked");
+    }
+
+    #[test]
+    fn posted_receive_exhaustion_is_rnr_buffered_counted_and_deterministic() {
+        // Regression for the posted-receive exhaustion path: a burst of
+        // two-sided sends with **no** receive posted must be buffered
+        // NIC-side (RNR semantics — never silently dropped), surface in
+        // the `rnr`/`rnr_peak` stats, and drain losslessly in order.
+        // The whole episode must also be deterministic across runs.
+        fn run_once() -> (u64, u64, u64) {
+            let mut sim = Sim::new();
+            let out = Rc::new(std::cell::Cell::new((0u64, 0u64, 0u64)));
+            let out2 = out.clone();
+            sim.spawn(async move {
+                let (a, b, _ac, _bc) = pair();
+                // Phase 1: 8 sends land with zero posted receives.
+                for i in 0..8u8 {
+                    a.send(Bytes::from(vec![i; 16])).await;
+                }
+                assert_eq!(b.stats.rnr.get(), 8, "each unmatched send is an RNR event");
+                assert_eq!(b.stats.rnr_peak.get(), 8, "backlog high-water mark");
+                // Phase 2: late receives drain the backlog in order —
+                // nothing was dropped.
+                for i in 0..8u8 {
+                    assert_eq!(b.recv().await, Bytes::from(vec![i; 16]));
+                }
+                // Phase 3: a pre-posted receive is NOT an RNR event.
+                let b2 = b.clone();
+                let receiver = dpdpu_des::spawn(async move { b2.recv().await });
+                a.send(Bytes::from_static(b"matched")).await;
+                assert_eq!(receiver.await, Bytes::from_static(b"matched"));
+                assert_eq!(b.stats.rnr.get(), 8, "matched send must not count");
+                out2.set((b.stats.rnr.get(), b.stats.rnr_peak.get(), now()));
+            });
+            sim.run();
+            out.get()
+        }
+        let first = run_once();
+        let second = run_once();
+        assert_eq!(first, second, "RNR episode must be deterministic");
     }
 
     #[test]

@@ -16,7 +16,8 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use dpdpu_des::{oneshot, sleep, spawn, Counter, OneshotSender, Time};
+use bytes::Bytes;
+use dpdpu_des::{channel, oneshot, sleep, spawn, Counter, OneshotSender, Receiver, Time};
 use dpdpu_hw::{costs, CpuPool, PcieLink};
 
 use crate::rdma::{RdmaOpKind, RdmaQp};
@@ -38,6 +39,17 @@ pub struct OffloadStats {
 struct RingEntry {
     kind: RdmaOpKind,
     bytes: u64,
+    /// Two-sided payload the DPU ships with the verb (DMA'd from host
+    /// memory first).
+    payload: Option<Bytes>,
+    /// Bulk entries: the DPU places the payload with a one-sided write,
+    /// then notifies the peer with a 0-byte send carrying the message —
+    /// one descriptor, one payload DMA, two verbs.
+    bulk: bool,
+    /// Pipelined entries complete (`done`) once their verbs are issued,
+    /// not when the remote round trip finishes — send-path semantics,
+    /// where wire order is all the submitter needs.
+    pipelined: bool,
     done: OneshotSender<()>,
 }
 
@@ -100,7 +112,30 @@ pub fn offload_qp(
                     if entry.kind != RdmaOpKind::Read && entry.bytes > 0 {
                         pcie.dma(entry.bytes).await;
                     }
-                    dpu_qp.post(entry.kind, entry.bytes, None).await;
+                    if entry.bulk {
+                        // Payload by one-sided write, delivery by a
+                        // 0-byte notify send — the payload crossed PCIe
+                        // once, above.
+                        if entry.pipelined {
+                            dpu_qp
+                                .post_pipelined(RdmaOpKind::Write, entry.bytes, None)
+                                .await;
+                            dpu_cpu.exec(costs::DPU_RDMA_ISSUE_CYCLES).await;
+                            dpu_qp
+                                .post_pipelined(RdmaOpKind::Send, 0, entry.payload)
+                                .await;
+                        } else {
+                            dpu_qp.post(RdmaOpKind::Write, entry.bytes, None).await;
+                            dpu_cpu.exec(costs::DPU_RDMA_ISSUE_CYCLES).await;
+                            dpu_qp.post(RdmaOpKind::Send, 0, entry.payload).await;
+                        }
+                    } else if entry.pipelined {
+                        dpu_qp
+                            .post_pipelined(entry.kind, entry.bytes, entry.payload)
+                            .await;
+                    } else {
+                        dpu_qp.post(entry.kind, entry.bytes, entry.payload).await;
+                    }
                     if entry.kind == RdmaOpKind::Read && entry.bytes > 0 {
                         // Read payload lands in host memory by DMA.
                         pcie.dma(entry.bytes).await;
@@ -121,22 +156,83 @@ pub fn offload_qp(
     })
 }
 
+/// [`offload_qp`] plus an inbound path: the DPU keeps receives posted on
+/// the underlying QP, DMAs each arriving two-sided payload into host
+/// memory alongside its completion descriptor, and the host drains them
+/// through [`OffloadRecvStream`] at completion-ring poll cost. With both
+/// directions behind rings the host issues **zero verbs** end to end.
+pub fn offload_qp_with_recv(
+    host_cpu: Rc<CpuPool>,
+    dpu_cpu: Rc<CpuPool>,
+    pcie: Rc<PcieLink>,
+    dpu_qp: Rc<RdmaQp>,
+) -> (Rc<OffloadedQp>, OffloadRecvStream) {
+    let oqp = offload_qp(host_cpu.clone(), dpu_cpu, pcie.clone(), dpu_qp.clone());
+    let (tx, rx) = channel::<Bytes>();
+    spawn(async move {
+        loop {
+            // The DPU re-posts the receive and reaps its completion
+            // (dpu_qp's issuing processor is the DPU pool).
+            let payload = dpu_qp.recv().await;
+            pcie.dma(DESC_BYTES + payload.len() as u64).await;
+            if tx.send(payload).is_err() {
+                return; // host stream dropped: stop pumping
+            }
+        }
+    });
+    (oqp, OffloadRecvStream { host_cpu, rx })
+}
+
+/// Host-side handle on the inbound completion ring: messages the DPU
+/// received and DMA'd into host memory, reaped at batched-poll cost.
+pub struct OffloadRecvStream {
+    host_cpu: Rc<CpuPool>,
+    rx: Receiver<Bytes>,
+}
+
+impl OffloadRecvStream {
+    /// Next inbound two-sided payload (`None` if the pump is gone).
+    pub async fn recv(&mut self) -> Option<Bytes> {
+        let payload = self.rx.recv().await?;
+        self.host_cpu.exec(costs::NE_RING_ENQUEUE_CYCLES / 4).await;
+        Some(payload)
+    }
+}
+
 impl OffloadedQp {
-    /// Posts an operation from the host: a ring enqueue (no lock, no
-    /// doorbell), then an await of the completion ring. The await models
-    /// the §6 requirement that "applications only spend minimal resources
-    /// polling responses".
-    pub async fn post(&self, kind: RdmaOpKind, bytes: u64) {
+    async fn submit_entry(
+        &self,
+        kind: RdmaOpKind,
+        bytes: u64,
+        payload: Option<Bytes>,
+        bulk: bool,
+        pipelined: bool,
+    ) {
         self.host_cpu.exec(costs::NE_RING_ENQUEUE_CYCLES).await;
         let (tx, rx) = oneshot();
         self.ring.borrow_mut().push_back(RingEntry {
             kind,
             bytes,
+            payload,
+            bulk,
+            pipelined,
             done: tx,
         });
         let _ = rx.await;
         // Batched completion-ring poll, far cheaper than a CQ poll.
         self.host_cpu.exec(costs::NE_RING_ENQUEUE_CYCLES / 4).await;
+    }
+
+    async fn submit(&self, kind: RdmaOpKind, bytes: u64, payload: Option<Bytes>, bulk: bool) {
+        self.submit_entry(kind, bytes, payload, bulk, false).await;
+    }
+
+    /// Posts an operation from the host: a ring enqueue (no lock, no
+    /// doorbell), then an await of the completion ring. The await models
+    /// the §6 requirement that "applications only spend minimal resources
+    /// polling responses".
+    pub async fn post(&self, kind: RdmaOpKind, bytes: u64) {
+        self.submit(kind, bytes, None, false).await;
     }
 
     /// One-sided write.
@@ -147,6 +243,39 @@ impl OffloadedQp {
     /// One-sided read.
     pub async fn read(&self, bytes: u64) {
         self.post(RdmaOpKind::Read, bytes).await;
+    }
+
+    /// Two-sided send carrying `payload`, issued by the DPU.
+    pub async fn send(&self, payload: Bytes) {
+        let bytes = payload.len() as u64;
+        self.submit(RdmaOpKind::Send, bytes, Some(payload), false)
+            .await;
+    }
+
+    /// Bulk message: payload placed by a one-sided write, delivery
+    /// signalled by a 0-byte notify send (both DPU-issued).
+    pub async fn send_bulk(&self, payload: Bytes) {
+        let bytes = payload.len() as u64;
+        self.submit(RdmaOpKind::Write, bytes, Some(payload), true)
+            .await;
+    }
+
+    /// [`send`](Self::send) that returns once the DPU has issued the
+    /// verb instead of after the remote round trip. Successive
+    /// pipelined sends keep ring and wire order, so a message pump can
+    /// overlap round trips instead of paying one per message.
+    pub async fn send_pipelined(&self, payload: Bytes) {
+        let bytes = payload.len() as u64;
+        self.submit_entry(RdmaOpKind::Send, bytes, Some(payload), false, true)
+            .await;
+    }
+
+    /// [`send_bulk`](Self::send_bulk) with pipelined completion, as in
+    /// [`send_pipelined`](Self::send_pipelined).
+    pub async fn send_bulk_pipelined(&self, payload: Bytes) {
+        let bytes = payload.len() as u64;
+        self.submit_entry(RdmaOpKind::Write, bytes, Some(payload), true, true)
+            .await;
     }
 }
 

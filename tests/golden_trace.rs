@@ -73,6 +73,11 @@ fn cluster_fleet_matches_golden() {
 }
 
 #[test]
+fn cluster_fabric_matches_golden() {
+    check_scenario("cluster_fabric");
+}
+
+#[test]
 fn every_scenario_has_golden_coverage() {
     // Adding a scenario without blessing fixtures for it must fail
     // loudly here, not silently skip conformance.
@@ -81,6 +86,7 @@ fn every_scenario_has_golden_coverage() {
         "dds_kv",
         "compute_pipeline",
         "cluster_fleet",
+        "cluster_fabric",
     ];
     for (name, _) in dpdpu_bench::scenarios::all() {
         assert!(

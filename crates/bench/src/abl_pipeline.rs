@@ -16,7 +16,7 @@ use dpdpu_compute::{KernelInput, KernelOp, Placement};
 use dpdpu_core::Dpdpu;
 use dpdpu_des::{now, Sim};
 use dpdpu_hw::{CpuPool, LinkConfig};
-use dpdpu_net::tcp::{tcp_stream, TcpParams, TcpSide};
+use dpdpu_net::tcp::{TcpConnector, TcpSide};
 
 use crate::table::Table;
 
@@ -57,15 +57,13 @@ fn measure(pipelined: bool) -> u64 {
         let corpus = dpdpu_kernels::text::natural_text((PAGES * PAGE) as usize, 5);
         rt.storage.write(file, 0, &corpus).await.unwrap();
         let client_cpu = CpuPool::new("client", 8, 3_000_000_000);
-        let (tx, mut rx) = tcp_stream(
+        let (tx, mut rx) = TcpConnector::new(LinkConfig::rack_100g()).stream(
             TcpSide::offloaded(
                 rt.platform.host_cpu.clone(),
                 rt.platform.dpu_cpu.clone(),
                 rt.platform.host_dpu_pcie.clone(),
             ),
             TcpSide::host(client_cpu),
-            LinkConfig::rack_100g(),
-            TcpParams::default(),
         );
         let pages: Vec<(u64, u64)> = (0..PAGES).map(|i| (i * PAGE, PAGE)).collect();
 

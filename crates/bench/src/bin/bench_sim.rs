@@ -20,7 +20,10 @@
 //!   end-to-end (ring, admission, TCP, DDS server, SSD model);
 //! * `rdma_fabric` — wall-clock cost of one echo round trip over the
 //!   host-verbs RDMA cluster fabric (credit pumps, framing, QP + NIC +
-//!   link models).
+//!   link models);
+//! * `cong_alg` — wall-clock cost of a congestion-controlled TCP burst,
+//!   all three window algorithms (Reno, CUBIC, DCTCP) back to back over
+//!   an ECN-marking link, counted in delivered messages.
 //!
 //! ```sh
 //! cargo run --release -p dpdpu-bench --bin bench_sim                 # full run
@@ -327,6 +330,47 @@ fn run_all(scale: u64) -> Vec<BenchResult> {
                 }
             });
             black_box(sim.run());
+        }));
+    }
+
+    // The pluggable-window hot path: every data segment crosses the
+    // CongAlg hooks (ack/ECN/loss) plus the link's ECN stamping, so this
+    // row prices the congestion-control machinery itself. All three
+    // algorithms run back to back over the same marking link; one event
+    // is one delivered message.
+    {
+        let per_stream = 8 * scale;
+        let msgs = 3 * 2 * per_stream;
+        results.push(bench("cong_alg", msgs, 3, move || {
+            use dpdpu_hw::{CpuPool, LinkConfig};
+            use dpdpu_net::tcp::{CongAlgKind, TcpConnector, TcpSide};
+
+            for alg in CongAlgKind::ALL {
+                let mut sim = Sim::new();
+                sim.spawn(async move {
+                    let src = TcpSide::host(CpuPool::new("cong-src", 8, 3_000_000_000));
+                    let dst = TcpSide::host(CpuPool::new("cong-dst", 8, 3_000_000_000));
+                    let conns = TcpConnector::new(LinkConfig::rack_100g().with_ecn(2_000))
+                        .cong(alg)
+                        .streams(src, dst, 2);
+                    let mut handles = Vec::new();
+                    for (tx, mut rx) in conns {
+                        for _ in 0..per_stream {
+                            tx.send(bytes::Bytes::from(vec![0u8; 8_192]));
+                        }
+                        drop(tx);
+                        handles.push(spawn(async move {
+                            while let Some(msg) = rx.recv().await {
+                                black_box(msg.len());
+                            }
+                        }));
+                    }
+                    for h in handles {
+                        h.await;
+                    }
+                });
+                black_box(sim.run());
+            }
         }));
     }
 

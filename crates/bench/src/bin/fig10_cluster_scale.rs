@@ -1,8 +1,37 @@
 //! Prints the fig10_cluster_scale table; see the module docs in
 //! `dpdpu_bench::fig10_cluster_scale`.
+//!
+//! ```sh
+//! cargo run -p dpdpu-bench --bin fig10_cluster_scale               # defaults
+//! cargo run -p dpdpu-bench --bin fig10_cluster_scale -- --cong cubic
+//! cargo run -p dpdpu-bench --bin fig10_cluster_scale -- --fabric rdma
+//! ```
+
+use dpdpu_net::NetConfig;
 
 fn main() {
+    let mut net = NetConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = match arg.as_str() {
+            "--fabric" | "--cong" | "--loss" | "--ecn-threshold-us" => args
+                .next()
+                .unwrap_or_else(|| usage(&format!("{arg} needs a value"))),
+            other => usage(&format!("unknown argument: {other}")),
+        };
+        match net.apply_cli_flag(&arg, &value) {
+            Ok(true) => {}
+            Ok(false) => usage(&format!("unknown argument: {arg}")),
+            Err(msg) => usage(&msg),
+        }
+    }
     // Conformance guard: every figure/ablation run is invariant-checked.
     let _check = dpdpu_check::CheckGuard::new();
-    println!("{}", dpdpu_bench::fig10_cluster_scale::run());
+    println!("{}", dpdpu_bench::fig10_cluster_scale::run_with(net));
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!("usage: fig10_cluster_scale {}", NetConfig::cli_help());
+    std::process::exit(2)
 }

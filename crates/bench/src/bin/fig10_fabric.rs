@@ -4,34 +4,41 @@
 //! ```sh
 //! cargo run -p dpdpu-bench --bin fig10_fabric                      # full sweep
 //! cargo run -p dpdpu-bench --bin fig10_fabric -- --fabric rdma-offload
+//! cargo run -p dpdpu-bench --bin fig10_fabric -- --cong dctcp
 //! ```
 
-use dpdpu_net::fabric::FabricKind;
+use dpdpu_net::NetConfig;
 
 fn main() {
     let mut only = None;
+    let mut net = NetConfig::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--fabric" => {
-                let v = args
-                    .next()
-                    .unwrap_or_else(|| usage("--fabric needs a value"));
-                only = Some(
-                    FabricKind::parse(&v)
-                        .unwrap_or_else(|| usage(&format!("unknown fabric: {v:?}"))),
-                );
-            }
+        let value = match arg.as_str() {
+            "--fabric" | "--cong" | "--loss" | "--ecn-threshold-us" => args
+                .next()
+                .unwrap_or_else(|| usage(&format!("{arg} needs a value"))),
             other => usage(&format!("unknown argument: {other}")),
+        };
+        match net.apply_cli_flag(&arg, &value) {
+            Ok(true) => {
+                // `--fabric` here restricts the sweep to that column;
+                // TCP is still measured as the savings baseline.
+                if arg == "--fabric" {
+                    only = Some(net.fabric);
+                }
+            }
+            Ok(false) => usage(&format!("unknown argument: {arg}")),
+            Err(msg) => usage(&msg),
         }
     }
     // Conformance guard: every figure/ablation run is invariant-checked.
     let _check = dpdpu_check::CheckGuard::new();
-    println!("{}", dpdpu_bench::fig10_fabric::run_filtered(only));
+    println!("{}", dpdpu_bench::fig10_fabric::run_with(only, net));
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: fig10_fabric [--fabric tcp|rdma|rdma-offload]");
+    eprintln!("usage: fig10_fabric {}", NetConfig::cli_help());
     std::process::exit(2)
 }

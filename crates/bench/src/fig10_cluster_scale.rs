@@ -29,6 +29,7 @@ use dpdpu_dds::kv::INDEX_ENTRY_BYTES;
 use dpdpu_dds::server::DdsConfig;
 use dpdpu_des::Sim;
 use dpdpu_hw::CpuPool;
+use dpdpu_net::NetConfig;
 
 use crate::fleet::{preload, run_fleet, FleetConfig, KeyDist, Mix};
 use crate::table::Table;
@@ -41,6 +42,12 @@ const PROD_RATE: f64 = 5_000_000.0;
 
 /// Runs the sweep and renders the table.
 pub fn run() -> String {
+    run_with(NetConfig::default())
+}
+
+/// Runs the sweep over `net` (fabric, congestion control, link
+/// shaping — the bin's `--fabric`/`--cong` flags land here).
+pub fn run_with(net: NetConfig) -> String {
     let mut table = Table::new(&[
         "servers",
         "clients",
@@ -57,8 +64,8 @@ pub fn run() -> String {
             KeyDist::Uniform { keys },
             KeyDist::Zipfian { keys, theta: 0.99 },
         ] {
-            let base = measure(servers, dist, false);
-            let off = measure(servers, dist, true);
+            let base = measure(servers, dist, false, net);
+            let off = measure(servers, dist, true, net);
             let saved = (base.host_cyc_per_req - off.host_cyc_per_req) * PROD_RATE / 3.0e9;
             table.row(vec![
                 format!("{servers}"),
@@ -90,7 +97,7 @@ struct Measurement {
     host_cyc_per_req: f64,
 }
 
-fn measure(servers: usize, dist: KeyDist, offload: bool) -> Measurement {
+fn measure(servers: usize, dist: KeyDist, offload: bool, net: NetConfig) -> Measurement {
     let clients = servers * CLIENTS_PER_SERVER;
     let mut sim = Sim::new();
     let out = Rc::new(Cell::new(None));
@@ -99,6 +106,7 @@ fn measure(servers: usize, dist: KeyDist, offload: bool) -> Measurement {
         let cluster = DdsCluster::build(ClusterConfig {
             shards: servers,
             vnodes: 512,
+            net,
             dds: DdsConfig {
                 offload_enabled: offload,
                 // Room for the whole per-shard key share (~KEYS each
@@ -160,8 +168,8 @@ mod tests {
 
     #[test]
     fn aggregate_goodput_scales_near_linearly() {
-        let one = measure(1, KeyDist::Uniform { keys: KEYS }, true);
-        let four = measure(4, KeyDist::Uniform { keys: KEYS * 4 }, true);
+        let one = measure(1, KeyDist::Uniform { keys: KEYS }, true, NetConfig::default());
+        let four = measure(4, KeyDist::Uniform { keys: KEYS * 4 }, true, NetConfig::default());
         assert!(
             four.agg_mops > 2.5 * one.agg_mops,
             "4 shared-nothing servers should near-quadruple goodput: \
@@ -180,8 +188,8 @@ mod tests {
                 theta: 0.99,
             },
         ] {
-            let base = measure(2, dist, false);
-            let off = measure(2, dist, true);
+            let base = measure(2, dist, false, NetConfig::default());
+            let off = measure(2, dist, true, NetConfig::default());
             assert!(
                 off.host_cyc_per_req * 2.0 < base.host_cyc_per_req,
                 "{}: offload should at least halve host cycles/req \

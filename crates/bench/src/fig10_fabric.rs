@@ -26,6 +26,7 @@ use dpdpu_dds::server::DdsConfig;
 use dpdpu_des::Sim;
 use dpdpu_hw::CpuPool;
 use dpdpu_net::fabric::FabricKind;
+use dpdpu_net::NetConfig;
 
 use crate::fleet::{preload, run_fleet, FleetConfig, KeyDist, Mix};
 use crate::table::Table;
@@ -44,6 +45,12 @@ pub fn run() -> String {
 /// Runs the sweep, optionally restricted to one fabric (`--fabric` on
 /// the binary). TCP is always measured — it is the savings baseline.
 pub fn run_filtered(only: Option<FabricKind>) -> String {
+    run_with(only, NetConfig::default())
+}
+
+/// Runs the sweep over `base` network settings (congestion control,
+/// link shaping) with the fabric column overriding `base.fabric`.
+pub fn run_with(only: Option<FabricKind>, base: NetConfig) -> String {
     let mut table = Table::new(&[
         "servers",
         "fabric",
@@ -54,7 +61,7 @@ pub fn run_filtered(only: Option<FabricKind>) -> String {
         "saved_cores_per_server",
     ]);
     for servers in [1usize, 2, 4, 8] {
-        let tcp = measure(servers, FabricKind::Tcp);
+        let tcp = measure(servers, FabricKind::Tcp, base);
         for fabric in FabricKind::ALL {
             if only.is_some_and(|k| k != fabric) {
                 continue;
@@ -63,7 +70,7 @@ pub fn run_filtered(only: Option<FabricKind>) -> String {
             let m = if fabric == FabricKind::Tcp {
                 &tcp
             } else {
-                other = measure(servers, fabric);
+                other = measure(servers, fabric, base);
                 &other
             };
             let saved = (tcp.host_cyc_per_req - m.host_cyc_per_req) * PROD_RATE / 3.0e9;
@@ -95,7 +102,7 @@ struct Measurement {
     host_cyc_per_req: f64,
 }
 
-fn measure(servers: usize, fabric: FabricKind) -> Measurement {
+fn measure(servers: usize, fabric: FabricKind, base: NetConfig) -> Measurement {
     let clients = servers * CLIENTS_PER_SERVER;
     let mut sim = Sim::new();
     let out = Rc::new(Cell::new(None));
@@ -104,7 +111,7 @@ fn measure(servers: usize, fabric: FabricKind) -> Measurement {
         let cluster = DdsCluster::build(ClusterConfig {
             shards: servers,
             vnodes: 512,
-            fabric,
+            net: base.with_fabric(fabric),
             dds: DdsConfig {
                 kv_index_budget: 2 * KEYS * INDEX_ENTRY_BYTES,
                 ..DdsConfig::default()
@@ -151,8 +158,8 @@ mod tests {
 
     #[test]
     fn offload_fabric_cuts_host_cycles_at_equal_or_better_goodput() {
-        let tcp = measure(2, FabricKind::Tcp);
-        let off = measure(2, FabricKind::RdmaOffload);
+        let tcp = measure(2, FabricKind::Tcp, NetConfig::default());
+        let off = measure(2, FabricKind::RdmaOffload, NetConfig::default());
         assert!(
             off.host_cyc_per_req < tcp.host_cyc_per_req,
             "DPU-issued verbs must cost the server hosts fewer cycles/req \
@@ -174,9 +181,9 @@ mod tests {
         // Host-verbs RDMA removes the kernel/ring path but still burns
         // host cycles on verb issue + CQ polls: cheaper than neither
         // extreme is a modelling bug.
-        let tcp = measure(2, FabricKind::Tcp);
-        let rdma = measure(2, FabricKind::Rdma);
-        let off = measure(2, FabricKind::RdmaOffload);
+        let tcp = measure(2, FabricKind::Tcp, NetConfig::default());
+        let rdma = measure(2, FabricKind::Rdma, NetConfig::default());
+        let off = measure(2, FabricKind::RdmaOffload, NetConfig::default());
         assert!(
             off.host_cyc_per_req < rdma.host_cyc_per_req,
             "offload must beat host-verbs on host cycles \

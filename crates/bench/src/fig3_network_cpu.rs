@@ -13,7 +13,7 @@ use std::rc::Rc;
 use bytes::Bytes;
 use dpdpu_des::{now, sleep_until, Sim, SECONDS};
 use dpdpu_hw::{CpuPool, LinkConfig, PcieLink};
-use dpdpu_net::tcp::{tcp_mux, TcpParams, TcpSide, TcpStack};
+use dpdpu_net::tcp::{TcpConnector, TcpSide, TcpStack};
 
 use crate::table::Table;
 
@@ -74,13 +74,7 @@ fn measure(stack: TcpStack, target_gbps: u64) -> (f64, f64) {
         };
         let dst = TcpSide::host(dst_host.clone());
         // All flows share one physical 100 Gbps port.
-        let streams = tcp_mux(
-            src,
-            dst,
-            LinkConfig::rack_100g(),
-            TcpParams::default(),
-            FLOWS as usize,
-        );
+        let streams = TcpConnector::new(LinkConfig::rack_100g()).streams(src, dst, FLOWS as usize);
         for (tx, mut rx) in streams {
             // Paced producer.
             handles.push(dpdpu_des::spawn(async move {

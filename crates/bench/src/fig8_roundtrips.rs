@@ -14,7 +14,7 @@ use bytes::Bytes;
 use dpdpu_dds::server::{Dds, DdsClient, DdsConfig};
 use dpdpu_des::{now, Histogram, Sim};
 use dpdpu_hw::{CpuPool, LinkConfig, Platform};
-use dpdpu_net::tcp::{tcp_stream, TcpParams, TcpSide};
+use dpdpu_net::tcp::{TcpConnector, TcpSide};
 
 use crate::table::Table;
 
@@ -81,18 +81,9 @@ fn measure_with(offload: bool, cache_pages: usize) -> (u64, u64) {
             platform.host_dpu_pcie.clone(),
         );
         let client_side = TcpSide::host(client_cpu);
-        let (c2s_tx, c2s_rx) = tcp_stream(
-            client_side.clone(),
-            server_side.clone(),
-            LinkConfig::rack_100g(),
-            TcpParams::default(),
-        );
-        let (s2c_tx, s2c_rx) = tcp_stream(
-            server_side,
-            client_side,
-            LinkConfig::rack_100g(),
-            TcpParams::default(),
-        );
+        let net = TcpConnector::new(LinkConfig::rack_100g());
+        let (c2s_tx, c2s_rx) = net.stream(client_side.clone(), server_side.clone());
+        let (s2c_tx, s2c_rx) = net.stream(server_side, client_side);
         dds.serve(c2s_rx, s2c_tx);
         let client = DdsClient::new(c2s_tx, s2c_rx);
 

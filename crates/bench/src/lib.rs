@@ -34,6 +34,7 @@ pub mod fig7_rdma;
 pub mod fig8_roundtrips;
 pub mod fig9_dds_savings;
 pub mod fleet;
+pub mod netmatrix;
 pub mod scenarios;
 pub mod table;
 

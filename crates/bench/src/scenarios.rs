@@ -21,7 +21,7 @@ use dpdpu_dds::server::{Dds, DdsClient, DdsConfig};
 use dpdpu_des::{now, Sim};
 use dpdpu_faults::{FaultPlan, SessionGuard};
 use dpdpu_hw::{CpuPool, LinkConfig, Platform};
-use dpdpu_net::tcp::{tcp_stream, TcpParams, TcpSide};
+use dpdpu_net::tcp::{TcpConnector, TcpSide};
 use dpdpu_telemetry::Telemetry;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -45,6 +45,7 @@ pub fn all() -> Vec<(&'static str, ScenarioFn)> {
         ("compute_pipeline", compute_pipeline),
         ("cluster_fleet", cluster_fleet),
         ("cluster_fabric", cluster_fabric),
+        ("net_scenarios", net_scenarios),
     ]
 }
 
@@ -154,18 +155,9 @@ pub fn dds_kv(seed: u64) -> ScenarioRun {
                 platform.host_dpu_pcie.clone(),
             );
             let client_side = TcpSide::host(client_cpu);
-            let (c2s_tx, c2s_rx) = tcp_stream(
-                client_side.clone(),
-                server_side.clone(),
-                LinkConfig::rack_100g(),
-                TcpParams::default(),
-            );
-            let (s2c_tx, s2c_rx) = tcp_stream(
-                server_side,
-                client_side,
-                LinkConfig::rack_100g(),
-                TcpParams::default(),
-            );
+            let net = TcpConnector::new(LinkConfig::rack_100g());
+            let (c2s_tx, c2s_rx) = net.stream(client_side.clone(), server_side.clone());
+            let (s2c_tx, s2c_rx) = net.stream(server_side, client_side);
             dds.serve(c2s_rx, s2c_tx);
             let client = DdsClient::new(c2s_tx, s2c_rx);
 
@@ -372,7 +364,7 @@ pub fn cluster_fabric(seed: u64) -> ScenarioRun {
             sim.spawn(async move {
                 let cluster = DdsCluster::build(ClusterConfig {
                     shards: 2,
-                    fabric,
+                    net: dpdpu_net::NetConfig::default().with_fabric(fabric),
                     ..ClusterConfig::default()
                 })
                 .await;
@@ -407,6 +399,42 @@ pub fn cluster_fabric(seed: u64) -> ScenarioRun {
                 stdout,
                 "fabric={fabric} {summary} injected={injected} server_host_busy_ns={host_busy}"
             );
+        }
+    })
+}
+
+/// Scenario 6 — the congestion-control matrix: Reno, CUBIC, and DCTCP
+/// each drive the three traffic shapes in [`crate::netmatrix`] (incast
+/// into an ECN-marking bottleneck, a long-RTT WAN pipe with random
+/// loss, an intra-rack link under injected drops). Every cell must
+/// deliver its full burst in order; the latency quantiles, goodput,
+/// retransmit, and ECN-echo columns document how the algorithms
+/// separate — DCTCP holding the incast link near capacity, CUBIC
+/// refilling the WAN pipe fastest, and all three identical when
+/// recovery is loss-detection-bound.
+pub fn net_scenarios(seed: u64) -> ScenarioRun {
+    use crate::netmatrix::{run_cell, NetScenario};
+    use dpdpu_net::tcp::CongAlgKind;
+
+    harness(|stdout| {
+        let _ = writeln!(stdout, "## scenario net_scenarios (seed {seed})");
+        for scenario in NetScenario::ALL {
+            for alg in CongAlgKind::ALL {
+                let r = run_cell(scenario, alg, seed);
+                let _ = writeln!(
+                    stdout,
+                    "scenario={} cong={} p50_us={:.1} p99_us={:.1} goodput_gbps={:.3} \
+                     retransmits={} ecn_echoes={} delivered={}",
+                    scenario.name(),
+                    alg.name(),
+                    r.p50_us,
+                    r.p99_us,
+                    r.goodput_gbps,
+                    r.retransmits,
+                    r.ecn_echoes,
+                    r.delivered
+                );
+            }
         }
     })
 }

@@ -30,6 +30,7 @@ use dpdpu_compute::{ComputeEngine, SchedPolicy, Scheduler};
 use dpdpu_faults::{FaultPlan, FaultSession};
 use dpdpu_hw::{DpuSpec, HostSpec, Platform};
 use dpdpu_net::fabric::FabricKind;
+use dpdpu_net::NetConfig;
 use dpdpu_storage::{BlockDevice, ExtentFs, FileService, HostFrontEnd};
 
 use crate::runtime::Dpdpu;
@@ -56,7 +57,7 @@ pub struct DpdpuBuilder {
     tenant_weights: Vec<u64>,
     fault_plan: Option<FaultPlan>,
     telemetry: bool,
-    fabric: FabricKind,
+    net: NetConfig,
 }
 
 impl Default for DpdpuBuilder {
@@ -69,7 +70,7 @@ impl Default for DpdpuBuilder {
             tenant_weights: vec![1],
             fault_plan: None,
             telemetry: true,
-            fabric: FabricKind::Tcp,
+            net: NetConfig::default(),
         }
     }
 }
@@ -151,12 +152,21 @@ impl DpdpuBuilder {
         self
     }
 
+    /// The full network configuration — link shaping, TCP tunables
+    /// (congestion control included), and fabric selection — carried as
+    /// [`Dpdpu::net`] for the serving layers (e.g. a DDS
+    /// `ClusterConfig`) to consume. The runtime itself opens no
+    /// connections.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
     /// Which cluster fabric this runtime's cluster connections should
-    /// ride (default [`FabricKind::Tcp`]). The runtime itself opens no
-    /// connections; the choice is carried as [`Dpdpu::fabric`] for the
-    /// serving layers (e.g. a DDS `ClusterConfig`) to consume.
+    /// ride (default [`FabricKind::Tcp`]). Shorthand for setting
+    /// [`NetConfig::fabric`] through [`Self::net`].
     pub fn fabric(mut self, kind: FabricKind) -> Self {
-        self.fabric = kind;
+        self.net.fabric = kind;
         self
     }
 
@@ -231,7 +241,7 @@ impl DpdpuBuilder {
             scheduler,
             sprocs: SprocRegistry::new(),
             faults,
-            fabric: self.fabric,
+            net: self.net,
         })
     }
 }

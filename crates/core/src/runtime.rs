@@ -7,7 +7,7 @@ use bytes::Bytes;
 use dpdpu_compute::{ComputeEngine, KernelInput, KernelOp, KernelOutput, Placement, Scheduler};
 use dpdpu_faults::FaultSession;
 use dpdpu_hw::Platform;
-use dpdpu_net::fabric::FabricKind;
+use dpdpu_net::NetConfig;
 use dpdpu_net::tcp::TcpSender;
 use dpdpu_storage::{FileId, FileService, HostFrontEnd};
 
@@ -33,10 +33,10 @@ pub struct Dpdpu {
     /// The fault session installed at boot, if the builder was given a
     /// plan (handle for injection counts and reports).
     pub faults: Option<Rc<FaultSession>>,
-    /// The cluster fabric chosen at build time
-    /// ([`DpdpuBuilder::fabric`]); serving layers route their shard
-    /// connections over it.
-    pub fabric: FabricKind,
+    /// The network configuration chosen at build time
+    /// ([`DpdpuBuilder::net`]); serving layers route their shard
+    /// connections over its fabric with its TCP/link settings.
+    pub net: NetConfig,
 }
 
 impl Dpdpu {
@@ -140,7 +140,7 @@ mod tests {
     use super::*;
     use dpdpu_des::{now, Sim};
     use dpdpu_hw::{CpuPool, LinkConfig};
-    use dpdpu_net::tcp::{tcp_stream, TcpParams, TcpSide};
+    use dpdpu_net::tcp::{TcpConnector, TcpSide};
 
     #[test]
     fn runtime_boots_and_reports() {
@@ -209,15 +209,13 @@ mod tests {
             dpdpu.storage.write(id, 0, &text).await.unwrap();
 
             let client_cpu = CpuPool::new("client", 8, 3_000_000_000);
-            let (tx, mut rx) = tcp_stream(
+            let (tx, mut rx) = TcpConnector::new(LinkConfig::rack_100g()).stream(
                 TcpSide::offloaded(
                     dpdpu.platform.host_cpu.clone(),
                     dpdpu.platform.dpu_cpu.clone(),
                     dpdpu.platform.host_dpu_pcie.clone(),
                 ),
                 TcpSide::host(client_cpu),
-                LinkConfig::rack_100g(),
-                TcpParams::default(),
             );
 
             let pages: Vec<(u64, u64)> = (0..8).map(|i| (i * 8_192, 8_192)).collect();

@@ -15,7 +15,7 @@
 //!   SSD is a distinct, separately-metered resource.
 //! * [`ClusterClient`] — a client endpoint with one fabric connection
 //!   per shard ([`FabricKind::Tcp`] by default; RDMA and DPU-issued
-//!   RDMA via [`ClusterConfig::fabric`]), key routing, and per-shard
+//!   RDMA via [`ClusterConfig::net`]), key routing, and per-shard
 //!   admission control: when a shard's in-flight window is full the
 //!   request is *shed* immediately ([`DpdpuError::Unavailable`])
 //!   instead of queueing without bound.
@@ -30,9 +30,9 @@ use bytes::Bytes;
 
 use dpdpu_core::DpdpuError;
 use dpdpu_des::{Counter, Semaphore};
-use dpdpu_hw::{CpuPool, DpuSpec, HostSpec, LinkConfig, PcieLink, Platform};
-use dpdpu_net::fabric::{transport_for, Endpoint, FabricKind, FabricParams};
-use dpdpu_net::tcp::TcpParams;
+use dpdpu_hw::{CpuPool, DpuSpec, HostSpec, PcieLink, Platform};
+use dpdpu_net::fabric::{Endpoint, FabricKind};
+use dpdpu_net::NetConfig;
 
 use crate::server::{Dds, DdsClient, DdsConfig};
 
@@ -127,15 +127,9 @@ pub struct ClusterConfig {
     /// Per-shard client-side in-flight cap; requests beyond it are shed
     /// with [`DpdpuError::Unavailable`] (admission control).
     pub admission: usize,
-    /// Client-to-server network link.
-    pub link: LinkConfig,
-    /// TCP parameters for every connection.
-    pub tcp: TcpParams,
-    /// Which transport carries per-shard request/response traffic.
-    pub fabric: FabricKind,
-    /// RDMA-fabric tunables (credit window, bulk threshold, backoff);
-    /// ignored by the TCP fabric.
-    pub fabric_params: FabricParams,
+    /// The whole network stack: link shaping, TCP tunables (including
+    /// congestion control), fabric selection, and RDMA-fabric tunables.
+    pub net: NetConfig,
 }
 
 impl Default for ClusterConfig {
@@ -145,10 +139,7 @@ impl Default for ClusterConfig {
             vnodes: 64,
             dds: DdsConfig::default(),
             admission: 64,
-            link: LinkConfig::rack_100g(),
-            tcp: TcpParams::default(),
-            fabric: FabricKind::Tcp,
-            fabric_params: FabricParams::default(),
+            net: NetConfig::default(),
         }
     }
 }
@@ -197,13 +188,8 @@ impl DdsCluster {
     /// only ring enqueues and completion polls.
     pub fn connect(self: &Rc<Self>, client_cpu: Rc<CpuPool>) -> Rc<ClusterClient> {
         let ring = HashRing::new(self.shards(), self.config.vnodes);
-        let transport = transport_for(
-            self.config.fabric,
-            self.config.link,
-            self.config.tcp,
-            self.config.fabric_params,
-        );
-        let client_ep = match self.config.fabric {
+        let transport = self.config.net.transport();
+        let client_ep = match self.config.net.fabric {
             FabricKind::RdmaOffload => {
                 let spec = DpuSpec::bluefield2();
                 Endpoint::offloaded(
@@ -548,7 +534,7 @@ mod tests {
             run_async(async move {
                 let cluster = DdsCluster::build(ClusterConfig {
                     shards: 3,
-                    fabric,
+                    net: NetConfig::default().with_fabric(fabric),
                     ..ClusterConfig::default()
                 })
                 .await;

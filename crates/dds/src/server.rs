@@ -562,7 +562,7 @@ mod tests {
     use super::*;
     use dpdpu_des::Sim;
     use dpdpu_hw::{CpuPool, LinkConfig};
-    use dpdpu_net::tcp::{tcp_stream, TcpParams, TcpSide};
+    use dpdpu_net::tcp::{TcpConnector, TcpSide};
 
     /// Runs an async test body to completion, failing loudly if the
     /// simulation quiesces before the body finishes (a deadlock would
@@ -595,18 +595,9 @@ mod tests {
             platform.host_dpu_pcie.clone(),
         );
         let client_side = TcpSide::host(client_cpu);
-        let (c2s_tx, c2s_rx) = tcp_stream(
-            client_side.clone(),
-            server_side.clone(),
-            LinkConfig::rack_100g(),
-            TcpParams::default(),
-        );
-        let (s2c_tx, s2c_rx) = tcp_stream(
-            server_side,
-            client_side,
-            LinkConfig::rack_100g(),
-            TcpParams::default(),
-        );
+        let net = TcpConnector::new(LinkConfig::rack_100g());
+        let (c2s_tx, c2s_rx) = net.stream(client_side.clone(), server_side.clone());
+        let (s2c_tx, s2c_rx) = net.stream(server_side, client_side);
         dds.serve(c2s_rx, s2c_tx);
         let client = DdsClient::new(c2s_tx, s2c_rx);
         (dds, client, platform)
@@ -676,18 +667,9 @@ mod tests {
                 platform.host_dpu_pcie.clone(),
             );
             let client_side = TcpSide::host(client_cpu);
-            let (c2s_tx, c2s_rx) = tcp_stream(
-                client_side.clone(),
-                server_side.clone(),
-                LinkConfig::rack_100g(),
-                TcpParams::default(),
-            );
-            let (s2c_tx, mut s2c_rx) = tcp_stream(
-                server_side,
-                client_side,
-                LinkConfig::rack_100g(),
-                TcpParams::default(),
-            );
+            let net = TcpConnector::new(LinkConfig::rack_100g());
+            let (c2s_tx, c2s_rx) = net.stream(client_side.clone(), server_side.clone());
+            let (s2c_tx, mut s2c_rx) = net.stream(server_side, client_side);
             dds.serve(c2s_rx, s2c_tx);
             let mut deframer = crate::proto::Deframer::new();
             let mut responses = Vec::new();

@@ -4,7 +4,9 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use dpdpu_des::{channel, sleep, spawn, transmit_ns, Counter, Receiver, Sender, Server, Time};
+use dpdpu_des::{
+    channel, now, sleep, spawn, transmit_ns, Counter, Receiver, Sender, Server, Time,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -19,6 +21,11 @@ pub struct LinkConfig {
     pub loss_rate: f64,
     /// RNG seed for loss decisions (determinism).
     pub seed: u64,
+    /// ECN marking threshold on queueing (sojourn) delay, in ns. A frame
+    /// that waited longer than this for the wire is marked Congestion
+    /// Experienced — the switch-side half of a DCTCP-style control loop.
+    /// `0` disables marking (the default).
+    pub ecn_threshold_ns: Time,
 }
 
 impl LinkConfig {
@@ -29,6 +36,7 @@ impl LinkConfig {
             propagation_ns: crate::costs::RACK_PROPAGATION_NS,
             loss_rate: 0.0,
             seed: 7,
+            ecn_threshold_ns: 0,
         }
     }
 
@@ -36,6 +44,12 @@ impl LinkConfig {
     pub fn with_loss(mut self, loss_rate: f64, seed: u64) -> Self {
         self.loss_rate = loss_rate;
         self.seed = seed;
+        self
+    }
+
+    /// Enables ECN marking above a queueing-delay threshold.
+    pub fn with_ecn(mut self, threshold_ns: Time) -> Self {
+        self.ecn_threshold_ns = threshold_ns;
         self
     }
 }
@@ -55,6 +69,9 @@ pub struct Link<T> {
     pub delivered: Counter,
     pub dropped: Counter,
     pub bytes_sent: Counter,
+    /// Frames stamped Congestion Experienced (queueing delay above the
+    /// configured ECN threshold).
+    pub ecn_marked: Counter,
 }
 
 impl<T: 'static> Link<T> {
@@ -94,6 +111,7 @@ impl<T: 'static> Link<T> {
                 delivered: Counter::new(),
                 dropped: Counter::new(),
                 bytes_sent: Counter::new(),
+                ecn_marked: Counter::new(),
             }),
             rx,
         )
@@ -112,7 +130,27 @@ impl<T: 'static> Link<T> {
     /// Transmits one frame of `bytes`; resolves when the frame has left the
     /// wire (delivery completes asynchronously after propagation).
     pub async fn send(self: &Rc<Self>, frame: T, bytes: u64) {
+        self.send_marked(bytes, |_| frame).await;
+    }
+
+    /// Transmits one frame of `bytes`, telling the caller whether the link
+    /// stamped it Congestion Experienced. The frame is built *after* the
+    /// marking decision: `make(marked)` receives `true` when the frame's
+    /// queueing delay exceeded [`LinkConfig::ecn_threshold_ns`], so a
+    /// transport can carry the mark in its segment header (the DCTCP
+    /// feedback path). With marking disabled this is exactly [`Link::send`].
+    pub async fn send_marked(self: &Rc<Self>, bytes: u64, make: impl FnOnce(bool) -> T) {
+        let enqueued = now();
         self.wire.process(self.transmit_ns(bytes)).await;
+        // Sojourn time: how long the frame sat behind others before its
+        // own serialization — the queue-depth signal a shared switch
+        // egress port turns into CE marks.
+        let sojourn = now() - enqueued - self.transmit_ns(bytes);
+        let marked = self.cfg.ecn_threshold_ns > 0 && sojourn >= self.cfg.ecn_threshold_ns;
+        if marked {
+            self.ecn_marked.inc();
+        }
+        let frame = make(marked);
         self.bytes_sent.add(bytes);
         dpdpu_check::link_in(self.wire.name(), bytes);
         let lost =
@@ -172,6 +210,7 @@ mod tests {
             propagation_ns: 1_000,
             loss_rate: 0.0,
             seed: 1,
+            ecn_threshold_ns: 0,
         }
     }
 
@@ -207,6 +246,60 @@ mod tests {
             assert_eq!(got, vec![0, 1, 2, 3, 4]);
             // 5 × 100 ns serialize + 1000 ns prop for the last frame.
             assert_eq!(now(), 1_500);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn ecn_marks_only_when_queue_exceeds_threshold() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            // 1 byte/ns wire; 100-byte frames serialize in 100 ns. The
+            // threshold sits at 150 ns of queueing: frames 0 and 1 wait
+            // 0/100 ns (unmarked), frames 2..5 wait 200+ ns (marked).
+            let cfg = test_cfg().with_ecn(150);
+            let (link, mut rx) = Link::new("l", cfg);
+            for i in 0..5u32 {
+                let link = link.clone();
+                spawn(async move {
+                    link.send_marked(100, move |marked| (i, marked)).await;
+                });
+            }
+            let mut got = Vec::new();
+            for _ in 0..5 {
+                got.push(rx.recv().await.unwrap());
+            }
+            assert_eq!(
+                got,
+                vec![
+                    (0, false),
+                    (1, false),
+                    (2, true),
+                    (3, true),
+                    (4, true)
+                ]
+            );
+            assert_eq!(link.ecn_marked.get(), 3);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn ecn_disabled_never_marks() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let (link, mut rx) = Link::new("l", test_cfg());
+            for i in 0..10u32 {
+                let link = link.clone();
+                spawn(async move {
+                    link.send_marked(1_000, move |marked| (i, marked)).await;
+                });
+            }
+            for _ in 0..10 {
+                let (_, marked) = rx.recv().await.unwrap();
+                assert!(!marked, "threshold 0 must disable marking");
+            }
+            assert_eq!(link.ecn_marked.get(), 0);
         });
         sim.run();
     }

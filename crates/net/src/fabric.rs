@@ -56,7 +56,7 @@ use dpdpu_hw::{CpuPool, LinkConfig, PcieLink};
 
 use crate::rdma::{rdma_pair_named, RdmaOpKind, RdmaQp};
 use crate::rdma_offload::{offload_qp_with_recv, OffloadRecvStream, OffloadedQp};
-use crate::tcp::{tcp_duplex, TcpParams, TcpReceiver, TcpSender, TcpSide};
+use crate::tcp::{TcpConnector, TcpParams, TcpReceiver, TcpSender, TcpSide};
 
 /// Which fabric a cluster connection rides.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -301,8 +301,9 @@ impl Transport for TcpTransport {
         b: &Endpoint,
         _label: &str,
     ) -> (Box<dyn Connection>, Box<dyn Connection>) {
-        let ((a_tx, a_rx), (b_tx, b_rx)) =
-            tcp_duplex(a.tcp_side(), b.tcp_side(), self.link, self.tcp);
+        let ((a_tx, a_rx), (b_tx, b_rx)) = TcpConnector::new(self.link)
+            .params(self.tcp)
+            .duplex(a.tcp_side(), b.tcp_side());
         (
             Box::new(SplitConn {
                 kind: FabricKind::Tcp,

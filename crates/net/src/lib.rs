@@ -5,7 +5,8 @@
 //! their familiar APIs:
 //!
 //! * [`tcp`] — a message-segmented TCP implementation (handshake, sliding
-//!   window, Reno congestion control, fast retransmit, RTO) that can run
+//!   window, pluggable congestion control — Reno, CUBIC, or DCTCP behind
+//!   the [`tcp::CongAlg`] trait — fast retransmit, RTO) that can run
 //!   its protocol either on **host cores through the kernel path** or on
 //!   **DPU cores behind a POSIX-like socket front end** where the host
 //!   only touches lock-free rings and payload DMA (the §6 proposal).
@@ -24,9 +25,16 @@
 //!   pair over which `DdsCluster` moves its per-shard request/response
 //!   traffic, with TCP, host-verbs RDMA, and DPU-issued (NE-ring) RDMA
 //!   implementations behind one credit-flow-controlled RPC framing.
+//! * [`config`] — [`NetConfig`], the one bundle of link, TCP, and fabric
+//!   parameters that `ClusterConfig`/`DpdpuBuilder` thread through the
+//!   stack, with the shared `--fabric`/`--cong`/`--loss`/
+//!   `--ecn-threshold-us` CLI flag parser the benchmark bins use.
 
+pub mod config;
 pub mod dfi;
 pub mod fabric;
 pub mod rdma;
 pub mod rdma_offload;
 pub mod tcp;
+
+pub use config::NetConfig;

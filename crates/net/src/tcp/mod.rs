@@ -1,36 +1,54 @@
-//! A message-segmented TCP with Reno congestion control, runnable on the
-//! host kernel path or offloaded to the DPU behind a socket front end.
+//! A message-segmented TCP with pluggable congestion control, runnable
+//! on the host kernel path or offloaded to the DPU behind a socket
+//! front end.
 //!
 //! ## Model
 //!
-//! * The byte stream is segmented at the MSS; cumulative ACKs, slow
-//!   start, congestion avoidance, fast retransmit on three duplicate
-//!   ACKs, and an RTO govern the sender window. The receiver reorders
-//!   out-of-order segments and delivers in order, one chunk per
-//!   segment (messages at or below the MSS keep their boundaries; larger
-//!   messages arrive as MSS-sized chunks — nothing in the reproduced
-//!   experiments depends on byte-granular framing).
+//! * The byte stream is segmented at the MSS; cumulative ACKs, a sliding
+//!   window, fast retransmit on three duplicate ACKs, and an RTO govern
+//!   the sender. The receiver reorders out-of-order segments and
+//!   delivers in order, one chunk per segment (messages at or below the
+//!   MSS keep their boundaries; larger messages arrive as MSS-sized
+//!   chunks — nothing in the reproduced experiments depends on
+//!   byte-granular framing).
 //! * **Host stack** ([`TcpStack::HostKernel`]): every data segment and
 //!   ACK charges host-CPU cycles — the Figure 3 cost.
 //! * **Offloaded stack** ([`TcpStack::DpuOffload`]): protocol cycles are
 //!   charged to DPU cores; payloads cross host↔DPU PCIe by DMA; the host
 //!   pays only the lock-free-ring enqueue/poll cost per message — the §6
 //!   "POSIX-like socket API through a user library".
+//!
+//! ## Structure
+//!
+//! The control path is split into separable units:
+//!
+//! * `conn` — connection management: wire segments, the shared-link
+//!   port, mux/demux, task wiring.
+//! * `sender` — reliability and flow control: handshake, window fill,
+//!   fast retransmit, RTO, FIN.
+//! * `receiver` — reassembly, receive-ring flow control, ACK generation
+//!   with ECN echo.
+//! * [`cong`] — the congestion-control algorithms behind the
+//!   portus-style [`CongAlg`] trait: [`cong::Reno`], [`cong::Cubic`],
+//!   [`cong::Dctcp`].
+//!
+//! Connections are built with [`TcpConnector`]; the historical
+//! free-function constructors remain as thin shims over it.
 
-use std::cell::RefCell;
-use std::collections::{BTreeMap, VecDeque};
+pub mod cong;
+mod conn;
+mod receiver;
+mod sender;
+
 use std::rc::Rc;
 
 use bytes::Bytes;
-use dpdpu_des::{
-    channel, race, spawn, timeout, Counter, Either, Permit, Receiver, Semaphore, Sender, Time,
-};
-use dpdpu_hw::{costs, CpuPool, Link, LinkConfig, PcieLink};
+use dpdpu_des::{Counter, Permit, Receiver, Sender, Time};
+use dpdpu_hw::{costs, CpuPool, LinkConfig, PcieLink};
 
-/// TCP segment header bytes on the wire (Ethernet+IP+TCP, rounded).
-const HEADER_BYTES: u64 = 66;
-/// ACK-only frame size on the wire.
-const ACK_BYTES: u64 = 66;
+pub use cong::{CongAlg, CongAlgKind, CongConfig, Measurement, Report};
+
+use conn::build_mux;
 
 /// Where a side's protocol stack executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +75,8 @@ pub struct TcpParams {
     /// every ACK and caps the sender — the §6 host↔DPU flow-control
     /// co-design (application consumption opens the window).
     pub recv_ring_slots: usize,
+    /// Congestion-control algorithm.
+    pub cong: CongAlgKind,
 }
 
 impl Default for TcpParams {
@@ -67,6 +87,7 @@ impl Default for TcpParams {
             max_wnd_segs: 256,
             rto_ns: 1_000_000,
             recv_ring_slots: 256,
+            cong: CongAlgKind::Reno,
         }
     }
 }
@@ -109,7 +130,7 @@ impl TcpSide {
     /// *latency* (softirq, wakeups) is not charged here — per-segment
     /// processing pipelines in a real stack; latency effects are modelled
     /// where they matter (the Figure 8 round-trip experiment).
-    async fn charge_data_segment(&self, bytes: u64) {
+    pub(crate) async fn charge_data_segment(&self, bytes: u64) {
         match self.stack {
             TcpStack::HostKernel => {
                 self.host_cpu
@@ -124,7 +145,7 @@ impl TcpSide {
     }
 
     /// Charges ACK processing.
-    async fn charge_ack(&self) {
+    pub(crate) async fn charge_ack(&self) {
         match self.stack {
             TcpStack::HostKernel => {
                 self.host_cpu.exec(costs::TCP_CYCLES_PER_MSG / 4).await;
@@ -137,7 +158,7 @@ impl TcpSide {
     }
 
     /// Device this side's stack spends cycles on (telemetry process).
-    fn device(&self) -> &'static str {
+    pub(crate) fn device(&self) -> &'static str {
         match self.stack {
             TcpStack::HostKernel => "host",
             TcpStack::DpuOffload => "dpu",
@@ -147,7 +168,7 @@ impl TcpSide {
     /// Host-side cost of handing one message across the app boundary
     /// (syscall-free ring ops when offloaded; folded into segment cost on
     /// the kernel path) plus payload DMA for the offloaded path.
-    async fn app_boundary(&self, bytes: u64) {
+    pub(crate) async fn app_boundary(&self, bytes: u64) {
         if self.stack == TcpStack::DpuOffload {
             self.host_cpu.exec(costs::NE_HOST_RING_CYCLES_PER_MSG).await;
             self.pcie
@@ -159,59 +180,52 @@ impl TcpSide {
     }
 }
 
-/// Wire segments.
-#[derive(Debug, Clone)]
-enum Segment {
-    /// Connection request.
-    Syn,
-    /// Connection accept.
-    SynAck,
-    Data {
-        seq: u64,
-        payload: Bytes,
-    },
-    /// Cumulative ACK + advertised receive window (bytes the receiver
-    /// can still buffer beyond `ack`). `update` marks a pure window
-    /// update (no new data acknowledged) — excluded from duplicate-ACK
-    /// counting, as in real TCP.
-    Ack {
-        ack: u64,
-        wnd: u64,
-        update: bool,
-    },
-    Fin {
-        seq: u64,
-    },
-    FinAck,
-}
-
-impl Segment {
-    fn wire_bytes(&self) -> u64 {
-        match self {
-            Segment::Data { payload, .. } => HEADER_BYTES + payload.len() as u64,
-            _ => ACK_BYTES,
-        }
-    }
-}
-
-/// Per-connection statistics.
+/// Per-connection statistics. Counters are `Rc`-shared: for flows built
+/// through a labeled [`TcpConnector`] they alias instruments in the
+/// `dpdpu-telemetry` metrics registry, so the same numbers appear in the
+/// run's metrics export.
 #[derive(Default)]
 pub struct TcpStats {
     /// Data segments transmitted (including retransmits).
-    pub segments_sent: Counter,
+    pub segments_sent: Rc<Counter>,
     /// Retransmitted segments.
-    pub retransmits: Counter,
+    pub retransmits: Rc<Counter>,
+    /// Retransmission-timeout fires.
+    pub rto_fires: Rc<Counter>,
     /// ACK frames sent.
-    pub acks_sent: Counter,
+    pub acks_sent: Rc<Counter>,
+    /// New-data ACKs that echoed an ECN Congestion Experienced mark.
+    pub ecn_echoes: Rc<Counter>,
     /// Payload bytes delivered in order to the application.
-    pub bytes_delivered: Counter,
+    pub bytes_delivered: Rc<Counter>,
+}
+
+impl TcpStats {
+    /// Stats for one connection: registry-backed when the flow carries a
+    /// label (and telemetry is installed), private counters otherwise.
+    pub(crate) fn for_flow(label: Option<&str>, conn: u32) -> Self {
+        let Some(label) = label else {
+            return TcpStats::default();
+        };
+        let conn = conn.to_string();
+        let labels = [("flow", label), ("conn", conn.as_str())];
+        let reg = |name: &str| dpdpu_telemetry::counter(name, &labels).unwrap_or_default();
+        TcpStats {
+            segments_sent: reg("tcp_segments_sent"),
+            retransmits: reg("tcp_retransmits"),
+            rto_fires: reg("tcp_rto_fires"),
+            acks_sent: reg("tcp_acks_sent"),
+            ecn_echoes: reg("tcp_ecn_echoes"),
+            bytes_delivered: reg("tcp_bytes_delivered"),
+        }
+    }
 }
 
 /// Sending half of a simplex TCP stream. Clonable: the stream's FIN is
 /// sent once every clone has been dropped/closed.
 #[derive(Clone)]
 pub struct TcpSender {
-    app_tx: Sender<Bytes>,
+    pub(crate) app_tx: Sender<Bytes>,
     /// Shared statistics.
     pub stats: Rc<TcpStats>,
 }
@@ -228,8 +242,8 @@ impl TcpSender {
 
 /// Receiving half of a simplex TCP stream.
 pub struct TcpReceiver {
-    app_rx: Receiver<(Bytes, Permit)>,
-    wnd_tx: Sender<()>,
+    pub(crate) app_rx: Receiver<(Bytes, Permit)>,
+    pub(crate) wnd_tx: Sender<()>,
     /// Shared statistics.
     pub stats: Rc<TcpStats>,
 }
@@ -247,57 +261,122 @@ impl TcpReceiver {
     }
 }
 
-/// A connection's handle on a (possibly shared) physical link: frames
-/// are tagged with the connection id and demultiplexed at the far end.
+/// One endpoint's handles on a duplex TCP connection: a sender toward
+/// the peer and a receiver for the peer's messages.
+pub type TcpEndpoint = (TcpSender, TcpReceiver);
+
+/// Builder for TCP connections — the one entry point behind which the
+/// historical `tcp_stream`/`tcp_duplex`/`tcp_mux`/`tcp_mux_duplex`
+/// constructors now live.
+///
+/// ```ignore
+/// let (tx, rx) = TcpConnector::new(LinkConfig::rack_100g())
+///     .cong(CongAlgKind::Dctcp)
+///     .stream(src, dst);
+/// let pairs = TcpConnector::new(link).streams(src, dst, 8); // shared wire
+/// let (a_ep, b_ep) = TcpConnector::new(link).duplex(a, b);
+/// ```
 #[derive(Clone)]
-struct SegPort {
-    link: Rc<Link<(u32, Segment)>>,
-    conn: u32,
+pub struct TcpConnector {
+    link: LinkConfig,
+    params: TcpParams,
+    label: Option<Rc<str>>,
 }
 
-impl SegPort {
-    async fn send(&self, seg: Segment) {
-        let bytes = seg.wire_bytes();
-        self.link.send((self.conn, seg), bytes).await;
+impl TcpConnector {
+    /// A connector over `link` with default [`TcpParams`].
+    pub fn new(link: LinkConfig) -> Self {
+        TcpConnector {
+            link,
+            params: TcpParams::default(),
+            label: None,
+        }
+    }
+
+    /// Replaces the full parameter set.
+    pub fn params(mut self, params: TcpParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Selects the congestion-control algorithm.
+    pub fn cong(mut self, alg: CongAlgKind) -> Self {
+        self.params.cong = alg;
+        self
+    }
+
+    /// Labels the flow: its [`TcpStats`] counters are created in (and
+    /// aggregated by) the `dpdpu-telemetry` metrics registry under
+    /// `tcp_*{flow=<label>,conn=<n>}`, and the sender reports its final
+    /// congestion window as the `tcp_final_cwnd` gauge.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(Rc::from(label.into()));
+        self
+    }
+
+    /// One simplex stream from `src` to `dst` over a dedicated link
+    /// (the reverse direction carries ACKs). Spawns the protocol tasks;
+    /// must be called inside a running simulation.
+    pub fn stream(&self, src: TcpSide, dst: TcpSide) -> (TcpSender, TcpReceiver) {
+        self.streams(src, dst, 1).pop().expect("one stream")
+    }
+
+    /// `n` simplex streams from `src` to `dst` that **share one physical
+    /// link** in each direction (data forward, ACKs reverse) —
+    /// connections contend for wire time exactly as parallel flows
+    /// through one NIC port do.
+    pub fn streams(&self, src: TcpSide, dst: TcpSide, n: usize) -> Vec<(TcpSender, TcpReceiver)> {
+        build_mux(src, dst, self.link, self.params, n, self.label.clone())
+    }
+
+    /// One duplex connection between `a` and `b`: two simplex streams
+    /// (a→b and b→a), each with its own physical link pair. Returns
+    /// `(a_endpoint, b_endpoint)`.
+    pub fn duplex(&self, a: TcpSide, b: TcpSide) -> (TcpEndpoint, TcpEndpoint) {
+        let (a2b_tx, a2b_rx) = self.stream(a.clone(), b.clone());
+        let (b2a_tx, b2a_rx) = self.stream(b, a);
+        ((a2b_tx, b2a_rx), (b2a_tx, a2b_rx))
+    }
+
+    /// Connection fan-out for a client fleet: `n` duplex connections
+    /// from `a` to `b` whose forward streams share one physical link
+    /// (and likewise the reverse streams) — the contention pattern of
+    /// many clients behind one NIC port talking to one server port.
+    pub fn mux_duplex(&self, a: TcpSide, b: TcpSide, n: usize) -> Vec<(TcpEndpoint, TcpEndpoint)> {
+        let fwd = self.streams(a.clone(), b.clone(), n);
+        let rev = self.streams(b, a, n);
+        fwd.into_iter()
+            .zip(rev)
+            .map(|((a2b_tx, a2b_rx), (b2a_tx, b2a_rx))| ((a2b_tx, b2a_rx), (b2a_tx, a2b_rx)))
+            .collect()
     }
 }
 
 /// Creates a simplex TCP stream from `src` to `dst` over a dedicated
-/// link (the reverse direction carries ACKs). Spawns the protocol tasks;
-/// must be called inside a running simulation.
+/// link (the reverse direction carries ACKs). Thin shim over
+/// [`TcpConnector::stream`].
 pub fn tcp_stream(
     src: TcpSide,
     dst: TcpSide,
     link_cfg: LinkConfig,
     params: TcpParams,
 ) -> (TcpSender, TcpReceiver) {
-    tcp_mux(src, dst, link_cfg, params, 1)
-        .pop()
-        .expect("one stream")
+    TcpConnector::new(link_cfg).params(params).stream(src, dst)
 }
 
-/// One endpoint's handles on a duplex TCP connection: a sender toward
-/// the peer and a receiver for the peer's messages.
-pub type TcpEndpoint = (TcpSender, TcpReceiver);
-
-/// Creates one duplex TCP connection between `a` and `b`: two simplex
-/// streams (a→b and b→a), each with its own physical link pair.
-/// Returns `(a_endpoint, b_endpoint)`.
+/// Creates one duplex TCP connection between `a` and `b`. Thin shim over
+/// [`TcpConnector::duplex`].
 pub fn tcp_duplex(
     a: TcpSide,
     b: TcpSide,
     link_cfg: LinkConfig,
     params: TcpParams,
 ) -> (TcpEndpoint, TcpEndpoint) {
-    let (a2b_tx, a2b_rx) = tcp_stream(a.clone(), b.clone(), link_cfg, params);
-    let (b2a_tx, b2a_rx) = tcp_stream(b, a, link_cfg, params);
-    ((a2b_tx, b2a_rx), (b2a_tx, a2b_rx))
+    TcpConnector::new(link_cfg).params(params).duplex(a, b)
 }
 
-/// Connection fan-out for a client fleet: `streams` duplex connections
-/// from `a` to `b` whose forward streams share one physical link (and
-/// likewise the reverse streams) — the contention pattern of many
-/// clients behind one NIC port talking to one server port.
+/// Connection fan-out for a client fleet. Thin shim over
+/// [`TcpConnector::mux_duplex`].
 pub fn tcp_mux_duplex(
     a: TcpSide,
     b: TcpSide,
@@ -305,18 +384,13 @@ pub fn tcp_mux_duplex(
     params: TcpParams,
     streams: usize,
 ) -> Vec<(TcpEndpoint, TcpEndpoint)> {
-    let fwd = tcp_mux(a.clone(), b.clone(), link_cfg, params, streams);
-    let rev = tcp_mux(b, a, link_cfg, params, streams);
-    fwd.into_iter()
-        .zip(rev)
-        .map(|((a2b_tx, a2b_rx), (b2a_tx, b2a_rx))| ((a2b_tx, b2a_rx), (b2a_tx, a2b_rx)))
-        .collect()
+    TcpConnector::new(link_cfg)
+        .params(params)
+        .mux_duplex(a, b, streams)
 }
 
-/// Creates `streams` simplex TCP connections from `src` to `dst` that
-/// **share one physical link** in each direction (data forward, ACKs
-/// reverse) — connections contend for wire time exactly as parallel
-/// flows through one NIC port do.
+/// Creates `streams` simplex TCP connections sharing one physical link
+/// per direction. Thin shim over [`TcpConnector::streams`].
 pub fn tcp_mux(
     src: TcpSide,
     dst: TcpSide,
@@ -324,483 +398,9 @@ pub fn tcp_mux(
     params: TcpParams,
     streams: usize,
 ) -> Vec<(TcpSender, TcpReceiver)> {
-    assert!(streams > 0, "need at least one stream");
-    let (data_link, mut data_rx) = Link::new("tcp-data", link_cfg);
-    // The ACK path is deliberately lossless — natural loss AND injected
-    // drops. Cumulative acking recovers a lost ACK with no observable
-    // handling event, which would break fault-hygiene accounting.
-    let (ack_link, mut ack_rx) = Link::new_fault_exempt(
-        "tcp-ack",
-        LinkConfig {
-            loss_rate: 0.0,
-            ..link_cfg
-        },
-    );
-
-    let mut out = Vec::with_capacity(streams);
-    let mut data_demux: Vec<Sender<Segment>> = Vec::with_capacity(streams);
-    let mut ack_demux: Vec<Sender<Segment>> = Vec::with_capacity(streams);
-
-    for conn in 0..streams as u32 {
-        let stats = Rc::new(TcpStats::default());
-        let (app_in_tx, app_in_rx) = channel::<Bytes>();
-        let (app_out_tx, app_out_rx) = channel::<(Bytes, Permit)>();
-        let (ack_evt_tx, ack_evt_rx) = channel::<AckEvent>();
-        let (data_seg_tx, data_seg_rx) = channel::<Segment>();
-        let (ack_seg_tx, mut ack_seg_rx) = channel::<Segment>();
-        let (wnd_tx, wnd_rx) = channel::<()>();
-        data_demux.push(data_seg_tx);
-        ack_demux.push(ack_seg_tx);
-
-        // Sender-side machinery.
-        {
-            let stats = stats.clone();
-            let src = src.clone();
-            let port = SegPort {
-                link: data_link.clone(),
-                conn,
-            };
-            spawn(async move {
-                sender_task(src, port, app_in_rx, ack_evt_rx, params, stats).await;
-            });
-        }
-        // Sender-side ACK ingress (ACKs arrive on the reverse link).
-        {
-            let src = src.clone();
-            spawn(async move {
-                while let Some(seg) = ack_seg_rx.recv().await {
-                    src.charge_ack().await;
-                    let forward = match seg {
-                        Segment::Ack { ack, wnd, update } => {
-                            Some(AckEvent::Ack { ack, wnd, update })
-                        }
-                        Segment::SynAck => Some(AckEvent::SynAck),
-                        Segment::FinAck => Some(AckEvent::FinAck),
-                        _ => None,
-                    };
-                    if let Some(evt) = forward {
-                        if ack_evt_tx.send(evt).is_err() {
-                            break;
-                        }
-                    }
-                }
-            });
-        }
-        // Receiver-side ingress.
-        {
-            let stats = stats.clone();
-            let dst = dst.clone();
-            let port = SegPort {
-                link: ack_link.clone(),
-                conn,
-            };
-            spawn(async move {
-                receiver_task(dst, port, data_seg_rx, wnd_rx, app_out_tx, params, stats).await;
-            });
-        }
-        out.push((
-            TcpSender {
-                app_tx: app_in_tx,
-                stats: stats.clone(),
-            },
-            TcpReceiver {
-                app_rx: app_out_rx,
-                wnd_tx,
-                stats,
-            },
-        ));
-    }
-
-    // Demultiplexers: route tagged frames to their connection.
-    spawn(async move {
-        while let Some((conn, seg)) = data_rx.recv().await {
-            if let Some(tx) = data_demux.get(conn as usize) {
-                let _ = tx.send(seg);
-            }
-        }
-    });
-    spawn(async move {
-        while let Some((conn, seg)) = ack_rx.recv().await {
-            if let Some(tx) = ack_demux.get(conn as usize) {
-                let _ = tx.send(seg);
-            }
-        }
-    });
-
-    out
-}
-
-enum AckEvent {
-    SynAck,
-    Ack { ack: u64, wnd: u64, update: bool },
-    FinAck,
-}
-
-struct SendState {
-    /// Lowest unacknowledged byte.
-    snd_una: u64,
-    /// Next byte to transmit.
-    snd_nxt: u64,
-    /// Congestion window, bytes.
-    cwnd: f64,
-    /// Slow-start threshold, bytes.
-    ssthresh: f64,
-    /// Receiver-advertised window, bytes (flow control).
-    snd_wnd: u64,
-    dup_acks: u32,
-    /// Unsent message queue (already segmented).
-    unsent: VecDeque<(u64, Bytes)>,
-    /// In-flight segments by sequence number.
-    inflight: BTreeMap<u64, Bytes>,
-}
-
-async fn sender_task(
-    side: TcpSide,
-    port: SegPort,
-    mut app_rx: Receiver<Bytes>,
-    mut ack_rx: Receiver<AckEvent>,
-    params: TcpParams,
-    stats: Rc<TcpStats>,
-) {
-    let mss = params.mss as u64;
-    let max_wnd = (params.max_wnd_segs * mss) as f64;
-    let st = RefCell::new(SendState {
-        snd_una: 0,
-        snd_nxt: 0,
-        cwnd: (params.init_cwnd_segs * mss) as f64,
-        ssthresh: max_wnd,
-        snd_wnd: params.recv_ring_slots as u64 * mss,
-        dup_acks: 0,
-        unsent: VecDeque::new(),
-        inflight: BTreeMap::new(),
-    });
-    let mut app_open = true;
-
-    // Three-way handshake: connection management is part of the §6
-    // control plane (the offloaded stack runs it on the DPU too). SYN is
-    // retried on the RTO like any other segment.
-    'handshake: for attempt in 0..5 {
-        if attempt > 0 {
-            // The SYN rides the data link; a resend is the recovery for
-            // a SYN lost there (the ACK path cannot drop).
-            dpdpu_check::fault_handled("link_drop", "retried");
-        }
-        side.charge_ack().await;
-        port.send(Segment::Syn).await;
-        loop {
-            match timeout(params.rto_ns, ack_rx.recv()).await {
-                Ok(Some(AckEvent::SynAck)) => break 'handshake,
-                Ok(Some(_)) => continue,
-                Ok(None) => return, // peer unreachable
-                Err(_) => break,    // retransmit the SYN
-            }
-        }
-    }
-
-    loop {
-        // Fill the window.
-        loop {
-            let next = {
-                let mut s = st.borrow_mut();
-                let in_flight_bytes = s.snd_nxt - s.snd_una;
-                // Effective window: congestion AND receiver flow control.
-                let wnd = (s.cwnd.min(max_wnd) as u64).min(s.snd_wnd);
-                match s.unsent.front() {
-                    Some((_, payload)) if in_flight_bytes + payload.len() as u64 <= wnd => {
-                        let (seq, payload) = s.unsent.pop_front().expect("front checked");
-                        s.snd_nxt = seq + payload.len() as u64;
-                        s.inflight.insert(seq, payload.clone());
-                        Some((seq, payload))
-                    }
-                    _ => None,
-                }
-            };
-            let Some((seq, payload)) = next else { break };
-            side.charge_data_segment(payload.len() as u64).await;
-            stats.segments_sent.inc();
-            port.send(Segment::Data { seq, payload }).await;
-        }
-
-        let idle = {
-            let s = st.borrow();
-            s.inflight.is_empty() && s.unsent.is_empty()
-        };
-        if idle && !app_open {
-            break; // all data delivered; proceed to FIN
-        }
-
-        // Wait for the next event: app data, an ACK, or the RTO. Once the
-        // app half is closed its channel yields `None` forever, so it must
-        // leave the wait set.
-        let event = match (app_open, idle) {
-            (true, true) => match race(app_rx.recv(), ack_rx.recv()).await {
-                Either::Left(v) => Evt::App(v),
-                Either::Right(v) => Evt::Ack(v),
-            },
-            (true, false) => {
-                match timeout(params.rto_ns, race(app_rx.recv(), ack_rx.recv())).await {
-                    Ok(Either::Left(v)) => Evt::App(v),
-                    Ok(Either::Right(v)) => Evt::Ack(v),
-                    Err(_) => Evt::Rto,
-                }
-            }
-            (false, _) => match timeout(params.rto_ns, ack_rx.recv()).await {
-                Ok(v) => Evt::Ack(v),
-                Err(_) => Evt::Rto,
-            },
-        };
-
-        match event {
-            Evt::App(Some(data)) => {
-                // Segment the message at the MSS; the host boundary cost
-                // (ring + DMA on the offloaded path) is paid per message.
-                let _span = dpdpu_telemetry::span(side.device(), "tcp-tx", "send_msg")
-                    .with("bytes", data.len());
-                side.app_boundary(data.len() as u64).await;
-                let mut s = st.borrow_mut();
-                let mut base = s
-                    .unsent
-                    .back()
-                    .map(|(seq, p)| seq + p.len() as u64)
-                    .unwrap_or(s.snd_nxt);
-                let mut remaining = data;
-                loop {
-                    let take = remaining.len().min(params.mss);
-                    let chunk = remaining.split_to(take);
-                    s.unsent.push_back((base, chunk));
-                    base += take as u64;
-                    if remaining.is_empty() {
-                        break;
-                    }
-                }
-            }
-            Evt::App(None) => {
-                app_open = false;
-            }
-            Evt::Ack(Some(AckEvent::Ack { ack, wnd, update })) => {
-                // The state borrow is scoped so no RefCell guard lives
-                // across an await; retransmission happens afterwards.
-                let fast_retransmit = {
-                    let mut s = st.borrow_mut();
-                    s.snd_wnd = wnd;
-                    if update {
-                        // Pure window update: flow-control signal only.
-                        None
-                    } else if ack > s.snd_una {
-                        s.snd_una = ack;
-                        s.dup_acks = 0;
-                        let keys: Vec<u64> = s.inflight.range(..ack).map(|(k, _)| *k).collect();
-                        for k in keys {
-                            s.inflight.remove(&k);
-                        }
-                        // Reno growth.
-                        if s.cwnd < s.ssthresh {
-                            s.cwnd += mss as f64;
-                        } else {
-                            s.cwnd += (mss as f64) * (mss as f64) / s.cwnd;
-                        }
-                        s.cwnd = s.cwnd.min(max_wnd);
-                        None
-                    } else if !s.inflight.is_empty() {
-                        s.dup_acks += 1;
-                        if s.dup_acks == 3 {
-                            // Fast retransmit.
-                            s.ssthresh = (s.cwnd / 2.0).max(2.0 * mss as f64);
-                            s.cwnd = s.ssthresh;
-                            s.inflight.iter().next().map(|(k, v)| (*k, v.clone()))
-                        } else {
-                            None
-                        }
-                    } else {
-                        None
-                    }
-                };
-                if let Some((seq, payload)) = fast_retransmit {
-                    side.charge_data_segment(payload.len() as u64).await;
-                    stats.segments_sent.inc();
-                    stats.retransmits.inc();
-                    // A retransmit is the transport-level recovery for a
-                    // dropped frame (injected or natural).
-                    dpdpu_check::fault_handled("link_drop", "retried");
-                    port.send(Segment::Data { seq, payload }).await;
-                }
-            }
-            Evt::Ack(Some(AckEvent::SynAck | AckEvent::FinAck)) => {}
-            // ACK ingress gone: no progress is possible.
-            Evt::Ack(None) => return,
-            Evt::Rto => {
-                let first = {
-                    let mut s = st.borrow_mut();
-                    s.ssthresh = (s.cwnd / 2.0).max(2.0 * mss as f64);
-                    s.cwnd = mss as f64;
-                    s.dup_acks = 0;
-                    s.inflight.iter().next().map(|(k, v)| (*k, v.clone()))
-                };
-                if let Some((seq, payload)) = first {
-                    side.charge_data_segment(payload.len() as u64).await;
-                    stats.segments_sent.inc();
-                    stats.retransmits.inc();
-                    // A retransmit is the transport-level recovery for a
-                    // dropped frame (injected or natural).
-                    dpdpu_check::fault_handled("link_drop", "retried");
-                    port.send(Segment::Data { seq, payload }).await;
-                }
-            }
-        }
-    }
-
-    // FIN with bounded retries.
-    let fin_seq = st.borrow().snd_nxt;
-    let mut acked = false;
-    for attempt in 0..5 {
-        if attempt > 0 {
-            // The FIN rides the data link; a resend is the recovery for
-            // a FIN lost there (the ACK path cannot drop).
-            dpdpu_check::fault_handled("link_drop", "retried");
-        }
-        port.send(Segment::Fin { seq: fin_seq }).await;
-        match timeout(params.rto_ns, ack_rx.recv()).await {
-            Ok(Some(AckEvent::FinAck)) => {
-                acked = true;
-                break;
-            }
-            Ok(Some(AckEvent::Ack { .. } | AckEvent::SynAck)) => continue,
-            Ok(None) | Err(_) => continue,
-        }
-    }
-    if !acked {
-        // Retries exhausted: half-close anyway — the unacked FIN is a
-        // surfaced terminal state, not a hang.
-        dpdpu_check::fault_handled("link_drop", "surfaced");
-    }
-}
-
-enum Evt {
-    App(Option<Bytes>),
-    Ack(Option<AckEvent>),
-    Rto,
-}
-
-async fn receiver_task(
-    side: TcpSide,
-    port: SegPort,
-    mut data_rx: Receiver<Segment>,
-    mut wnd_rx: Receiver<()>,
-    app_out: Sender<(Bytes, Permit)>,
-    params: TcpParams,
-    stats: Rc<TcpStats>,
-) {
-    let mut rcv_nxt: u64 = 0;
-    let mut reorder: BTreeMap<u64, Bytes> = BTreeMap::new();
-    // In-order payloads waiting for a free receive-ring slot.
-    let mut undelivered: VecDeque<Bytes> = VecDeque::new();
-    let credits = Semaphore::new(params.recv_ring_slots);
-    let mut app_out = Some(app_out);
-    let mut fin_pending = false;
-    // Once the app half closes, its wnd channel yields None forever and
-    // must leave the wait set.
-    let mut wnd_open = true;
-    let mss = params.mss as u64;
-    let mut advertised: u64 = params.recv_ring_slots as u64 * mss;
-
-    loop {
-        // Drain deliverable payloads into free ring slots.
-        while let Some(permit) = if undelivered.is_empty() {
-            None
-        } else {
-            credits.try_acquire()
-        } {
-            let payload = undelivered.pop_front().expect("non-empty checked");
-            stats.bytes_delivered.add(payload.len() as u64);
-            let span = dpdpu_telemetry::span(side.device(), "tcp-rx", "deliver_msg")
-                .with("bytes", payload.len());
-            side.app_boundary(payload.len() as u64).await;
-            drop(span);
-            if let Some(out) = &app_out {
-                let _ = out.send((payload, permit));
-            }
-        }
-        if fin_pending && undelivered.is_empty() {
-            app_out = None; // end-of-stream after everything is handed over
-            fin_pending = false;
-        }
-
-        let evt = if wnd_open {
-            race(data_rx.recv(), wnd_rx.recv()).await
-        } else {
-            Either::Left(data_rx.recv().await)
-        };
-        // Advertised window: free slots not yet promised to queued data.
-        let wnd = |credits: &Semaphore, undelivered: &VecDeque<Bytes>| {
-            (credits.available().saturating_sub(undelivered.len()) as u64) * mss
-        };
-        match evt {
-            Either::Left(Some(Segment::Data { seq, payload })) => {
-                side.charge_data_segment(payload.len() as u64).await;
-                if seq == rcv_nxt {
-                    rcv_nxt += payload.len() as u64;
-                    undelivered.push_back(payload);
-                    // Pull any contiguous buffered segments along.
-                    while let Some((&seq2, _)) = reorder.iter().next() {
-                        if seq2 != rcv_nxt {
-                            break;
-                        }
-                        let payload = reorder.remove(&seq2).expect("checked");
-                        rcv_nxt += payload.len() as u64;
-                        undelivered.push_back(payload);
-                    }
-                } else if seq > rcv_nxt {
-                    reorder.entry(seq).or_insert(payload);
-                }
-                // Cumulative (possibly duplicate) ACK + current window.
-                side.charge_ack().await;
-                stats.acks_sent.inc();
-                advertised = wnd(&credits, &undelivered);
-                port.send(Segment::Ack {
-                    ack: rcv_nxt,
-                    wnd: advertised,
-                    update: false,
-                })
-                .await;
-            }
-            Either::Left(Some(Segment::Syn)) => {
-                side.charge_ack().await;
-                port.send(Segment::SynAck).await;
-            }
-            Either::Left(Some(Segment::Fin { seq })) => {
-                side.charge_ack().await;
-                port.send(Segment::FinAck).await;
-                if seq == rcv_nxt {
-                    fin_pending = true;
-                }
-            }
-            Either::Left(Some(_)) => {}
-            Either::Left(None) => return,
-            Either::Right(Some(())) => {
-                // The application consumed a message. Send a pure window
-                // update only when the window re-opens (was below one
-                // MSS, now at least one) — the TCP zero-window-update
-                // rule; anything chattier floods the reverse path.
-                let new_wnd = wnd(&credits, &undelivered);
-                if advertised < mss && new_wnd >= mss {
-                    side.charge_ack().await;
-                    advertised = new_wnd;
-                    port.send(Segment::Ack {
-                        ack: rcv_nxt,
-                        wnd: new_wnd,
-                        update: true,
-                    })
-                    .await;
-                }
-            }
-            Either::Right(None) => {
-                // App receiver dropped: keep consuming the wire so the
-                // peer can finish, but deliver nowhere.
-                app_out = None;
-                wnd_open = false;
-            }
-        }
-    }
+    TcpConnector::new(link_cfg)
+        .params(params)
+        .streams(src, dst, streams)
 }
 
 #[cfg(test)]
@@ -1245,5 +845,63 @@ mod tests {
             assert!(stats.segments_sent.get() >= 13, "100 KB over 8 KB MSS");
         });
         sim.run();
+    }
+
+    #[test]
+    fn connector_selects_algorithm_and_delivers() {
+        // Every algorithm behind the connector must still deliver in
+        // order over a clean link (the deeper per-algorithm behavior is
+        // covered in cong::tests and the integration suite).
+        for alg in CongAlgKind::ALL {
+            let mut sim = Sim::new();
+            sim.spawn(async move {
+                let (src, dst) = host_sides();
+                let (tx, mut rx) = TcpConnector::new(fast_link()).cong(alg).stream(src, dst);
+                for i in 0..30u8 {
+                    tx.send(Bytes::from(vec![i; 4_096]));
+                }
+                tx.close();
+                let mut n = 0u8;
+                while let Some(m) = rx.recv().await {
+                    assert_eq!(m[0], n, "{} out of order", alg.name());
+                    n += 1;
+                }
+                assert_eq!(n, 30, "{} lost messages", alg.name());
+            });
+            sim.run();
+        }
+    }
+
+    #[test]
+    fn labeled_connector_exports_stats_to_registry() {
+        let telemetry = dpdpu_telemetry::Telemetry::install();
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let (src, dst) = host_sides();
+            let (tx, mut rx) = TcpConnector::new(fast_link())
+                .label("unit")
+                .stream(src, dst);
+            for _ in 0..10 {
+                tx.send(Bytes::from(vec![3u8; 8_192]));
+            }
+            tx.close();
+            while rx.recv().await.is_some() {}
+        });
+        sim.run();
+        let labels = [("flow", "unit"), ("conn", "0")];
+        let segs = telemetry.registry().counter("tcp_segments_sent", &labels);
+        assert!(
+            segs.get() >= 10,
+            "registry must see the flow's segments: {}",
+            segs.get()
+        );
+        let delivered = telemetry.registry().counter("tcp_bytes_delivered", &labels);
+        assert_eq!(delivered.get(), 10 * 8_192);
+        let cwnd = telemetry.registry().gauge("tcp_final_cwnd", &labels);
+        assert!(
+            cwnd.get() >= 8_192.0,
+            "final cwnd gauge must be set: {}",
+            cwnd.get()
+        );
     }
 }

@@ -12,7 +12,7 @@ use bytes::Bytes;
 use dpdpu::dds::server::{Dds, DdsClient, DdsConfig};
 use dpdpu::des::{now, Sim};
 use dpdpu::hw::{CpuPool, LinkConfig, Platform};
-use dpdpu::net::tcp::{tcp_stream, TcpParams, TcpSide};
+use dpdpu::net::tcp::{TcpConnector, TcpSide};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -58,18 +58,9 @@ fn run(offload: bool) -> (f64, f64) {
             platform.host_dpu_pcie.clone(),
         );
         let client_side = TcpSide::host(client_cpu);
-        let (c2s_tx, c2s_rx) = tcp_stream(
-            client_side.clone(),
-            server_side.clone(),
-            LinkConfig::rack_100g(),
-            TcpParams::default(),
-        );
-        let (s2c_tx, s2c_rx) = tcp_stream(
-            server_side,
-            client_side,
-            LinkConfig::rack_100g(),
-            TcpParams::default(),
-        );
+        let net = TcpConnector::new(LinkConfig::rack_100g());
+        let (c2s_tx, c2s_rx) = net.stream(client_side.clone(), server_side.clone());
+        let (s2c_tx, s2c_rx) = net.stream(server_side, client_side);
         dds.serve(c2s_rx, s2c_tx);
         let client = DdsClient::new(c2s_tx, s2c_rx);
 

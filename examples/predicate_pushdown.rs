@@ -20,7 +20,7 @@ use dpdpu::des::{now, Sim};
 use dpdpu::hw::{CpuPool, LinkConfig};
 use dpdpu::kernels::record::{gen, Batch, Value};
 use dpdpu::kernels::relops::{CmpOp, Predicate};
-use dpdpu::net::tcp::{tcp_stream, TcpParams, TcpSide};
+use dpdpu::net::tcp::{TcpConnector, TcpSide};
 
 const ROWS_PER_PAGE: usize = 64;
 const NUM_PAGES: usize = 64;
@@ -61,15 +61,13 @@ fn run(pushdown: bool) -> u64 {
 
         // Remote database server connection.
         let db_cpu = CpuPool::new("dbms", 16, 3_000_000_000);
-        let (tx, mut rx) = tcp_stream(
+        let (tx, mut rx) = TcpConnector::new(LinkConfig::rack_100g()).stream(
             TcpSide::offloaded(
                 rt.platform.host_cpu.clone(),
                 rt.platform.dpu_cpu.clone(),
                 rt.platform.host_dpu_pcie.clone(),
             ),
             TcpSide::host(db_cpu),
-            LinkConfig::rack_100g(),
-            TcpParams::default(),
         );
 
         // WHERE status = 'paid' AND amount > 5000.

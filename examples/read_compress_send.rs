@@ -20,7 +20,7 @@ use bytes::Bytes;
 use dpdpu::compute::{ExecTarget, KernelError, KernelInput, KernelKind, KernelOp, Placement};
 use dpdpu::des::{now, spawn, Sim};
 use dpdpu::hw::{CpuPool, DpuSpec, HostSpec, LinkConfig, Platform};
-use dpdpu::net::tcp::{tcp_stream, TcpParams, TcpSide};
+use dpdpu::net::tcp::{TcpConnector, TcpSide};
 use dpdpu::telemetry::Telemetry;
 
 const PAGE: u64 = 8_192;
@@ -83,15 +83,13 @@ fn run_on(label: &str, dpu: DpuSpec, trace_out: Option<&std::path::Path>) {
 
         // The remote client connection (Network Engine, offloaded TCP).
         let client_cpu = CpuPool::new("client", 8, 3_000_000_000);
-        let (tx, mut rx) = tcp_stream(
+        let (tx, mut rx) = TcpConnector::new(LinkConfig::rack_100g()).stream(
             TcpSide::offloaded(
                 rt.platform.host_cpu.clone(),
                 rt.platform.dpu_cpu.clone(),
                 rt.platform.host_dpu_pcie.clone(),
             ),
             TcpSide::host(client_cpu),
-            LinkConfig::rack_100g(),
-            TcpParams::default(),
         );
 
         // --- the sproc body (Figure 6) ---

@@ -78,6 +78,11 @@ fn cluster_fabric_matches_golden() {
 }
 
 #[test]
+fn net_scenarios_matches_golden() {
+    check_scenario("net_scenarios");
+}
+
+#[test]
 fn every_scenario_has_golden_coverage() {
     // Adding a scenario without blessing fixtures for it must fail
     // loudly here, not silently skip conformance.
@@ -87,6 +92,7 @@ fn every_scenario_has_golden_coverage() {
         "compute_pipeline",
         "cluster_fleet",
         "cluster_fabric",
+        "net_scenarios",
     ];
     for (name, _) in dpdpu_bench::scenarios::all() {
         assert!(

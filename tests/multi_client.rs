@@ -16,7 +16,7 @@ use dpdpu::dds::server::{Dds, DdsClient, DdsConfig};
 use dpdpu::des::{sleep, spawn, Sim};
 use dpdpu::faults::{FaultPlan, SessionGuard};
 use dpdpu::hw::{CpuPool, LinkConfig, Platform};
-use dpdpu::net::tcp::{tcp_mux, TcpParams, TcpSide};
+use dpdpu::net::tcp::{TcpConnector, TcpSide};
 
 const CLIENTS: usize = 4;
 const OPS_PER_CLIENT: u64 = 64;
@@ -38,20 +38,9 @@ fn four_clients_share_one_server_port() {
         );
         let client_side = TcpSide::host(client_cpu);
         // All clients multiplex over ONE duplex port pair.
-        let c2s = tcp_mux(
-            client_side.clone(),
-            server_side.clone(),
-            LinkConfig::rack_100g(),
-            TcpParams::default(),
-            CLIENTS,
-        );
-        let s2c = tcp_mux(
-            server_side,
-            client_side,
-            LinkConfig::rack_100g(),
-            TcpParams::default(),
-            CLIENTS,
-        );
+        let net = TcpConnector::new(LinkConfig::rack_100g());
+        let c2s = net.streams(client_side.clone(), server_side.clone(), CLIENTS);
+        let s2c = net.streams(server_side, client_side, CLIENTS);
 
         let mut handles = Vec::new();
         for (cid, ((c_tx, c_rx), (s_tx, s_rx))) in c2s.into_iter().zip(s2c).enumerate() {
@@ -143,20 +132,9 @@ fn stress_clients_terminate_under_aggressive_faults() {
             platform.host_dpu_pcie.clone(),
         );
         let client_side = TcpSide::host(client_cpu);
-        let c2s = tcp_mux(
-            client_side.clone(),
-            server_side.clone(),
-            LinkConfig::rack_100g(),
-            TcpParams::default(),
-            STRESS_CLIENTS,
-        );
-        let s2c = tcp_mux(
-            server_side,
-            client_side,
-            LinkConfig::rack_100g(),
-            TcpParams::default(),
-            STRESS_CLIENTS,
-        );
+        let net = TcpConnector::new(LinkConfig::rack_100g());
+        let c2s = net.streams(client_side.clone(), server_side.clone(), STRESS_CLIENTS);
+        let s2c = net.streams(server_side, client_side, STRESS_CLIENTS);
 
         let policy = RetryPolicy {
             max_attempts: 6,

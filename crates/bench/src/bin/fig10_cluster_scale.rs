@@ -5,20 +5,29 @@
 //! cargo run -p dpdpu-bench --bin fig10_cluster_scale               # defaults
 //! cargo run -p dpdpu-bench --bin fig10_cluster_scale -- --cong cubic
 //! cargo run -p dpdpu-bench --bin fig10_cluster_scale -- --fabric rdma
+//! cargo run -p dpdpu-bench --bin fig10_cluster_scale -- --replicas 2
 //! ```
 
 use dpdpu_net::NetConfig;
 
 fn main() {
     let mut net = NetConfig::default();
+    let mut replicas = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let value = match arg.as_str() {
-            "--fabric" | "--cong" | "--loss" | "--ecn-threshold-us" => args
+            "--fabric" | "--cong" | "--loss" | "--ecn-threshold-us" | "--replicas" => args
                 .next()
                 .unwrap_or_else(|| usage(&format!("{arg} needs a value"))),
             other => usage(&format!("unknown argument: {other}")),
         };
+        if arg == "--replicas" {
+            replicas = match value.parse() {
+                Ok(n @ 1..=2) => n,
+                _ => usage("--replicas must be 1 or 2 (one-hop chain)"),
+            };
+            continue;
+        }
         match net.apply_cli_flag(&arg, &value) {
             Ok(true) => {}
             Ok(false) => usage(&format!("unknown argument: {arg}")),
@@ -27,11 +36,17 @@ fn main() {
     }
     // Conformance guard: every figure/ablation run is invariant-checked.
     let _check = dpdpu_check::CheckGuard::new();
-    println!("{}", dpdpu_bench::fig10_cluster_scale::run_with(net));
+    println!(
+        "{}",
+        dpdpu_bench::fig10_cluster_scale::run_with_replicas(net, replicas)
+    );
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
-    eprintln!("usage: fig10_cluster_scale {}", NetConfig::cli_help());
+    eprintln!(
+        "usage: fig10_cluster_scale [--replicas 1|2] {}",
+        NetConfig::cli_help()
+    );
     std::process::exit(2)
 }

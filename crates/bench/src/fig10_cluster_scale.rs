@@ -48,6 +48,14 @@ pub fn run() -> String {
 /// Runs the sweep over `net` (fabric, congestion control, link
 /// shaping — the bin's `--fabric`/`--cong` flags land here).
 pub fn run_with(net: NetConfig) -> String {
+    run_with_replicas(net, 1)
+}
+
+/// Runs the sweep with `replicas` copies of every shard (the bin's
+/// `--replicas` flag). At 2, every write chains primary→backup before
+/// acking, so the table doubles as the replication tax measurement:
+/// the host-core saving must survive the extra fabric hop.
+pub fn run_with_replicas(net: NetConfig, replicas: usize) -> String {
     let mut table = Table::new(&[
         "servers",
         "clients",
@@ -64,8 +72,8 @@ pub fn run_with(net: NetConfig) -> String {
             KeyDist::Uniform { keys },
             KeyDist::Zipfian { keys, theta: 0.99 },
         ] {
-            let base = measure(servers, dist, false, net);
-            let off = measure(servers, dist, true, net);
+            let base = measure(servers, dist, false, net, replicas);
+            let off = measure(servers, dist, true, net, replicas);
             let saved = (base.host_cyc_per_req - off.host_cyc_per_req) * PROD_RATE / 3.0e9;
             table.row(vec![
                 format!("{servers}"),
@@ -80,11 +88,16 @@ pub fn run_with(net: NetConfig) -> String {
         }
     }
     format!(
-        "## Figure 10 (extension): cluster scale-out of DDS savings\n\
+        "## Figure 10 (extension): cluster scale-out of DDS savings{}\n\
          (target shape: aggregate goodput grows near-linearly with servers — \
          shared-nothing shards behind a consistent-hash router — while the \
          per-server host-core saving from DPU offload stays flat, so the \
          Fig. 9 headline multiplies across the fleet)\n\n{}",
+        if replicas > 1 {
+            format!(" ({replicas} replicas/shard, chained writes)")
+        } else {
+            String::new()
+        },
         table.render(),
     )
 }
@@ -97,7 +110,13 @@ struct Measurement {
     host_cyc_per_req: f64,
 }
 
-fn measure(servers: usize, dist: KeyDist, offload: bool, net: NetConfig) -> Measurement {
+fn measure(
+    servers: usize,
+    dist: KeyDist,
+    offload: bool,
+    net: NetConfig,
+    replicas: usize,
+) -> Measurement {
     let clients = servers * CLIENTS_PER_SERVER;
     let mut sim = Sim::new();
     let out = Rc::new(Cell::new(None));
@@ -107,6 +126,7 @@ fn measure(servers: usize, dist: KeyDist, offload: bool, net: NetConfig) -> Meas
             shards: servers,
             vnodes: 512,
             net,
+            replicas,
             dds: DdsConfig {
                 offload_enabled: offload,
                 // Room for the whole per-shard key share (~KEYS each
@@ -137,7 +157,7 @@ fn measure(servers: usize, dist: KeyDist, offload: bool, net: NetConfig) -> Meas
         }
         let report = run_fleet(&client, cfg).await;
         if std::env::var("FIG10_DEBUG").is_ok() {
-            for (i, node) in cluster.nodes.iter().enumerate() {
+            for (i, node) in cluster.primaries().iter().enumerate() {
                 eprintln!(
                     "  shard{i}: dpu={} host={} client_retries={} timeouts={}",
                     node.served_dpu.get(),
@@ -168,8 +188,14 @@ mod tests {
 
     #[test]
     fn aggregate_goodput_scales_near_linearly() {
-        let one = measure(1, KeyDist::Uniform { keys: KEYS }, true, NetConfig::default());
-        let four = measure(4, KeyDist::Uniform { keys: KEYS * 4 }, true, NetConfig::default());
+        let one = measure(1, KeyDist::Uniform { keys: KEYS }, true, NetConfig::default(), 1);
+        let four = measure(
+            4,
+            KeyDist::Uniform { keys: KEYS * 4 },
+            true,
+            NetConfig::default(),
+            1,
+        );
         assert!(
             four.agg_mops > 2.5 * one.agg_mops,
             "4 shared-nothing servers should near-quadruple goodput: \
@@ -188,8 +214,8 @@ mod tests {
                 theta: 0.99,
             },
         ] {
-            let base = measure(2, dist, false, NetConfig::default());
-            let off = measure(2, dist, true, NetConfig::default());
+            let base = measure(2, dist, false, NetConfig::default(), 1);
+            let off = measure(2, dist, true, NetConfig::default(), 1);
             assert!(
                 off.host_cyc_per_req * 2.0 < base.host_cyc_per_req,
                 "{}: offload should at least halve host cycles/req \
@@ -199,5 +225,33 @@ mod tests {
                 off.host_cyc_per_req
             );
         }
+    }
+
+    #[test]
+    fn replication_tax_does_not_erase_the_offload_win() {
+        // Chained writes serialize on the primary's chain gate (apply
+        // order must match on the backup), so a closed-loop fleet goes
+        // write-bound and pays roughly 2× on its update share — the
+        // bound here guards against the tax compounding beyond the
+        // chain's inherent cost. The host-cycle saving from offload
+        // must survive the extra hop outright.
+        let dist = KeyDist::Uniform { keys: KEYS * 2 };
+        let solo = measure(2, dist, true, NetConfig::default(), 1);
+        let repl = measure(2, dist, true, NetConfig::default(), 2);
+        assert!(
+            repl.agg_mops > 0.33 * solo.agg_mops,
+            "replication should cost the chain serialization, not more: \
+             1 replica {:.3} Mops, 2 replicas {:.3} Mops",
+            solo.agg_mops,
+            repl.agg_mops
+        );
+        let base = measure(2, dist, false, NetConfig::default(), 2);
+        assert!(
+            repl.host_cyc_per_req * 2.0 < base.host_cyc_per_req,
+            "offload must still at least halve host cycles/req under replication \
+             (baseline {:.0}, offloaded {:.0})",
+            base.host_cyc_per_req,
+            repl.host_cyc_per_req
+        );
     }
 }

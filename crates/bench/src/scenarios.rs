@@ -46,6 +46,7 @@ pub fn all() -> Vec<(&'static str, ScenarioFn)> {
         ("cluster_fleet", cluster_fleet),
         ("cluster_fabric", cluster_fabric),
         ("net_scenarios", net_scenarios),
+        ("cluster_failover", cluster_failover),
     ]
 }
 
@@ -316,7 +317,7 @@ pub fn cluster_fleet(seed: u64) -> ScenarioRun {
             preload(&client, &cfg).await;
             let report = run_fleet(&client, cfg).await;
             let shards = cluster
-                .nodes
+                .primaries()
                 .iter()
                 .enumerate()
                 .map(|(i, node)| {
@@ -436,6 +437,121 @@ pub fn net_scenarios(seed: u64) -> ScenarioRun {
                 );
             }
         }
+    })
+}
+
+/// Scenario 7 — a replicated cluster surviving a scripted primary kill
+/// and a live shard add under fleet load: 4 shards × 2 replicas serve a
+/// zipfian fleet while the fault plan freezes shard 1's primary for
+/// 80ms of virtual time; the clients' failure detector must promote the
+/// backup (epoch-fenced, so the thawed zombie is rejected), a
+/// mid-window `add_shard` must drain its share of keys onto a fifth
+/// shard without making any key unreadable, and the end-of-run replica
+/// digests must match on every group's surviving members — the strict
+/// check session fails the scenario otherwise.
+pub fn cluster_failover(seed: u64) -> ScenarioRun {
+    use dpdpu_dds::cluster::{ClusterConfig, DdsCluster};
+
+    use crate::fleet::{preload, run_fleet, FleetConfig, KeyDist, Mix};
+
+    harness(|stdout| {
+        // Window opens after the (deterministic-length) preload and
+        // spans most of the fleet run: long enough for the detector's
+        // consecutive-failure threshold, closed before quiesce so the
+        // zombie gets to wake up fenced.
+        let guard =
+            SessionGuard::new(FaultPlan::new(seed).shard_crash("node1", 16_000_000, 96_000_000));
+        let out = Rc::new(RefCell::new(None::<(String, String, String, usize)>));
+        let out2 = out.clone();
+        let cluster_slot = Rc::new(RefCell::new(None::<Rc<dpdpu_dds::cluster::DdsCluster>>));
+        let slot = cluster_slot.clone();
+        let mut sim = Sim::new();
+        sim.spawn(async move {
+            let cluster = DdsCluster::build(ClusterConfig {
+                shards: 4,
+                replicas: 2,
+                ..ClusterConfig::default()
+            })
+            .await;
+            *slot.borrow_mut() = Some(cluster.clone());
+            let client = cluster.connect(CpuPool::new("fleet", 32, 3_000_000_000));
+            let cfg = FleetConfig {
+                clients: 6,
+                ops_per_client: 48,
+                pipeline: 4,
+                // Open-loop gap stretches the fleet past the crash
+                // window's opening so the kill lands mid-traffic.
+                gap_ns: 500_000,
+                dist: KeyDist::Zipfian {
+                    keys: 48,
+                    theta: 0.99,
+                },
+                mix: Mix {
+                    read_pct: 70,
+                    update_pct: 25,
+                    scan_pct: 5,
+                },
+                value_bytes: 128,
+                scan_len: 4,
+                seed,
+                ..FleetConfig::default()
+            };
+            preload(&client, &cfg).await;
+            // Scripted resharding: kicks off inside the crash window,
+            // while the fleet is still hammering the ring.
+            let resharding = {
+                let client = client.clone();
+                dpdpu_des::spawn(async move {
+                    dpdpu_des::sleep(20_000_000).await;
+                    client
+                        .add_shard()
+                        .await
+                        .expect("shard add must ride out the crash window")
+                })
+            };
+            let report = run_fleet(&client, cfg).await;
+            let new_shard = resharding.await;
+            let repl = (0..cluster.shards())
+                .map(|g| {
+                    let ctl = cluster.ctl(g).expect("every group is replicated");
+                    format!(
+                        "node{g}:primary={} epoch={} promotions={}",
+                        ctl.primary(),
+                        ctl.epoch(),
+                        ctl.promotions.get()
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            let shards = cluster
+                .primaries()
+                .iter()
+                .enumerate()
+                .map(|(i, node)| {
+                    format!(
+                        "node{i}:{}+{}",
+                        node.served_dpu.get(),
+                        node.served_host.get()
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            *out2.borrow_mut() = Some((report.summary(), repl, shards, new_shard));
+        });
+        sim.run();
+        let (summary, repl, shards, new_shard) = out.borrow_mut().take().unwrap();
+        let injected = guard.session.report().total();
+        // Replica digests feed the check session's finish sweep; the
+        // harness's CheckGuard fails the scenario on any divergence.
+        cluster_slot
+            .borrow()
+            .as_ref()
+            .expect("cluster must escape the sim")
+            .verify_replicas();
+        let _ = writeln!(stdout, "## scenario cluster_failover (seed {seed})");
+        let _ = writeln!(stdout, "{summary} injected={injected} grown_shard={new_shard}");
+        let _ = writeln!(stdout, "replication: {repl}");
+        let _ = writeln!(stdout, "served dpu+host per shard: {shards}");
     })
 }
 

@@ -32,6 +32,8 @@
 //! | [`Invariant::FaultHygiene`] | an injected fault neither retried, degraded, nor surfaced |
 //! | [`Invariant::ClusterConservation`] | cluster ops issued ≠ completed + failed/shed per shard |
 //! | [`Invariant::FabricConservation`] | fabric messages delivered ≠ sent, or credit debt above the advertised window |
+//! | [`Invariant::EpochFencing`] | a replica-group epoch that fails to strictly increase, or a write acked at an epoch below the group's fence |
+//! | [`Invariant::ReplicaDivergence`] | live replicas of one group whose KV digests disagree at end of run |
 //!
 //! ## Modes
 //!
@@ -88,6 +90,14 @@ pub enum Invariant {
     /// debt (consumed − returned) never exceeds the advertised window —
     /// i.e. the sender can never overrun the receiver's posted buffers.
     FabricConservation,
+    /// Replica-group epochs are fenced: every epoch transition
+    /// (promotion or solo grant) strictly increases the group epoch,
+    /// and no write is ever acked at an epoch below the group's current
+    /// maximum — a resurrected stale primary cannot commit.
+    EpochFencing,
+    /// Non-deposed replicas of one group hold identical live KV state
+    /// (entry count, value bytes, and content checksum) at end of run.
+    ReplicaDivergence,
 }
 
 impl Invariant {
@@ -106,6 +116,8 @@ impl Invariant {
             Invariant::FaultHygiene => "fault-hygiene",
             Invariant::ClusterConservation => "cluster-conservation",
             Invariant::FabricConservation => "fabric-conservation",
+            Invariant::EpochFencing => "epoch-fencing",
+            Invariant::ReplicaDivergence => "replica-divergence",
         }
     }
 }
@@ -172,6 +184,20 @@ struct FabricStat {
     credits_returned: u64,
 }
 
+/// Epoch and digest accounting for one replica group.
+#[derive(Default)]
+struct ReplGroupStat {
+    /// Highest epoch seen for the group (transitions and acks).
+    max_epoch: u64,
+    /// Epoch transitions recorded (promotions and solo grants).
+    transitions: u64,
+    /// Writes acked through the replication protocol.
+    acked: u64,
+    /// `(replica, entries, bytes, checksum)` digests reported at
+    /// quiesce for the end-of-run divergence sweep.
+    digests: Vec<(usize, u64, u64, u64)>,
+}
+
 /// Fault-hygiene categories with a handling obligation. The other
 /// categories (delays, slow I/O, stalls, overload windows) only stretch
 /// completion time and need no recovery action.
@@ -189,6 +215,7 @@ pub struct CheckSession {
     pcie: RefCell<BTreeMap<String, FlowStat>>,
     cluster: RefCell<BTreeMap<String, FlowStat>>,
     fabric: RefCell<BTreeMap<String, FabricStat>>,
+    repl: RefCell<BTreeMap<usize, ReplGroupStat>>,
     kernels_checked: Cell<u64>,
     faults_injected: RefCell<BTreeMap<String, u64>>,
     faults_handled: RefCell<BTreeMap<(String, &'static str), u64>>,
@@ -211,6 +238,7 @@ impl CheckSession {
             pcie: RefCell::new(BTreeMap::new()),
             cluster: RefCell::new(BTreeMap::new()),
             fabric: RefCell::new(BTreeMap::new()),
+            repl: RefCell::new(BTreeMap::new()),
             kernels_checked: Cell::new(0),
             faults_injected: RefCell::new(BTreeMap::new()),
             faults_handled: RefCell::new(BTreeMap::new()),
@@ -429,6 +457,26 @@ impl CheckSession {
                 ));
             }
         }
+        for (group, stat) in self.repl.borrow().iter() {
+            // Non-deposed replicas of one group must agree on live KV
+            // state. Digests are reported by the cluster after quiesce
+            // (deposed replicas excluded — they are fenced out forever
+            // and legitimately diverge).
+            if let Some((first_replica, e0, b0, c0)) = stat.digests.first().copied() {
+                for &(replica, e, b, c) in &stat.digests[1..] {
+                    if (e, b, c) != (e0, b0, c0) {
+                        pending.push((
+                            Invariant::ReplicaDivergence,
+                            format!(
+                                "group {group}: replica {replica} digest \
+                                 ({e} entries/{b} B/chk {c:#x}) diverges from replica \
+                                 {first_replica} ({e0} entries/{b0} B/chk {c0:#x})"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
         {
             let injected = self.faults_injected.borrow();
             let handled = self.faults_handled.borrow();
@@ -507,6 +555,18 @@ impl CheckSession {
                 " fabric_sites={} fabric_msgs={fabric_msgs} fabric_bytes={fabric_bytes} \
                  fabric_credit_debt={outstanding}",
                 fabric.len(),
+            );
+        }
+        // Replication accounting only appears when a replicated cluster
+        // ran, so unreplicated goldens are untouched.
+        let repl = self.repl.borrow();
+        let repl_acked: u64 = repl.values().map(|g| g.acked).sum();
+        let repl_transitions: u64 = repl.values().map(|g| g.transitions).sum();
+        if repl_acked + repl_transitions > 0 {
+            let _ = write!(
+                out,
+                " repl_groups={} repl_acked={repl_acked} repl_epoch_transitions={repl_transitions}",
+                repl.len(),
             );
         }
         out
@@ -887,6 +947,77 @@ pub fn fabric_credit_returned(site: &str, n: u64) {
         if let Some(msg) = over {
             s.violate(Invariant::FabricConservation, msg);
         }
+    });
+}
+
+/// A replica group's epoch advanced to `epoch` (a failover promotion
+/// or a solo-commit grant). Flags immediately unless strictly above
+/// every epoch previously seen for the group.
+pub fn repl_epoch_advanced(group: usize, epoch: u64) {
+    with_session(|s| {
+        let mut stale = None;
+        {
+            let mut map = s.repl.borrow_mut();
+            let g = map.entry(group).or_default();
+            g.transitions += 1;
+            if epoch <= g.max_epoch {
+                stale = Some(format!(
+                    "group {group}: epoch advanced to {epoch}, not above the \
+                     group maximum {}",
+                    g.max_epoch
+                ));
+            } else {
+                g.max_epoch = epoch;
+            }
+        }
+        if let Some(msg) = stale {
+            s.violate(Invariant::EpochFencing, msg);
+        }
+        s.note_now();
+    });
+}
+
+/// A write committed through the replication protocol at `epoch`
+/// (recorded at the commit point: the backup's chain apply, or the
+/// primary's solo commit). Flags immediately when `epoch` is below the
+/// group's fence — a resurrected stale primary acking a write the
+/// surviving chain does not hold.
+pub fn repl_write_acked(group: usize, epoch: u64) {
+    with_session(|s| {
+        let mut stale = None;
+        {
+            let mut map = s.repl.borrow_mut();
+            let g = map.entry(group).or_default();
+            g.acked += 1;
+            if epoch < g.max_epoch {
+                stale = Some(format!(
+                    "group {group}: write acked at stale epoch {epoch}, group \
+                     fence is {}",
+                    g.max_epoch
+                ));
+            } else {
+                g.max_epoch = g.max_epoch.max(epoch);
+            }
+        }
+        if let Some(msg) = stale {
+            s.violate(Invariant::EpochFencing, msg);
+        }
+        s.note_now();
+    });
+}
+
+/// A live replica's end-of-run KV digest: `entries` live records,
+/// `bytes` of live values, and a content `checksum`. Digests of one
+/// group are compared in the finish sweep; report only non-deposed
+/// replicas (deposed ones are fenced out and legitimately diverge).
+pub fn replica_digest(group: usize, replica: usize, entries: u64, bytes: u64, checksum: u64) {
+    with_session(|s| {
+        s.repl
+            .borrow_mut()
+            .entry(group)
+            .or_default()
+            .digests
+            .push((replica, entries, bytes, checksum));
     });
 }
 

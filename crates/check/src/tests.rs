@@ -338,3 +338,77 @@ fn report_gains_fabric_segment_only_with_fabric_traffic() {
         assert!(r.contains("fabric_credit_debt=0"), "{r}");
     });
 }
+
+#[test]
+fn epoch_fencing_catches_non_monotonic_transition() {
+    let (_, v) = collecting(|_| {
+        repl_epoch_advanced(0, 2);
+        repl_epoch_advanced(0, 2); // replayed transition: not above the max
+    });
+    assert!(has(&v, Invariant::EpochFencing), "{v:?}");
+}
+
+#[test]
+fn epoch_fencing_catches_resurrected_stale_primary() {
+    let (_, v) = collecting(|_| {
+        repl_epoch_advanced(0, 2); // failover promoted the backup
+        repl_write_acked(0, 2); // the new primary acks at the new epoch
+        repl_write_acked(0, 1); // a zombie old primary acks at epoch 1
+    });
+    assert!(has(&v, Invariant::EpochFencing), "{v:?}");
+}
+
+#[test]
+fn epoch_fencing_allows_monotonic_history() {
+    let (_, v) = collecting(|_| {
+        repl_write_acked(0, 1);
+        repl_epoch_advanced(0, 2);
+        repl_write_acked(0, 2);
+        // Groups fence independently: group 1 reusing epoch 2 is fine.
+        repl_epoch_advanced(1, 2);
+        repl_write_acked(1, 2);
+    });
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn replica_divergence_catches_planted_desync() {
+    let (_, v) = collecting(|_| {
+        replica_digest(0, 0, 10, 640, 0xAB);
+        replica_digest(0, 1, 10, 640, 0xCD); // same sizes, different content
+    });
+    assert!(has(&v, Invariant::ReplicaDivergence), "{v:?}");
+}
+
+#[test]
+fn replica_divergence_catches_missing_entries() {
+    let (_, v) = collecting(|_| {
+        replica_digest(2, 0, 10, 640, 0xAB);
+        replica_digest(2, 1, 9, 580, 0x99); // backup lost a write
+    });
+    assert!(has(&v, Invariant::ReplicaDivergence), "{v:?}");
+}
+
+#[test]
+fn replica_divergence_allows_converged_groups() {
+    let (_, v) = collecting(|_| {
+        replica_digest(0, 0, 10, 640, 0xAB);
+        replica_digest(0, 1, 10, 640, 0xAB);
+        replica_digest(1, 0, 3, 99, 0x1); // solo survivor: nothing to compare
+    });
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn report_gains_repl_segment_only_with_replication_traffic() {
+    let (_, _) = collecting(|s| {
+        assert!(!s.report().contains("repl_"), "{}", s.report());
+        repl_write_acked(0, 1);
+        repl_epoch_advanced(0, 2);
+        repl_write_acked(1, 1);
+        let r = s.report();
+        assert!(r.contains("repl_groups=2"), "{r}");
+        assert!(r.contains("repl_acked=2"), "{r}");
+        assert!(r.contains("repl_epoch_transitions=1"), "{r}");
+    });
+}

@@ -1,5 +1,5 @@
-//! Sharded DDS cluster: a consistent-hash router over N independent
-//! storage servers, each a full DPU platform.
+//! Sharded DDS cluster: a consistent-hash router over N replica
+//! groups, each a full DPU platform (or two, when replicated).
 //!
 //! The paper measures a *single* DDS server (Figure 9). Production
 //! disaggregated storage runs fleets of them: keys are partitioned
@@ -10,20 +10,29 @@
 //!
 //! * [`HashRing`] — a virtual-node consistent-hash ring. Adding or
 //!   removing a shard moves only ~`1/N` of the key space.
-//! * [`DdsCluster`] — N [`Dds`] servers on [`Platform::new_tagged`]
-//!   platforms (`node0`, `node1`, …), so every CPU pool, PCIe link and
-//!   SSD is a distinct, separately-metered resource.
+//! * [`DdsCluster`] — N replica groups of [`Dds`] servers on
+//!   [`Platform::new_tagged`] platforms (`node0`, `node1`, …, backups
+//!   `node0r1`, …), so every CPU pool, PCIe link and SSD is a distinct,
+//!   separately-metered resource. With [`ClusterConfig::replicas`]` =
+//!   2` each group chains writes primary→backup over the cluster
+//!   fabric before acking ([`crate::replication`]).
 //! * [`ClusterClient`] — a client endpoint with one fabric connection
-//!   per shard ([`FabricKind::Tcp`] by default; RDMA and DPU-issued
-//!   RDMA via [`ClusterConfig::net`]), key routing, and per-shard
-//!   admission control: when a shard's in-flight window is full the
-//!   request is *shed* immediately ([`DpdpuError::Unavailable`])
-//!   instead of queueing without bound.
+//!   per replica ([`FabricKind::Tcp`] by default; RDMA and DPU-issued
+//!   RDMA via [`ClusterConfig::net`]), key routing, per-shard
+//!   admission control (overflow is *shed* with
+//!   [`DpdpuError::Unavailable`]), and a failure detector that
+//!   promotes a group's backup when its primary stops answering.
+//!
+//! Membership changes are online: [`ClusterClient::add_shard`] /
+//! [`ClusterClient::remove_shard`] migrate keys along the ring while
+//! traffic continues, with dual-read fallbacks keeping every key
+//! readable at every intermediate step.
 //!
 //! Every request is accounted to the conformance layer
 //! ([`dpdpu_check::cluster_op_issued`] / `_ok` / `_failed`): issued ==
 //! completed + failed-or-shed per shard, end of run, or the run fails.
 
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -31,10 +40,34 @@ use bytes::Bytes;
 use dpdpu_core::DpdpuError;
 use dpdpu_des::{Counter, Semaphore};
 use dpdpu_hw::{CpuPool, DpuSpec, HostSpec, PcieLink, Platform};
-use dpdpu_net::fabric::{Endpoint, FabricKind};
+use dpdpu_net::fabric::{Endpoint, FabricKind, Transport};
 use dpdpu_net::NetConfig;
 
+use crate::proto::RetryPolicy;
+use crate::replication::{ReplGroupCtl, ReplRole};
 use crate::server::{Dds, DdsClient, DdsConfig};
+
+/// Consecutive transport-level failures against one primary before the
+/// client asks the control plane to fail over to the backup.
+const FAILOVER_THRESHOLD: u32 = 2;
+/// Attempts per migration step before the migration aborts; paired
+/// with [`MIGRATION_BACKOFF_NS`] this rides out any crash window the
+/// chaos plans inject.
+const MIGRATION_ATTEMPTS: u32 = 64;
+/// Backoff between migration-step retries.
+const MIGRATION_BACKOFF_NS: u64 = 2_000_000;
+
+/// Retry policy for the primary→backup chain link: fail fast so an
+/// unreachable backup converts into a solo grant (or a client-driven
+/// failover) within a few milliseconds instead of stalling writes for
+/// the client policy's full deadline.
+const CHAIN_POLICY: RetryPolicy = RetryPolicy {
+    max_attempts: 2,
+    request_timeout_ns: 1_000_000,
+    base_backoff_ns: 100_000,
+    max_backoff_ns: 400_000,
+    deadline_ns: 4_000_000,
+};
 
 /// 64-bit finalizer (splitmix64): uncorrelates adjacent keys before
 /// they land on the ring.
@@ -118,8 +151,11 @@ impl HashRing {
 /// Cluster construction parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct ClusterConfig {
-    /// Number of storage servers.
+    /// Number of storage shards (replica groups).
     pub shards: usize,
+    /// Replicas per shard: 1 = unreplicated (exactly the old
+    /// behavior), 2 = chained primary/backup with failover.
+    pub replicas: usize,
     /// Virtual nodes per shard on the hash ring.
     pub vnodes: usize,
     /// Per-server DDS configuration.
@@ -136,6 +172,7 @@ impl Default for ClusterConfig {
     fn default() -> Self {
         ClusterConfig {
             shards: 2,
+            replicas: 1,
             vnodes: 64,
             dds: DdsConfig::default(),
             admission: 64,
@@ -144,51 +181,196 @@ impl Default for ClusterConfig {
     }
 }
 
-/// N independent DDS servers on tagged platforms.
+/// One logical shard: its replica servers and (when replicated) the
+/// group's shared control plane.
+pub struct ReplicaGroup {
+    /// Replica servers; index 0 is the initial primary.
+    pub members: Vec<Rc<Dds>>,
+    /// Shared membership/epoch control (replicated groups only).
+    pub ctl: Option<Rc<ReplGroupCtl>>,
+    /// True once the shard has been migrated off the ring.
+    retired: Cell<bool>,
+}
+
+/// N replica groups of DDS servers on tagged platforms, plus the
+/// routing ring every connected client shares — so a membership change
+/// is visible fleet-wide at the instant it commits.
 pub struct DdsCluster {
-    /// The servers, index = shard id.
-    pub nodes: Vec<Rc<Dds>>,
+    groups: RefCell<Vec<Rc<ReplicaGroup>>>,
+    ring: RefCell<HashRing>,
+    /// The pre-migration ring, present while keys are in flight; reads
+    /// fall back to the old owner for not-yet-copied keys.
+    prev_ring: RefCell<Option<HashRing>>,
     config: ClusterConfig,
 }
 
 impl DdsCluster {
-    /// Builds `config.shards` servers, each on its own
-    /// `node{i}`-tagged BlueField-2 platform.
+    /// Builds `config.shards` replica groups, each server on its own
+    /// tagged BlueField-2 platform (`node{i}`, backups `node{i}r{j}`).
     pub async fn build(config: ClusterConfig) -> Rc<Self> {
         assert!(config.shards > 0, "cluster needs at least one shard");
-        let mut nodes = Vec::with_capacity(config.shards);
+        assert!(
+            (1..=2).contains(&config.replicas),
+            "chain replication supports 1 (off) or 2 replicas"
+        );
+        let mut groups = Vec::with_capacity(config.shards);
         for i in 0..config.shards {
-            let platform =
-                Platform::new_tagged(HostSpec::epyc(), DpuSpec::bluefield2(), &format!("node{i}"));
+            groups.push(Self::build_group(&config, i).await);
+        }
+        Rc::new(DdsCluster {
+            groups: RefCell::new(groups),
+            ring: RefCell::new(HashRing::new(config.shards, config.vnodes)),
+            prev_ring: RefCell::new(None),
+            config,
+        })
+    }
+
+    async fn build_group(config: &ClusterConfig, group: usize) -> Rc<ReplicaGroup> {
+        let mut members = Vec::with_capacity(config.replicas);
+        for r in 0..config.replicas {
+            let tag = if r == 0 {
+                format!("node{group}")
+            } else {
+                format!("node{group}r{r}")
+            };
+            let platform = Platform::new_tagged(HostSpec::epyc(), DpuSpec::bluefield2(), &tag);
             if let Some(t) = dpdpu_telemetry::Telemetry::current() {
                 platform.register_telemetry(&t);
             }
-            nodes.push(Dds::build(platform, config.dds).await);
+            members.push(Dds::build(platform, config.dds).await);
         }
-        Rc::new(DdsCluster { nodes, config })
+        let ctl = if config.replicas >= 2 {
+            let ctl = ReplGroupCtl::new(group, config.replicas);
+            for (r, dds) in members.iter().enumerate() {
+                dds.attach_replication(ReplRole::new(ctl.clone(), r));
+            }
+            // Chain link primary→backup over the cluster fabric. The
+            // backup serves the chain exactly like client traffic, so
+            // its crash windows gate replication automatically.
+            let transport = config.net.transport();
+            let ep = |dds: &Rc<Dds>| {
+                let p = dds.platform();
+                Endpoint::offloaded(
+                    p.host_cpu.clone(),
+                    p.dpu_cpu.clone(),
+                    p.host_dpu_pcie.clone(),
+                )
+            };
+            let (primary_conn, backup_conn) = transport.connect(
+                &ep(&members[0]),
+                &ep(&members[1]),
+                &format!("node{group}-repl"),
+            );
+            let (btx, brx) = backup_conn.split();
+            members[1].serve(brx, btx);
+            let (ptx, prx) = primary_conn.split();
+            let chain = DdsClient::new(ptx, prx);
+            chain.set_policy(CHAIN_POLICY);
+            *members[0].replication().expect("role attached").backup.borrow_mut() = Some(chain);
+            Some(ctl)
+        } else {
+            None
+        };
+        Rc::new(ReplicaGroup {
+            members,
+            ctl,
+            retired: Cell::new(false),
+        })
     }
 
-    /// Number of shards.
+    /// Builds one more replica group (servers plus replication chain)
+    /// and returns its shard id. The new shard owns no keys until a
+    /// migration moves some to it.
+    pub async fn grow(self: &Rc<Self>) -> usize {
+        let group = self.groups.borrow().len();
+        let g = Self::build_group(&self.config, group).await;
+        self.groups.borrow_mut().push(g);
+        group
+    }
+
+    /// Number of replica groups ever built (including retired ones).
     pub fn shards(&self) -> usize {
-        self.nodes.len()
+        self.groups.borrow().len()
     }
 
-    /// The platform backing shard `i`.
-    pub fn platform(&self, i: usize) -> &Rc<Platform> {
-        self.nodes[i].platform()
+    /// Replica group `i`.
+    pub fn group(&self, i: usize) -> Rc<ReplicaGroup> {
+        self.groups.borrow()[i].clone()
     }
 
-    /// Connects a client: one duplex fabric connection per shard
-    /// (server side terminated on each node's DPU), a shared hash ring,
-    /// and per-shard admission windows.
+    /// The initial-primary server of every group, in shard order —
+    /// per-shard service counters for experiments.
+    pub fn primaries(&self) -> Vec<Rc<Dds>> {
+        self.groups.borrow().iter().map(|g| g.members[0].clone()).collect()
+    }
+
+    /// The platform backing shard `i`'s initial primary.
+    pub fn platform(&self, i: usize) -> Rc<Platform> {
+        self.groups.borrow()[i].members[0].platform().clone()
+    }
+
+    /// Shard `i`'s replication control plane, when replicated.
+    pub fn ctl(&self, i: usize) -> Option<Rc<ReplGroupCtl>> {
+        self.groups.borrow()[i].ctl.clone()
+    }
+
+    /// A snapshot of the current routing ring.
+    pub fn ring(&self) -> HashRing {
+        self.ring.borrow().clone()
+    }
+
+    /// The shard currently owning `key`.
+    pub fn shard_for(&self, key: u64) -> usize {
+        self.ring.borrow().shard_for(key)
+    }
+
+    /// The shard that owned `key` before the in-flight migration, if
+    /// one is running.
+    pub fn prev_shard_for(&self, key: u64) -> Option<usize> {
+        self.prev_ring.borrow().as_ref().map(|r| r.shard_for(key))
+    }
+
+    /// True while a migration is moving keys between shards.
+    pub fn migrating(&self) -> bool {
+        self.prev_ring.borrow().is_some()
+    }
+
+    fn begin_migration(&self, new_ring: HashRing) {
+        assert!(!self.migrating(), "one migration at a time");
+        let old = self.ring.borrow().clone();
+        *self.prev_ring.borrow_mut() = Some(old);
+        *self.ring.borrow_mut() = new_ring;
+    }
+
+    fn end_migration(&self) {
+        *self.prev_ring.borrow_mut() = None;
+    }
+
+    /// Feeds every live replica's KV digest to the conformance layer.
+    /// Call once the workload quiesces: [`dpdpu_check`] fails the run
+    /// if any group's surviving replicas diverge.
+    pub fn verify_replicas(&self) {
+        for (gi, group) in self.groups.borrow().iter().enumerate() {
+            let Some(ctl) = &group.ctl else { continue };
+            for (r, dds) in group.members.iter().enumerate() {
+                if ctl.is_deposed(r) {
+                    continue;
+                }
+                let (entries, bytes, checksum) = dds.kv.digest();
+                dpdpu_check::replica_digest(gi, r, entries, bytes, checksum);
+            }
+        }
+    }
+
+    /// Connects a client: one duplex fabric connection per replica
+    /// (server side terminated on each node's DPU), the shared hash
+    /// ring, and per-shard admission windows.
     ///
     /// With [`FabricKind::RdmaOffload`] the client also gets NE rings:
     /// a client-side DPU (same BlueField-2 part as the servers) is
     /// created to poll them and issue the verbs, so `client_cpu` pays
     /// only ring enqueues and completion polls.
     pub fn connect(self: &Rc<Self>, client_cpu: Rc<CpuPool>) -> Rc<ClusterClient> {
-        let ring = HashRing::new(self.shards(), self.config.vnodes);
-        let transport = self.config.net.transport();
         let client_ep = match self.config.net.fabric {
             FabricKind::RdmaOffload => {
                 let spec = DpuSpec::bluefield2();
@@ -207,100 +389,151 @@ impl DdsCluster {
             }
             _ => Endpoint::host(client_cpu.clone()),
         };
-        let mut conns = Vec::with_capacity(self.shards());
-        for (i, dds) in self.nodes.iter().enumerate() {
-            let platform = dds.platform();
-            let server_ep = Endpoint::offloaded(
-                platform.host_cpu.clone(),
-                platform.dpu_cpu.clone(),
-                platform.host_dpu_pcie.clone(),
-            );
-            let label = format!("node{i}");
-            let (client_conn, server_conn) = transport.connect(
-                &client_ep,
-                &server_ep,
-                &format!("{}-{label}", client_cpu.name()),
-            );
-            let (server_tx, server_rx) = server_conn.split();
-            dds.serve(server_rx, server_tx);
-            let (client_tx, client_rx) = client_conn.split();
-            conns.push(ShardConn {
-                admission: Semaphore::new_labeled(
-                    &format!("{label}.admission"),
-                    self.config.admission,
-                ),
-                client: DdsClient::new(client_tx, client_rx),
-                shed: Counter::new(),
-                label,
-            });
-        }
-        Rc::new(ClusterClient { ring, conns })
+        let client = Rc::new(ClusterClient {
+            cluster: self.clone(),
+            name: client_cpu.name().to_string(),
+            client_ep,
+            transport: self.config.net.transport(),
+            admission: self.config.admission,
+            conns: RefCell::new(Vec::new()),
+        });
+        client.ensure_conns();
+        client
     }
 }
 
-/// One client's connection to one shard.
-struct ShardConn {
+/// One client's connections to one replica group.
+struct GroupConn {
     label: String,
-    client: Rc<DdsClient>,
+    /// One connection per replica; ops route to the current primary.
+    clients: Vec<Rc<DdsClient>>,
     admission: Semaphore,
     shed: Counter,
+    /// Consecutive transport-level failures against `streak_primary`.
+    streak: Cell<u32>,
+    streak_primary: Cell<usize>,
 }
 
-/// A sharded client endpoint: key routing, per-shard connections, and
-/// admission control.
+/// A sharded client endpoint: key routing, per-replica connections,
+/// admission control, failure-detector-driven failover, and online
+/// shard add/remove.
 pub struct ClusterClient {
-    ring: HashRing,
-    conns: Vec<ShardConn>,
+    cluster: Rc<DdsCluster>,
+    name: String,
+    client_ep: Endpoint,
+    transport: Rc<dyn Transport>,
+    admission: usize,
+    conns: RefCell<Vec<Rc<GroupConn>>>,
 }
 
 impl ClusterClient {
-    /// The shard that owns `key`.
+    /// The cluster this client is connected to.
+    pub fn cluster(&self) -> &Rc<DdsCluster> {
+        &self.cluster
+    }
+
+    /// The shard that currently owns `key`.
     pub fn shard_for(&self, key: u64) -> usize {
-        self.ring.shard_for(key)
+        self.cluster.shard_for(key)
     }
 
     /// Requests shed by shard `i`'s admission control so far.
     pub fn shed(&self, i: usize) -> u64 {
-        self.conns[i].shed.get()
+        self.conns.borrow()[i].shed.get()
     }
 
     /// Total requests shed across all shards.
     pub fn total_shed(&self) -> u64 {
-        self.conns.iter().map(|c| c.shed.get()).sum()
+        self.conns.borrow().iter().map(|c| c.shed.get()).sum()
     }
 
-    /// The raw per-shard client (for pipelined workloads that manage
-    /// their own batching on top of routing).
-    pub fn shard_client(&self, i: usize) -> &Rc<DdsClient> {
-        &self.conns[i].client
+    /// The raw client to shard `i`'s current primary (for pipelined
+    /// workloads that manage their own batching on top of routing).
+    pub fn shard_client(&self, i: usize) -> Rc<DdsClient> {
+        let primary = self.cluster.ctl(i).map(|c| c.primary()).unwrap_or(0);
+        self.conns.borrow()[i].clients[primary].clone()
     }
 
-    /// Runs `op` against shard `shard` under admission control and
-    /// conservation accounting. `bytes` is the request's payload size.
-    async fn with_admission<T, F, Fut>(
+    /// Opens connections to any groups added since the last call.
+    fn ensure_conns(&self) {
+        let groups: Vec<Rc<ReplicaGroup>> = self.cluster.groups.borrow().clone();
+        let mut conns = self.conns.borrow_mut();
+        for gi in conns.len()..groups.len() {
+            let label = format!("node{gi}");
+            let clients = groups[gi]
+                .members
+                .iter()
+                .enumerate()
+                .map(|(r, dds)| {
+                    let p = dds.platform();
+                    let server_ep = Endpoint::offloaded(
+                        p.host_cpu.clone(),
+                        p.dpu_cpu.clone(),
+                        p.host_dpu_pcie.clone(),
+                    );
+                    let suffix = if r == 0 { String::new() } else { format!("r{r}") };
+                    let (client_conn, server_conn) = self.transport.connect(
+                        &self.client_ep,
+                        &server_ep,
+                        &format!("{}-{label}{suffix}", self.name),
+                    );
+                    let (stx, srx) = server_conn.split();
+                    dds.serve(srx, stx);
+                    let (ctx, crx) = client_conn.split();
+                    DdsClient::new(ctx, crx)
+                })
+                .collect();
+            conns.push(Rc::new(GroupConn {
+                admission: Semaphore::new_labeled(&format!("{label}.admission"), self.admission),
+                label,
+                clients,
+                shed: Counter::new(),
+                streak: Cell::new(0),
+                streak_primary: Cell::new(0),
+            }));
+        }
+    }
+
+    /// Runs `op` against group `group` under conservation accounting
+    /// and (when `admit`) admission control. Routes to the group's
+    /// current primary; a transport-dead primary trips the failure
+    /// detector and fails over to the backup, and a deposed server's
+    /// `StaleEpoch` answer re-routes to the new primary.
+    async fn call_group<T, F, Fut>(
         &self,
-        shard: usize,
+        group: usize,
         bytes: u64,
+        admit: bool,
         op: F,
     ) -> Result<T, DpdpuError>
     where
-        F: FnOnce(Rc<DdsClient>) -> Fut,
+        F: Fn(Rc<DdsClient>) -> Fut,
         Fut: std::future::Future<Output = Result<T, DpdpuError>>,
     {
-        let conn = &self.conns[shard];
+        self.ensure_conns();
+        let conn = self.conns.borrow()[group].clone();
         dpdpu_check::cluster_op_issued(&conn.label, bytes);
-        let Some(_permit) = conn.admission.try_acquire() else {
-            conn.shed.inc();
-            dpdpu_check::cluster_op_failed(&conn.label, bytes);
-            if let Some(c) = dpdpu_telemetry::counter("cluster_shed", &[("shard", &conn.label)]) {
-                c.inc();
+        let _permit = if admit {
+            match conn.admission.try_acquire() {
+                Some(p) => Some(p),
+                None => {
+                    conn.shed.inc();
+                    dpdpu_check::cluster_op_failed(&conn.label, bytes);
+                    if let Some(c) =
+                        dpdpu_telemetry::counter("cluster_shed", &[("shard", &conn.label)])
+                    {
+                        c.inc();
+                    }
+                    return Err(DpdpuError::Unavailable("shard admission window"));
+                }
             }
-            return Err(DpdpuError::Unavailable("shard admission window"));
+        } else {
+            None
         };
         if let Some(c) = dpdpu_telemetry::counter("cluster_requests", &[("shard", &conn.label)]) {
             c.inc();
         }
-        let result = op(conn.client.clone()).await;
+        let result = self.routed_call(&conn, group, &op).await;
         match &result {
             Ok(_) => dpdpu_check::cluster_op_ok(&conn.label, bytes),
             Err(_) => dpdpu_check::cluster_op_failed(&conn.label, bytes),
@@ -308,45 +541,240 @@ impl ClusterClient {
         result
     }
 
-    /// Routed KV get.
-    pub async fn kv_get(&self, key: u64) -> Result<Option<Bytes>, DpdpuError> {
-        let shard = self.shard_for(key);
-        self.with_admission(shard, 8, |c| async move { c.kv_get(key).await })
-            .await
+    async fn routed_call<T, F, Fut>(
+        &self,
+        conn: &Rc<GroupConn>,
+        group: usize,
+        op: &F,
+    ) -> Result<T, DpdpuError>
+    where
+        F: Fn(Rc<DdsClient>) -> Fut,
+        Fut: std::future::Future<Output = Result<T, DpdpuError>>,
+    {
+        let ctl = self.cluster.ctl(group);
+        let mut rerouted = false;
+        loop {
+            let primary = ctl.as_ref().map(|c| c.primary()).unwrap_or(0);
+            let client = conn.clients[primary].clone();
+            match op(client).await {
+                Ok(v) => {
+                    conn.streak.set(0);
+                    return Ok(v);
+                }
+                Err(DpdpuError::Unavailable("stale epoch")) if !rerouted => {
+                    // A deposed server answered: another client already
+                    // failed the group over. Re-route to the current
+                    // primary once.
+                    rerouted = true;
+                }
+                Err(
+                    e @ (DpdpuError::Timeout { .. }
+                    | DpdpuError::RetriesExhausted { .. }
+                    | DpdpuError::ConnectionClosed),
+                ) => {
+                    let Some(ctl) = &ctl else { return Err(e) };
+                    if conn.streak_primary.get() != primary {
+                        conn.streak_primary.set(primary);
+                        conn.streak.set(0);
+                    }
+                    conn.streak.set(conn.streak.get() + 1);
+                    if conn.streak.get() >= FAILOVER_THRESHOLD
+                        && !rerouted
+                        && ctl.primary() == primary
+                        && ctl.promote().is_some()
+                    {
+                        if let Some(c) =
+                            dpdpu_telemetry::counter("cluster_failovers", &[("shard", &conn.label)])
+                        {
+                            c.inc();
+                        }
+                        conn.streak.set(0);
+                        rerouted = true;
+                        continue;
+                    }
+                    return Err(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
-    /// Routed KV put.
+    /// Routed KV get. During a migration the key may sit on its old
+    /// owner (not yet copied) or land on the new owner between probes,
+    /// so a miss falls back through both rings before declaring the
+    /// key absent — no key is ever unreadable mid-migration.
+    pub async fn kv_get(&self, key: u64) -> Result<Option<Bytes>, DpdpuError> {
+        let migrating0 = self.cluster.migrating();
+        let first = self.cluster.shard_for(key);
+        let hit = self
+            .call_group(first, 8, true, |c| async move { c.kv_get(key).await })
+            .await?;
+        if hit.is_some() {
+            return Ok(hit);
+        }
+        if let Some(prev) = self.cluster.prev_shard_for(key) {
+            if prev != first {
+                let hit = self
+                    .call_group(prev, 8, true, |c| async move { c.kv_get(key).await })
+                    .await?;
+                if hit.is_some() {
+                    return Ok(hit);
+                }
+            }
+        }
+        // The copy/drop can race between the probes above; the ring's
+        // current owner is authoritative once the old owner misses.
+        let cur = self.cluster.shard_for(key);
+        if migrating0 || self.cluster.migrating() || cur != first {
+            return self
+                .call_group(cur, 8, true, |c| async move { c.kv_get(key).await })
+                .await;
+        }
+        Ok(None)
+    }
+
+    /// Routed KV put. Writes always go to the ring's *current* owner,
+    /// so a migration never loses a concurrent write: the copy path is
+    /// put-if-absent and cannot clobber it.
     pub async fn kv_put(&self, key: u64, value: Bytes) -> Result<(), DpdpuError> {
-        let shard = self.shard_for(key);
+        let shard = self.cluster.shard_for(key);
         let bytes = 8 + value.len() as u64;
-        self.with_admission(shard, bytes, |c| async move { c.kv_put(key, value).await })
-            .await
+        self.call_group(shard, bytes, true, |c| {
+            let value = value.clone();
+            async move { c.kv_put(key, value).await }
+        })
+        .await
     }
 
     /// Cluster-wide range scan: the range's keys are scattered across
-    /// shards by the hash partitioning, so every shard is queried and
-    /// the results merged in key order.
+    /// shards by the hash partitioning, so every live shard is queried
+    /// and the results merged in key order. Under membership churn a
+    /// key can momentarily exist on two shards; the current ring
+    /// owner's copy wins.
     pub async fn kv_scan(
         &self,
         start_key: u64,
         count: u32,
     ) -> Result<Vec<(u64, Bytes)>, DpdpuError> {
-        let mut merged = Vec::new();
-        for shard in 0..self.conns.len() {
-            let mut part = self
-                .with_admission(
-                    shard,
-                    12,
-                    |c| async move { c.kv_scan(start_key, count).await },
-                )
+        self.ensure_conns();
+        let shards = self.conns.borrow().len();
+        let mut hits: Vec<(u64, Bytes, usize)> = Vec::new();
+        for shard in 0..shards {
+            if self.cluster.group(shard).retired.get() {
+                continue;
+            }
+            let part = self
+                .call_group(shard, 12, true, |c| async move {
+                    c.kv_scan(start_key, count).await
+                })
                 .await?;
-            merged.append(&mut part);
+            for (k, v) in part {
+                hits.push((k, v, shard));
+            }
         }
-        merged.sort_by_key(|&(k, _)| k);
-        // A shard only returns keys it owns, but be safe under
-        // membership churn: drop duplicates, first owner wins.
-        merged.dedup_by_key(|&mut (k, _)| k);
+        hits.sort_by_key(|&(k, _, s)| (k, s != self.cluster.shard_for(k)));
+        let mut merged: Vec<(u64, Bytes)> = Vec::with_capacity(hits.len());
+        for (k, v, _) in hits {
+            if merged.last().map_or(true, |&(lk, _)| lk != k) {
+                merged.push((k, v));
+            }
+        }
         Ok(merged)
+    }
+
+    /// Retries one migration step until it lands or the attempt budget
+    /// runs dry — rides out crash windows (the failure detector fails
+    /// the group over underneath the retries).
+    async fn retrying<T, F, Fut>(&self, op: F) -> Result<T, DpdpuError>
+    where
+        F: Fn() -> Fut,
+        Fut: std::future::Future<Output = Result<T, DpdpuError>>,
+    {
+        let mut last = DpdpuError::Unavailable("migration retries exhausted");
+        for _ in 0..MIGRATION_ATTEMPTS {
+            match op().await {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    last = e;
+                    dpdpu_des::sleep(MIGRATION_BACKOFF_NS).await;
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// Copies every key `src` no longer owns under `ring` to its new
+    /// owner (put-if-absent), then drops the moved keys from `src`.
+    async fn migrate_out(&self, src: usize, ring: &HashRing) -> Result<(), DpdpuError> {
+        let keys = self
+            .retrying(|| self.call_group(src, 8, false, |c| async move { c.list_keys().await }))
+            .await?;
+        let moving: Vec<u64> = keys.into_iter().filter(|&k| ring.shard_for(k) != src).collect();
+        for &k in &moving {
+            let value = self
+                .retrying(|| self.call_group(src, 8, false, |c| async move { c.kv_get(k).await }))
+                .await?;
+            // Already dropped by a prior (aborted) pass: nothing to copy.
+            let Some(value) = value else { continue };
+            let dst = ring.shard_for(k);
+            self.retrying(|| {
+                self.call_group(dst, 8 + value.len() as u64, false, |c| {
+                    let value = value.clone();
+                    async move { c.migrate_put(k, value).await }
+                })
+            })
+            .await?;
+        }
+        if !moving.is_empty() {
+            self.retrying(|| {
+                self.call_group(src, 8 * moving.len() as u64, false, |c| {
+                    let keys = moving.clone();
+                    async move { c.drop_keys(keys).await }
+                })
+            })
+            .await?;
+        }
+        Ok(())
+    }
+
+    /// Adds a brand-new shard to the cluster and live-migrates the
+    /// keys the ring assigns it (~`1/N` of the key space) while
+    /// traffic continues. Returns the new shard id.
+    pub async fn add_shard(&self) -> Result<usize, DpdpuError> {
+        let new = self.cluster.grow().await;
+        self.ensure_conns();
+        let mut new_ring = self.cluster.ring();
+        new_ring.add_shard(new);
+        self.cluster.begin_migration(new_ring.clone());
+        let mut result = Ok(());
+        for src in 0..new {
+            if self.cluster.group(src).retired.get() {
+                continue;
+            }
+            result = self.migrate_out(src, &new_ring).await;
+            if result.is_err() {
+                break;
+            }
+        }
+        self.cluster.end_migration();
+        result.map(|()| new)
+    }
+
+    /// Drains shard `victim` off the ring, live-migrating its keys to
+    /// the surviving owners, and retires it.
+    pub async fn remove_shard(&self, victim: usize) -> Result<(), DpdpuError> {
+        assert!(
+            !self.cluster.group(victim).retired.get(),
+            "shard {victim} already retired"
+        );
+        let mut new_ring = self.cluster.ring();
+        new_ring.remove_shard(victim);
+        self.cluster.begin_migration(new_ring.clone());
+        let result = self.migrate_out(victim, &new_ring).await;
+        self.cluster.end_migration();
+        result?;
+        self.cluster.group(victim).retired.set(true);
+        Ok(())
     }
 }
 
@@ -507,7 +935,7 @@ mod tests {
                 );
             }
             // 64 hashed keys across 4 shards: every server saw traffic.
-            for (i, node) in cluster.nodes.iter().enumerate() {
+            for (i, node) in cluster.primaries().iter().enumerate() {
                 assert!(
                     node.served_dpu.get() + node.served_host.get() > 0,
                     "shard {i} served nothing"
@@ -669,6 +1097,201 @@ mod tests {
             }
             assert_eq!(loads[&0], "node0");
             assert_eq!(loads[&1], "node1");
+        });
+    }
+
+    #[test]
+    fn replicated_cluster_serves_and_replicas_converge() {
+        let _check = dpdpu_check::CheckGuard::new();
+        let cluster_out: Rc<RefCell<Option<Rc<DdsCluster>>>> = Rc::new(RefCell::new(None));
+        let out = cluster_out.clone();
+        run_async(async move {
+            let cluster = DdsCluster::build(ClusterConfig {
+                shards: 2,
+                replicas: 2,
+                ..ClusterConfig::default()
+            })
+            .await;
+            *out.borrow_mut() = Some(cluster.clone());
+            let client_cpu = CpuPool::new("client", 16, 3_000_000_000);
+            let client = cluster.connect(client_cpu);
+            for key in 0..24u64 {
+                client
+                    .kv_put(key, Bytes::from(format!("value-{key}")))
+                    .await
+                    .unwrap();
+            }
+            for key in 0..24u64 {
+                assert_eq!(
+                    client.kv_get(key).await.unwrap().unwrap(),
+                    Bytes::from(format!("value-{key}")),
+                );
+            }
+            // Backup tags are distinct platforms.
+            for g in 0..2 {
+                let group = cluster.group(g);
+                assert_eq!(group.members.len(), 2);
+                assert_eq!(
+                    group.members[1].platform().tag,
+                    format!("node{g}r1"),
+                    "backup runs on its own tagged platform"
+                );
+                // Writes actually chained: the backup applied them.
+                let role = group.members[0].replication().unwrap();
+                assert!(role.chained.get() > 0, "group {g} chained no writes");
+                assert_eq!(role.solo_commits.get(), 0);
+            }
+        });
+        // After quiesce: every group's replicas hold identical state.
+        let cluster = cluster_out.borrow().clone().unwrap();
+        cluster.verify_replicas();
+        for g in 0..2 {
+            let group = cluster.group(g);
+            assert_eq!(group.members[0].kv.digest(), group.members[1].kv.digest());
+        }
+    }
+
+    #[test]
+    fn failover_promotes_backup_and_fences_old_primary() {
+        let _guard = dpdpu_faults::SessionGuard::new(
+            dpdpu_faults::FaultPlan::new(42)
+                // node0's primary freezes from 1ms to 400ms of virtual time.
+                .shard_crash("node0", 1_000_000, 400_000_000),
+        );
+        let _check = dpdpu_check::CheckGuard::new();
+        run_async(async move {
+            let cluster = DdsCluster::build(ClusterConfig {
+                shards: 1,
+                replicas: 2,
+                ..ClusterConfig::default()
+            })
+            .await;
+            let client_cpu = CpuPool::new("client", 16, 3_000_000_000);
+            let client = cluster.connect(client_cpu);
+            // Seed a key before the crash window opens.
+            client.kv_put(7, Bytes::from_static(b"before")).await.unwrap();
+            dpdpu_des::sleep(2_000_000).await; // enter the window
+            // Writes during the crash: the first ops fail while the
+            // detector counts, then the backup takes over.
+            let mut acked = 0;
+            for i in 0..6u64 {
+                if client
+                    .kv_put(100 + i, Bytes::from(format!("during-{i}")))
+                    .await
+                    .is_ok()
+                {
+                    acked += 1;
+                }
+            }
+            let ctl = cluster.ctl(0).unwrap();
+            assert_eq!(ctl.promotions.get(), 1, "exactly one failover");
+            assert_eq!(ctl.primary(), 1, "backup promoted");
+            assert!(ctl.is_deposed(0), "old primary fenced out");
+            assert!(ctl.epoch() > 1, "epoch advanced");
+            assert!(acked > 0, "writes resume after failover");
+            // The chained key survives the failover, served by the backup.
+            assert_eq!(
+                client.kv_get(7).await.unwrap().unwrap(),
+                Bytes::from_static(b"before")
+            );
+            // Old primary's crash window ends; it wakes as a zombie —
+            // every request it gets is answered StaleEpoch, and routed
+            // calls keep landing on the new primary.
+            dpdpu_des::sleep(500_000_000).await;
+            assert_eq!(
+                client.kv_get(7).await.unwrap().unwrap(),
+                Bytes::from_static(b"before")
+            );
+            let zombie = cluster.group(0).members[0].replication().unwrap();
+            assert!(zombie.deposed(), "resurrected primary stays deposed");
+        });
+    }
+
+    #[test]
+    fn add_shard_migrates_keys_and_keeps_them_readable() {
+        let _check = dpdpu_check::CheckGuard::new();
+        run_async(async {
+            let cluster = DdsCluster::build(ClusterConfig {
+                shards: 2,
+                ..ClusterConfig::default()
+            })
+            .await;
+            let client_cpu = CpuPool::new("client", 16, 3_000_000_000);
+            let client = cluster.connect(client_cpu);
+            for key in 0..48u64 {
+                client
+                    .kv_put(key, Bytes::from(format!("v-{key}")))
+                    .await
+                    .unwrap();
+            }
+            let before = cluster.ring();
+            let new = client.add_shard().await.unwrap();
+            assert_eq!(new, 2);
+            let after = cluster.ring();
+            // <2/N of this key population moved, all of it to the new shard.
+            let moved: Vec<u64> = (0..48u64)
+                .filter(|&k| before.shard_for(k) != after.shard_for(k))
+                .collect();
+            assert!(
+                moved.len() < 48 * 2 / 3,
+                "moved {} of 48 keys",
+                moved.len()
+            );
+            for &k in &moved {
+                assert_eq!(after.shard_for(k), new);
+            }
+            // Every key still readable, moved ones from the new shard.
+            for key in 0..48u64 {
+                assert_eq!(
+                    client.kv_get(key).await.unwrap().unwrap(),
+                    Bytes::from(format!("v-{key}")),
+                    "key {key} lost in migration"
+                );
+            }
+            // Old owners really dropped their moved keys.
+            let primaries = cluster.primaries();
+            for &k in &moved {
+                assert!(
+                    !primaries[before.shard_for(k)].kv.contains(k),
+                    "key {k} still on its old owner"
+                );
+                assert!(primaries[new].kv.contains(k));
+            }
+        });
+    }
+
+    #[test]
+    fn remove_shard_drains_and_retires_the_victim() {
+        let _check = dpdpu_check::CheckGuard::new();
+        run_async(async {
+            let cluster = DdsCluster::build(ClusterConfig {
+                shards: 3,
+                ..ClusterConfig::default()
+            })
+            .await;
+            let client_cpu = CpuPool::new("client", 16, 3_000_000_000);
+            let client = cluster.connect(client_cpu);
+            for key in 0..48u64 {
+                client
+                    .kv_put(key, Bytes::from(format!("v-{key}")))
+                    .await
+                    .unwrap();
+            }
+            client.remove_shard(1).await.unwrap();
+            assert_eq!(cluster.ring().shard_count(), 2);
+            for key in 0..48u64 {
+                let owner = cluster.shard_for(key);
+                assert_ne!(owner, 1, "retired shard still owns key {key}");
+                assert_eq!(
+                    client.kv_get(key).await.unwrap().unwrap(),
+                    Bytes::from(format!("v-{key}")),
+                    "key {key} lost draining shard 1"
+                );
+            }
+            assert_eq!(cluster.primaries()[1].kv.keys().len(), 0);
+            // Scans skip the retired shard but still see every key.
+            let hits = client.kv_scan(0, 48).await.unwrap();
+            assert_eq!(hits.len(), 48);
         });
     }
 }

@@ -239,6 +239,56 @@ impl KvStore {
         Ok(out)
     }
 
+    /// True when `key` is present in either index partition (no I/O).
+    pub fn contains(&self, key: u64) -> bool {
+        self.dpu_index.borrow().contains_key(&key) || self.host_index.borrow().contains_key(&key)
+    }
+
+    /// Every indexed key, ascending (migration enumeration; no I/O).
+    pub fn keys(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .dpu_index
+            .borrow()
+            .keys()
+            .chain(self.host_index.borrow().keys())
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Drops `key` from whichever index partition holds it (the bytes
+    /// stay in the append-only log as garbage). Returns true if the key
+    /// was present. The DPU memory reservation is deliberately not
+    /// shrunk: FASTER-style stores reclaim index slots lazily.
+    pub fn drop_key(&self, key: u64) -> bool {
+        self.dpu_index.borrow_mut().remove(&key).is_some()
+            || self.host_index.borrow_mut().remove(&key).is_some()
+    }
+
+    /// Order-independent digest of the *live* state (indexed entries
+    /// only, not log garbage): `(entries, value_bytes, checksum)`. Two
+    /// replicas that applied the same writes agree on all three even if
+    /// their logs interleaved overwrites differently — the checksum
+    /// covers key and value length, not log offsets.
+    pub fn digest(&self) -> (u64, u64, u64) {
+        let mut entries = 0u64;
+        let mut bytes = 0u64;
+        let mut checksum = 0u64;
+        for index in [&self.dpu_index, &self.host_index] {
+            for (key, e) in index.borrow().iter() {
+                entries += 1;
+                bytes += e.value_len as u64;
+                let mut h = key ^ ((e.value_len as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+                h ^= h >> 30;
+                h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                h ^= h >> 27;
+                checksum = checksum.wrapping_add(h);
+            }
+        }
+        (entries, bytes, checksum)
+    }
+
     /// Number of keys in each partition `(dpu, host)`.
     pub fn partition_sizes(&self) -> (usize, usize) {
         (
@@ -483,6 +533,59 @@ mod tests {
             assert!(
                 kv.range_resident_dpu(100, 16),
                 "absent range is trivially DPU-servable"
+            );
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn keys_drop_and_digest_track_live_state() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let kv = store(&p, 2 * INDEX_ENTRY_BYTES).await; // force host overflow
+            for k in [9u64, 1, 5, 3] {
+                kv.put(k, b"val").await.unwrap();
+            }
+            assert_eq!(kv.keys(), vec![1, 3, 5, 9]);
+            assert!(kv.contains(5));
+            assert!(!kv.contains(4));
+
+            let before = kv.digest();
+            assert_eq!(before.0, 4);
+            assert_eq!(before.1, 4 * 3);
+
+            assert!(kv.drop_key(5));
+            assert!(!kv.drop_key(5), "second drop is a no-op");
+            assert!(!kv.contains(5));
+            assert_eq!(kv.keys(), vec![1, 3, 9]);
+            assert_eq!(kv.get(5).await.unwrap(), None, "dropped key unreadable");
+            let after = kv.digest();
+            assert_eq!(after.0, 3);
+            assert_ne!(after.2, before.2, "checksum sees the drop");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn digest_is_order_independent() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let a = store(&p, 1 << 20).await;
+            let b = store(&p, 0).await; // all-host partition on b
+            for k in [2u64, 4, 6] {
+                a.put(k, b"same").await.unwrap();
+            }
+            for k in [6u64, 2, 4] {
+                b.put(k, b"diff").await.unwrap(); // same length, reordered
+                b.put(k, b"same").await.unwrap();
+            }
+            assert_eq!(
+                a.digest(),
+                b.digest(),
+                "same live state must digest equal regardless of \
+                 partition placement, apply order, or log garbage"
             );
         });
         sim.run();

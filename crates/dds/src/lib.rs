@@ -32,4 +32,5 @@ pub mod kv;
 pub mod offload;
 pub mod pageserver;
 pub mod proto;
+pub mod replication;
 pub mod server;

@@ -53,6 +53,43 @@ pub enum Request {
         /// Number of consecutive keys scanned.
         count: u32,
     },
+    /// Chain replication: primary forwards an applied write to its
+    /// backup, stamped with the primary's epoch. A backup fenced at a
+    /// higher epoch answers [`ErrorCode::StaleEpoch`].
+    ReplPut {
+        /// Request id.
+        req_id: u64,
+        /// Epoch the sending primary believes it holds.
+        epoch: u64,
+        /// Key.
+        key: u64,
+        /// Value bytes.
+        value: Bytes,
+    },
+    /// Migration copy: put-if-absent, so a stale copy from the old
+    /// owner can never clobber a fresh client write that already landed
+    /// on the new owner during the dual-read window.
+    MigratePut {
+        /// Request id.
+        req_id: u64,
+        /// Key.
+        key: u64,
+        /// Value bytes.
+        value: Bytes,
+    },
+    /// Migration enumeration: list every key this server holds.
+    ListKeys {
+        /// Request id.
+        req_id: u64,
+    },
+    /// Migration cleanup: drop these keys from this server's index
+    /// (their bytes stay in the append-only log as garbage).
+    DropKeys {
+        /// Request id.
+        req_id: u64,
+        /// Keys to drop.
+        keys: Vec<u64>,
+    },
 }
 
 impl Request {
@@ -63,7 +100,11 @@ impl Request {
             | Request::KvPut { req_id, .. }
             | Request::GetPage { req_id, .. }
             | Request::AppendLog { req_id, .. }
-            | Request::KvScan { req_id, .. } => *req_id,
+            | Request::KvScan { req_id, .. }
+            | Request::ReplPut { req_id, .. }
+            | Request::MigratePut { req_id, .. }
+            | Request::ListKeys { req_id }
+            | Request::DropKeys { req_id, .. } => *req_id,
         }
     }
 
@@ -111,6 +152,38 @@ impl Request {
                 b.put_u64_le(*start_key);
                 b.put_u32_le(*count);
             }
+            Request::ReplPut {
+                req_id,
+                epoch,
+                key,
+                value,
+            } => {
+                b.put_u8(6);
+                b.put_u64_le(*req_id);
+                b.put_u64_le(*epoch);
+                b.put_u64_le(*key);
+                b.put_u32_le(value.len() as u32);
+                b.put_slice(value);
+            }
+            Request::MigratePut { req_id, key, value } => {
+                b.put_u8(7);
+                b.put_u64_le(*req_id);
+                b.put_u64_le(*key);
+                b.put_u32_le(value.len() as u32);
+                b.put_slice(value);
+            }
+            Request::ListKeys { req_id } => {
+                b.put_u8(8);
+                b.put_u64_le(*req_id);
+            }
+            Request::DropKeys { req_id, keys } => {
+                b.put_u8(9);
+                b.put_u64_le(*req_id);
+                b.put_u32_le(keys.len() as u32);
+                for key in keys {
+                    b.put_u64_le(*key);
+                }
+            }
         }
         b.freeze()
     }
@@ -154,6 +227,35 @@ impl Request {
                 start_key: c.u64()?,
                 count: c.u32()?,
             }),
+            6 => {
+                let epoch = c.u64()?;
+                let key = c.u64()?;
+                let len = c.u32()? as usize;
+                Ok(Request::ReplPut {
+                    req_id,
+                    epoch,
+                    key,
+                    value: c.bytes(len)?,
+                })
+            }
+            7 => {
+                let key = c.u64()?;
+                let len = c.u32()? as usize;
+                Ok(Request::MigratePut {
+                    req_id,
+                    key,
+                    value: c.bytes(len)?,
+                })
+            }
+            8 => Ok(Request::ListKeys { req_id }),
+            9 => {
+                let n = c.u32()? as usize;
+                let mut keys = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    keys.push(c.u64()?);
+                }
+                Ok(Request::DropKeys { req_id, keys })
+            }
             t => Err(ProtoError::BadTag(t)),
         }
     }
@@ -166,6 +268,9 @@ pub enum ErrorCode {
     Storage,
     /// The server cannot currently serve this class of request.
     Unavailable,
+    /// The sender's epoch is behind this replica's fence: a deposed
+    /// primary (or a replication message from one) must stand down.
+    StaleEpoch,
 }
 
 impl ErrorCode {
@@ -173,6 +278,7 @@ impl ErrorCode {
         match self {
             ErrorCode::Storage => 1,
             ErrorCode::Unavailable => 2,
+            ErrorCode::StaleEpoch => 3,
         }
     }
 
@@ -180,6 +286,7 @@ impl ErrorCode {
         match b {
             1 => Ok(ErrorCode::Storage),
             2 => Ok(ErrorCode::Unavailable),
+            3 => Ok(ErrorCode::StaleEpoch),
             other => Err(ProtoError::BadTag(other)),
         }
     }
@@ -221,6 +328,13 @@ pub enum Response {
         /// `(key, value)` pairs in ascending key order.
         entries: Vec<(u64, Bytes)>,
     },
+    /// Key enumeration result (migration): every key held, ascending.
+    Keys {
+        /// Correlated request id.
+        req_id: u64,
+        /// Keys in ascending order.
+        keys: Vec<u64>,
+    },
 }
 
 impl Response {
@@ -231,7 +345,8 @@ impl Response {
             | Response::NotFound { req_id }
             | Response::Ok { req_id }
             | Response::Error { req_id, .. }
-            | Response::Scan { req_id, .. } => *req_id,
+            | Response::Scan { req_id, .. }
+            | Response::Keys { req_id, .. } => *req_id,
         }
     }
 
@@ -268,6 +383,14 @@ impl Response {
                     b.put_slice(value);
                 }
             }
+            Response::Keys { req_id, keys } => {
+                b.put_u8(6);
+                b.put_u64_le(*req_id);
+                b.put_u32_le(keys.len() as u32);
+                for key in keys {
+                    b.put_u64_le(*key);
+                }
+            }
         }
         b.freeze()
     }
@@ -301,6 +424,15 @@ impl Response {
                     entries.push((key, c.bytes(len)?));
                 }
                 Ok(Response::Scan { req_id, entries })
+            }
+            6 => {
+                let req_id = c.u64()?;
+                let n = c.u32()? as usize;
+                let mut keys = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    keys.push(c.u64()?);
+                }
+                Ok(Response::Keys { req_id, keys })
             }
             t => Err(ProtoError::BadTag(t)),
         }
@@ -487,6 +619,26 @@ mod tests {
                 start_key: 1_000,
                 count: 32,
             },
+            Request::ReplPut {
+                req_id: 6,
+                epoch: 3,
+                key: 77,
+                value: Bytes::from_static(b"chained"),
+            },
+            Request::MigratePut {
+                req_id: 7,
+                key: 88,
+                value: Bytes::from_static(b"moved"),
+            },
+            Request::ListKeys { req_id: 8 },
+            Request::DropKeys {
+                req_id: 9,
+                keys: vec![1, 2, 300],
+            },
+            Request::DropKeys {
+                req_id: 10,
+                keys: vec![],
+            },
         ];
         for r in cases {
             assert_eq!(Request::decode(&r.encode()).unwrap(), r);
@@ -520,6 +672,18 @@ mod tests {
             Response::Scan {
                 req_id: 7,
                 entries: vec![],
+            },
+            Response::Error {
+                req_id: 8,
+                code: ErrorCode::StaleEpoch,
+            },
+            Response::Keys {
+                req_id: 9,
+                keys: vec![5, 6, 700],
+            },
+            Response::Keys {
+                req_id: 10,
+                keys: vec![],
             },
         ];
         for r in cases {

@@ -24,6 +24,7 @@ use crate::director::{Route, TrafficDirector};
 use crate::kv::{KvStore, Residency};
 use crate::pageserver::PageServer;
 use crate::proto::{ErrorCode, Request, Response, RetryPolicy};
+use crate::replication::ReplRole;
 
 /// DPU cycles to parse one request and consult the director.
 const DPU_PARSE_CYCLES: u64 = 800;
@@ -86,6 +87,10 @@ pub struct Dds {
     /// already answered) served from the per-connection replay cache
     /// instead of being re-executed.
     pub dup_replays: Counter,
+    /// Membership in a replica group, attached by the cluster when it
+    /// runs with `replicas >= 2`. Absent, the server behaves exactly as
+    /// an unreplicated shard.
+    repl: RefCell<Option<Rc<ReplRole>>>,
 }
 
 impl Dds {
@@ -127,12 +132,24 @@ impl Dds {
             host_fallbacks: Counter::new(),
             exec_errors: Counter::new(),
             dup_replays: Counter::new(),
+            repl: RefCell::new(None),
         })
     }
 
     /// The platform (for CPU accounting in experiments).
     pub fn platform(&self) -> &Rc<Platform> {
         &self.platform
+    }
+
+    /// Joins this server to a replica group. Called by the cluster once
+    /// the group's fabric chain is wired, before traffic starts.
+    pub fn attach_replication(&self, role: Rc<ReplRole>) {
+        *self.repl.borrow_mut() = Some(role);
+    }
+
+    /// This server's replication role, when clustered with replicas.
+    pub fn replication(&self) -> Option<Rc<ReplRole>> {
+        self.repl.borrow().clone()
     }
 
     /// Classifies one request: can the offload engine serve it alone?
@@ -149,6 +166,12 @@ impl Dds {
             Request::KvScan {
                 start_key, count, ..
             } => self.kv.range_resident_dpu(*start_key, *count),
+            // Replication and migration traffic mutates the log or walks
+            // the full index — host-owned state, host path.
+            Request::ReplPut { .. }
+            | Request::MigratePut { .. }
+            | Request::ListKeys { .. }
+            | Request::DropKeys { .. } => false,
         }
     }
 
@@ -160,10 +183,29 @@ impl Dds {
             Request::GetPage { .. } => "GetPage",
             Request::AppendLog { .. } => "AppendLog",
             Request::KvScan { .. } => "KvScan",
+            Request::ReplPut { .. } => "ReplPut",
+            Request::MigratePut { .. } => "MigratePut",
+            Request::ListKeys { .. } => "ListKeys",
+            Request::DropKeys { .. } => "DropKeys",
         };
         let mut req_span = dpdpu_telemetry::span("dpu", "dds-server", format!("req:{req_kind}"));
         // Parse + director lookup on the DPU.
         self.platform.dpu_cpu.exec(DPU_PARSE_CYCLES).await;
+        // A deposed replica is fenced out of the group forever: every
+        // request — reads included — answers `StaleEpoch`, so a zombie
+        // primary resurrected after failover can neither ack writes nor
+        // serve reads of state the surviving chain has moved past.
+        let repl = self.repl.borrow().clone();
+        if let Some(role) = repl {
+            if role.deposed() {
+                role.stale_rejections.inc();
+                req_span.attr("route", "fenced".to_string());
+                return Response::Error {
+                    req_id: req.req_id(),
+                    code: ErrorCode::StaleEpoch,
+                };
+            }
+        }
         let route = self.director.route(self.wants_dpu(&req));
         req_span.attr("route", format!("{route:?}"));
         if let Some(c) = dpdpu_telemetry::counter(
@@ -246,8 +288,14 @@ impl Dds {
                 None => Response::NotFound { req_id: *req_id },
             },
             Request::KvPut { req_id, key, value } => {
-                self.kv.put(*key, value).await?;
-                Response::Ok { req_id: *req_id }
+                let role = self.repl.borrow().clone();
+                match role {
+                    Some(role) => return self.repl_commit(&role, *req_id, *key, value, false).await,
+                    None => {
+                        self.kv.put(*key, value).await?;
+                        Response::Ok { req_id: *req_id }
+                    }
+                }
             }
             Request::GetPage { req_id, page_id } => {
                 let data = if self.pages.is_clean(*page_id) {
@@ -281,7 +329,190 @@ impl Dds {
                 req_id: *req_id,
                 entries: self.kv.scan(*start_key, *count).await?,
             },
+            Request::ReplPut {
+                req_id,
+                epoch,
+                key,
+                value,
+            } => {
+                let role = self.repl.borrow().clone();
+                match role {
+                    Some(role) if *epoch >= role.fence.get() => {
+                        self.kv.put(*key, value).await?;
+                        // Record the ack at apply time, not when the
+                        // primary hears back: a promotion landing between
+                        // the two must not make this write look like it
+                        // was acked under a stale epoch.
+                        dpdpu_check::repl_write_acked(role.ctl.group, *epoch);
+                        Response::Ok { req_id: *req_id }
+                    }
+                    Some(role) => {
+                        role.stale_rejections.inc();
+                        Response::Error {
+                            req_id: *req_id,
+                            code: ErrorCode::StaleEpoch,
+                        }
+                    }
+                    None => Response::Error {
+                        req_id: *req_id,
+                        code: ErrorCode::Unavailable,
+                    },
+                }
+            }
+            Request::MigratePut { req_id, key, value } => {
+                let role = self.repl.borrow().clone();
+                match role {
+                    Some(role) => return self.repl_commit(&role, *req_id, *key, value, true).await,
+                    None => {
+                        // Put-if-absent: a client write that already
+                        // landed on this (new) owner must win over the
+                        // stale copy arriving from the old owner.
+                        if !self.kv.contains(*key) {
+                            self.kv.put(*key, value).await?;
+                        }
+                        Response::Ok { req_id: *req_id }
+                    }
+                }
+            }
+            Request::ListKeys { req_id } => Response::Keys {
+                req_id: *req_id,
+                keys: self.kv.keys(),
+            },
+            Request::DropKeys { req_id, keys } => {
+                let role = self.repl.borrow().clone();
+                if let Some(role) = role.filter(|r| r.is_primary() && !r.deposed()) {
+                    // Forward the drop down the chain first so it lands
+                    // FIFO-after any in-flight replicated puts for the
+                    // same keys.
+                    let _gate = role.chain_gate.acquire().await;
+                    if !role.ctl.primary_is_solo() {
+                        let backup = role.backup.borrow().clone();
+                        if let Some(backup) = backup {
+                            let fwd = keys.clone();
+                            if backup
+                                .call(|id| Request::DropKeys {
+                                    req_id: id,
+                                    keys: fwd.clone(),
+                                })
+                                .await
+                                .is_err()
+                            {
+                                // Unreachable backup would keep the
+                                // dropped keys forever: depose it so the
+                                // divergence check only counts live
+                                // replicas.
+                                let _ = role.ctl.solo_grant(role.me);
+                            }
+                        }
+                    }
+                }
+                for key in keys {
+                    self.kv.drop_key(*key);
+                }
+                Response::Ok { req_id: *req_id }
+            }
         })
+    }
+
+    /// Commits one write on a replicated shard: apply locally, chain to
+    /// the backup, ack only once the chain (or an epoch-fenced solo
+    /// grant) holds the write. `if_absent` gives migration copies
+    /// put-if-absent semantics.
+    async fn repl_commit(
+        &self,
+        role: &Rc<ReplRole>,
+        req_id: u64,
+        key: u64,
+        value: &Bytes,
+        if_absent: bool,
+    ) -> Result<Response, FsError> {
+        // One replicated commit at a time: the backup must apply writes
+        // in this primary's apply order or same-key races would leave
+        // the replicas permanently divergent.
+        let _gate = role.chain_gate.acquire().await;
+        if role.deposed() || !role.is_primary() {
+            role.stale_rejections.inc();
+            return Ok(Response::Error {
+                req_id,
+                code: ErrorCode::StaleEpoch,
+            });
+        }
+        if if_absent && self.kv.contains(key) {
+            return Ok(Response::Ok { req_id });
+        }
+        let epoch = role.ctl.epoch();
+        self.kv.put(key, value).await?;
+        let backup = if role.ctl.primary_is_solo() {
+            None
+        } else {
+            role.backup.borrow().clone()
+        };
+        match backup {
+            Some(backup) => {
+                role.chained.inc();
+                let value = value.clone();
+                match backup
+                    .call(|id| Request::ReplPut {
+                        req_id: id,
+                        epoch,
+                        key,
+                        value: value.clone(),
+                    })
+                    .await
+                {
+                    // The backup applied (and recorded the ack itself).
+                    Ok(Response::Ok { .. }) => Ok(Response::Ok { req_id }),
+                    Ok(other) => unreachable!("unexpected replication response {other:?}"),
+                    Err(DpdpuError::Unavailable("stale epoch")) => {
+                        // The fence rose past us: a failover already
+                        // promoted the backup. Stand down without acking.
+                        role.stale_rejections.inc();
+                        Ok(Response::Error {
+                            req_id,
+                            code: ErrorCode::StaleEpoch,
+                        })
+                    }
+                    Err(_) => match role.ctl.solo_grant(role.me) {
+                        // Backup unreachable: depose it and commit solo
+                        // at a fresh epoch.
+                        Some(e) => {
+                            role.solo_commits.inc();
+                            dpdpu_check::repl_write_acked(role.ctl.group, e);
+                            Ok(Response::Ok { req_id })
+                        }
+                        // Refused: a failover promoted past us mid-write.
+                        None => {
+                            role.stale_rejections.inc();
+                            Ok(Response::Error {
+                                req_id,
+                                code: ErrorCode::StaleEpoch,
+                            })
+                        }
+                    },
+                }
+            }
+            None => {
+                // Solo already, or no chain link wired: make the solo
+                // claim explicit before acking unreplicated writes.
+                let e = if role.ctl.primary_is_solo() {
+                    role.ctl.epoch()
+                } else {
+                    match role.ctl.solo_grant(role.me) {
+                        Some(e) => e,
+                        None => {
+                            role.stale_rejections.inc();
+                            return Ok(Response::Error {
+                                req_id,
+                                code: ErrorCode::StaleEpoch,
+                            });
+                        }
+                    }
+                };
+                role.solo_commits.inc();
+                dpdpu_check::repl_write_acked(role.ctl.group, e);
+                Ok(Response::Ok { req_id })
+            }
+        }
     }
 
     /// Serves requests from one half of a fabric connection, answering
@@ -301,6 +532,7 @@ impl Dds {
         let tx = tx.into();
         let this = self.clone();
         spawn(async move {
+            let tag = this.platform.tag.clone();
             let mut deframer = crate::proto::Deframer::new();
             // req_id -> None while in flight, Some(framed response) once
             // answered. Lives as long as the connection.
@@ -308,6 +540,12 @@ impl Dds {
                 Rc::new(RefCell::new(HashMap::new()));
             while let Some(chunk) = rx.recv().await {
                 for msg in deframer.push(&chunk) {
+                    if dpdpu_faults::shard_down(&tag) {
+                        // The node is down: the request vanishes with it.
+                        // Durable state survives the crash; the client's
+                        // retries cover recovery.
+                        continue;
+                    }
                     let req = match Request::decode(&msg) {
                         Ok(r) => r,
                         Err(_) => continue, // non-storage traffic: ignore here
@@ -317,7 +555,9 @@ impl Dds {
                         std::collections::hash_map::Entry::Occupied(e) => {
                             if let Some(cached) = e.get() {
                                 this.dup_replays.inc();
-                                tx.send(cached.clone());
+                                if !dpdpu_faults::shard_down(&tag) {
+                                    tx.send(cached.clone());
+                                }
                             }
                             continue;
                         }
@@ -328,11 +568,17 @@ impl Dds {
                     let this = this.clone();
                     let tx = tx.clone();
                     let dedup = dedup.clone();
+                    let tag = tag.clone();
                     spawn(async move {
                         let resp = this.handle(req).await;
                         let framed = crate::proto::frame(&resp.encode());
+                        // The replay cache still records the response —
+                        // state survives a crash; only the send vanishes
+                        // with the downed node.
                         dedup.borrow_mut().insert(req_id, Some(framed.clone()));
-                        tx.send(framed);
+                        if !dpdpu_faults::shard_down(&tag) {
+                            tx.send(framed);
+                        }
                     });
                 }
             }
@@ -443,6 +689,17 @@ impl DdsClient {
             self.pending.borrow_mut().insert(req_id, otx);
             self.tx.send(crate::proto::frame(&req.encode()));
             match timeout(wait, orx).await {
+                Ok(Ok(Response::Error {
+                    code: ErrorCode::StaleEpoch,
+                    ..
+                })) => {
+                    // Fencing is terminal at this epoch: the server was
+                    // deposed and will never recover here. Surface
+                    // immediately — no retry — so the caller re-routes
+                    // to the group's current primary.
+                    self.failures.inc();
+                    return Err(DpdpuError::Unavailable("stale epoch"));
+                }
                 Ok(Ok(Response::Error { code, .. })) => {
                     // Terminal server answer; retry in case the fault
                     // was transient, error out once attempts run dry.
@@ -451,6 +708,7 @@ impl DdsClient {
                         return Err(match code {
                             ErrorCode::Storage => DpdpuError::Remote("storage error"),
                             ErrorCode::Unavailable => DpdpuError::Unavailable("dds server"),
+                            ErrorCode::StaleEpoch => DpdpuError::Unavailable("stale epoch"),
                         });
                     }
                 }
@@ -532,6 +790,44 @@ impl DdsClient {
         {
             Response::Data { data, .. } => Ok(data),
             other => unreachable!("unexpected page response {other:?}"),
+        }
+    }
+
+    /// Migration copy: put-if-absent on the receiver, so a stale copy
+    /// can never clobber a fresher write that already landed there.
+    pub async fn migrate_put(&self, key: u64, value: Bytes) -> Result<(), DpdpuError> {
+        match self
+            .call(|req_id| Request::MigratePut {
+                req_id,
+                key,
+                value: value.clone(),
+            })
+            .await?
+        {
+            Response::Ok { .. } => Ok(()),
+            other => unreachable!("unexpected migrate response {other:?}"),
+        }
+    }
+
+    /// Every key the shard currently holds (for migration planning).
+    pub async fn list_keys(&self) -> Result<Vec<u64>, DpdpuError> {
+        match self.call(|req_id| Request::ListKeys { req_id }).await? {
+            Response::Keys { keys, .. } => Ok(keys),
+            other => unreachable!("unexpected list response {other:?}"),
+        }
+    }
+
+    /// Drops migrated-away keys from the shard's index.
+    pub async fn drop_keys(&self, keys: Vec<u64>) -> Result<(), DpdpuError> {
+        match self
+            .call(|req_id| Request::DropKeys {
+                req_id,
+                keys: keys.clone(),
+            })
+            .await?
+        {
+            Response::Ok { .. } => Ok(()),
+            other => unreachable!("unexpected drop response {other:?}"),
         }
     }
 

@@ -51,10 +51,13 @@ pub enum FaultSite {
     AccelOffline,
     /// DPU cores reported overloaded to the scheduler/director.
     DpuOverload,
+    /// A shard platform frozen: its server drops requests and responses
+    /// for the duration of a scripted crash window.
+    ShardCrash,
 }
 
 impl FaultSite {
-    const ALL: [FaultSite; 8] = [
+    const ALL: [FaultSite; 9] = [
         FaultSite::LinkDrop,
         FaultSite::LinkDelay,
         FaultSite::SsdRead,
@@ -63,6 +66,7 @@ impl FaultSite {
         FaultSite::AccelStall,
         FaultSite::AccelOffline,
         FaultSite::DpuOverload,
+        FaultSite::ShardCrash,
     ];
 
     /// Stable lowercase label (used in reports, telemetry tags, and
@@ -77,6 +81,7 @@ impl FaultSite {
             FaultSite::AccelStall => "accel_stall",
             FaultSite::AccelOffline => "accel_offline",
             FaultSite::DpuOverload => "dpu_overload",
+            FaultSite::ShardCrash => "shard_crash",
         }
     }
 }
@@ -168,6 +173,7 @@ pub struct FaultPlan {
     accel_stall_ns: Time,
     accel_offline: Vec<Window>,
     dpu_overload: Vec<Window>,
+    shard_crash: Vec<(String, Window)>,
     fail_next_ssd_reads: u64,
     fail_next_ssd_writes: u64,
     drop_next_frames: u64,
@@ -253,6 +259,15 @@ impl FaultPlan {
         self
     }
 
+    /// Freeze the shard platform tagged `tag` during `[from, until)`
+    /// virtual ns: its server drops ingress requests and egress
+    /// responses, so peers see timeouts while durable state survives.
+    pub fn shard_crash(mut self, tag: &str, from: Time, until: Time) -> Self {
+        assert!(from < until, "empty shard-crash window");
+        self.shard_crash.push((tag.to_string(), Window { from, until }));
+        self
+    }
+
     /// Scripted: fail exactly the next `n` SSD reads.
     pub fn fail_next_ssd_reads(mut self, n: u64) -> Self {
         self.fail_next_ssd_reads = n;
@@ -313,6 +328,9 @@ pub struct FaultSession {
     ssd_rng: RefCell<StdRng>,
     accel_rng: RefCell<StdRng>,
     injected: [Counter; FaultSite::ALL.len()],
+    // One flag per shard-crash window so each crash is counted once
+    // when it first bites, not on every consult inside the window.
+    shard_crash_fired: RefCell<Vec<bool>>,
 }
 
 thread_local! {
@@ -324,8 +342,10 @@ impl FaultSession {
     /// previous one) and returns a handle for counters and reports.
     pub fn install(plan: FaultPlan) -> Rc<FaultSession> {
         let seed = plan.seed;
+        let crash_windows = plan.shard_crash.len();
         let session = Rc::new(FaultSession {
             plan: RefCell::new(plan),
+            shard_crash_fired: RefCell::new(vec![false; crash_windows]),
             link_rng: RefCell::new(StdRng::seed_from_u64(seed ^ 0x1111_1111)),
             ssd_rng: RefCell::new(StdRng::seed_from_u64(seed ^ 0x2222_2222)),
             accel_rng: RefCell::new(StdRng::seed_from_u64(seed ^ 0x3333_3333)),
@@ -378,6 +398,15 @@ impl FaultSession {
     /// Scripted, mid-run: drop the next `n` network frames.
     pub fn arm_link_drops(&self, n: u64) {
         self.plan.borrow_mut().drop_next_frames += n;
+    }
+
+    /// Scripted, mid-run: freeze shard `tag` during `[from, until)`.
+    pub fn arm_shard_crash(&self, tag: &str, from: Time, until: Time) {
+        assert!(from < until, "empty shard-crash window");
+        self.plan
+            .borrow_mut()
+            .shard_crash
+            .push((tag.to_string(), Window { from, until }));
     }
 
     fn record(&self, site: FaultSite) {
@@ -498,6 +527,34 @@ impl FaultSession {
         }
         hit
     }
+
+    fn shard_down(&self, tag: &str) -> bool {
+        let t = try_now().unwrap_or(0);
+        let mut down = false;
+        let mut newly_fired = 0u64;
+        {
+            let plan = self.plan.borrow();
+            let mut fired = self.shard_crash_fired.borrow_mut();
+            // Windows armed mid-run grow the plan after install; track them.
+            fired.resize(plan.shard_crash.len(), false);
+            for (i, (win_tag, win)) in plan.shard_crash.iter().enumerate() {
+                if win_tag == tag && win.contains(t) {
+                    down = true;
+                    if !fired[i] {
+                        fired[i] = true;
+                        newly_fired += 1;
+                    }
+                }
+            }
+        }
+        // Count each crash window once, when it first bites (unlike
+        // `dpu_overloaded`, which charges every consult): the crash is
+        // one fault even though the server consults per message.
+        for _ in 0..newly_fired {
+            self.record(FaultSite::ShardCrash);
+        }
+        down
+    }
 }
 
 /// Consults the session for one link frame. [`LinkVerdict::Deliver`]
@@ -540,6 +597,16 @@ pub fn accel_online() -> bool {
 pub fn dpu_overloaded() -> bool {
     match FaultSession::current() {
         Some(s) => s.dpu_overloaded(),
+        None => false,
+    }
+}
+
+/// True when the shard platform tagged `tag` is inside a scripted crash
+/// window right now. Servers consult this at message ingress and egress
+/// to model a frozen node (requests and responses silently dropped).
+pub fn shard_down(tag: &str) -> bool {
+    match FaultSession::current() {
+        Some(s) => s.shard_down(tag),
         None => false,
     }
 }
@@ -645,6 +712,39 @@ mod tests {
         sim.run();
         assert_eq!(g.session.injected(FaultSite::AccelOffline), 1);
         assert!(g.session.injected(FaultSite::DpuOverload) >= 1);
+    }
+
+    #[test]
+    fn shard_crash_windows_follow_virtual_time_and_count_once() {
+        let g = SessionGuard::new(FaultPlan::new(9).shard_crash("node0", 1_000, 2_000));
+        let mut sim = dpdpu_des::Sim::new();
+        sim.spawn(async {
+            assert!(!shard_down("node0"));
+            dpdpu_des::sleep(1_200).await;
+            // Repeated consults inside the window: down, counted once.
+            assert!(shard_down("node0"));
+            assert!(shard_down("node0"));
+            assert!(!shard_down("node1"), "other tags unaffected");
+            dpdpu_des::sleep(1_000).await; // t=2200: window over
+            assert!(!shard_down("node0"));
+        });
+        sim.run();
+        assert_eq!(g.session.injected(FaultSite::ShardCrash), 1);
+    }
+
+    #[test]
+    fn shard_crash_armed_mid_run_bites() {
+        let g = SessionGuard::new(FaultPlan::new(11));
+        let session = g.session.clone();
+        let mut sim = dpdpu_des::Sim::new();
+        sim.spawn(async move {
+            assert!(!shard_down("node2"));
+            session.arm_shard_crash("node2", 500, 1_500);
+            dpdpu_des::sleep(600).await;
+            assert!(shard_down("node2"));
+        });
+        sim.run();
+        assert_eq!(g.session.injected(FaultSite::ShardCrash), 1);
     }
 
     #[test]

@@ -83,6 +83,11 @@ fn net_scenarios_matches_golden() {
 }
 
 #[test]
+fn cluster_failover_matches_golden() {
+    check_scenario("cluster_failover");
+}
+
+#[test]
 fn every_scenario_has_golden_coverage() {
     // Adding a scenario without blessing fixtures for it must fail
     // loudly here, not silently skip conformance.
@@ -93,6 +98,7 @@ fn every_scenario_has_golden_coverage() {
         "cluster_fleet",
         "cluster_fabric",
         "net_scenarios",
+        "cluster_failover",
     ];
     for (name, _) in dpdpu_bench::scenarios::all() {
         assert!(

@@ -399,6 +399,117 @@ fn fabric_credit_flow_interleavings_never_deadlock() {
     }
 }
 
+/// Live resharding over the consistent-hash ring: growing an N-shard
+/// cluster moves strictly fewer than 2/N of the keys (all of them to
+/// the new shard — consistent hashing never shuffles keys between
+/// surviving shards), and a reader racing the migration finds every
+/// key readable with its exact value at every intermediate step — the
+/// dual-read window leaves no gap where a key is on neither owner.
+#[test]
+fn live_resharding_moves_few_keys_and_keeps_all_readable() {
+    use dpdpu::check::CheckGuard;
+    use dpdpu::dds::cluster::{ClusterConfig, DdsCluster};
+    use dpdpu::des::{spawn, Sim};
+    use dpdpu::hw::CpuPool;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    for (case, (seed, shards, replicas)) in [(42u64, 2usize, 1usize), (7, 3, 2), (1234, 4, 2)]
+        .into_iter()
+        .enumerate()
+    {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = rng.random_range(48..96u64);
+        let values: Vec<u64> = (0..keys).map(|_| rng.random()).collect();
+        let _check = CheckGuard::new();
+        let mut sim = Sim::new();
+        let done = Rc::new(Cell::new(false));
+        let flag = done.clone();
+        sim.spawn(async move {
+            let cluster = DdsCluster::build(ClusterConfig {
+                shards,
+                replicas,
+                ..ClusterConfig::default()
+            })
+            .await;
+            let client = cluster.connect(CpuPool::new("prop", 16, 3_000_000_000));
+            for k in 0..keys {
+                let payload = Bytes::from(values[k as usize].to_le_bytes().to_vec());
+                client.kv_put(k, payload).await.expect("preload");
+            }
+            let before: Vec<usize> = (0..keys).map(|k| cluster.shard_for(k)).collect();
+
+            // Reader racing the migration: every key must be readable
+            // with its exact value at every step, including while its
+            // bytes are in flight between owners.
+            let live = Rc::new(Cell::new(true));
+            let live2 = live.clone();
+            let reader_client = client.clone();
+            let reader_cluster = cluster.clone();
+            let expect = values.clone();
+            let reader = spawn(async move {
+                let mut mid_migration_reads = 0u64;
+                while live2.get() {
+                    for k in 0..keys {
+                        let got = reader_client
+                            .kv_get(k)
+                            .await
+                            .expect("read must not fail during resharding")
+                            .unwrap_or_else(|| {
+                                panic!("case {case}: key {k} unreadable mid-migration")
+                            });
+                        let v = u64::from_le_bytes(got[..8].try_into().expect("8 bytes"));
+                        assert_eq!(v, expect[k as usize], "case {case}: key {k} wrong value");
+                        if reader_cluster.migrating() {
+                            mid_migration_reads += 1;
+                        }
+                    }
+                }
+                mid_migration_reads
+            });
+
+            let new = client.add_shard().await.expect("resharding");
+            live.set(false);
+            let mid_reads = reader.await;
+            assert!(
+                mid_reads > 0,
+                "case {case}: no read overlapped the migration — the race never happened"
+            );
+
+            let moved: Vec<u64> = (0..keys)
+                .filter(|&k| cluster.shard_for(k) != before[k as usize])
+                .collect();
+            assert!(!moved.is_empty(), "case {case}: the new shard took nothing");
+            for &k in &moved {
+                assert_eq!(
+                    cluster.shard_for(k),
+                    new,
+                    "case {case}: key {k} shuffled between surviving shards"
+                );
+            }
+            let bound = 2.0 * keys as f64 / (shards + 1) as f64;
+            assert!(
+                (moved.len() as f64) < bound,
+                "case {case}: {} of {keys} keys moved, bound is {bound:.1} (2/N)",
+                moved.len()
+            );
+
+            // Steady state after the ring settles: everything readable,
+            // nothing duplicated in a scan.
+            for k in 0..keys {
+                let got = client.kv_get(k).await.expect("post-reshard read").expect("present");
+                let v = u64::from_le_bytes(got[..8].try_into().expect("8 bytes"));
+                assert_eq!(v, values[k as usize], "case {case}: key {k} after reshard");
+            }
+            let scanned = client.kv_scan(0, keys as u32).await.expect("scan");
+            assert_eq!(scanned.len(), keys as usize, "case {case}: scan dup or gap");
+            flag.set(true);
+        });
+        sim.run();
+        assert!(done.get(), "case {case}: simulation deadlocked");
+    }
+}
+
 /// The whole compress path through the Compute Engine preserves bytes for
 /// adversarial page contents (all zeros, all ones, sawtooth).
 #[test]

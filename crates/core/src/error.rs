@@ -32,6 +32,11 @@ pub enum DpdpuError {
     },
     /// A required component is not currently usable.
     Unavailable(&'static str),
+    /// The server was fenced out of its replica group: the group epoch
+    /// moved past it (failover promoted a peer). Terminal at this
+    /// server — the caller must re-route to the group's current
+    /// primary, not retry here.
+    StaleEpoch,
     /// The transport closed while a request was in flight.
     ConnectionClosed,
     /// The remote peer reported a failure it could not recover from.
@@ -69,6 +74,9 @@ impl std::fmt::Display for DpdpuError {
                 write!(f, "request failed after {attempts} attempts")
             }
             DpdpuError::Unavailable(what) => write!(f, "{what} unavailable"),
+            DpdpuError::StaleEpoch => {
+                f.write_str("stale epoch: server fenced out of its replica group")
+            }
             DpdpuError::ConnectionClosed => f.write_str("connection closed mid-request"),
             DpdpuError::Remote(what) => write!(f, "remote error: {what}"),
         }

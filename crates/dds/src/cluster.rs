@@ -43,13 +43,27 @@ use dpdpu_hw::{CpuPool, DpuSpec, HostSpec, PcieLink, Platform};
 use dpdpu_net::fabric::{Endpoint, FabricKind, Transport};
 use dpdpu_net::NetConfig;
 
-use crate::proto::RetryPolicy;
+use crate::proto::{Request, RetryPolicy};
 use crate::replication::{ReplGroupCtl, ReplRole};
 use crate::server::{Dds, DdsClient, DdsConfig};
 
 /// Consecutive transport-level failures against one primary before the
-/// client asks the control plane to fail over to the backup.
+/// client *suspects* it and probes. Promotion additionally requires the
+/// probe below to fail — a timeout streak alone can be congestion, and
+/// deposing a healthy-but-slow primary permanently halves the group.
 const FAILOVER_THRESHOLD: u32 = 2;
+
+/// Retry policy for the pre-promotion liveness probe: patient enough to
+/// let a slow-but-alive primary answer a storage-free `Ping` (several
+/// attempts, spaced past a congestion blip), bounded so a truly dead
+/// node converts into a failover within ~10 ms of virtual time.
+const PROBE_POLICY: RetryPolicy = RetryPolicy {
+    max_attempts: 3,
+    request_timeout_ns: 2_000_000,
+    base_backoff_ns: 500_000,
+    max_backoff_ns: 2_000_000,
+    deadline_ns: 10_000_000,
+};
 /// Attempts per migration step before the migration aborts; paired
 /// with [`MIGRATION_BACKOFF_NS`] this rides out any crash window the
 /// chaos plans inject.
@@ -199,8 +213,14 @@ pub struct DdsCluster {
     groups: RefCell<Vec<Rc<ReplicaGroup>>>,
     ring: RefCell<HashRing>,
     /// The pre-migration ring, present while keys are in flight; reads
-    /// fall back to the old owner for not-yet-copied keys.
+    /// fall back to the old owner for not-yet-copied keys. Retained on
+    /// a migration failure — closing the window with keys still on
+    /// their old owners would make them unreadable — until a
+    /// [`ClusterClient::resume_migration`] drains the rest.
     prev_ring: RefCell<Option<HashRing>>,
+    /// Shard awaiting retirement once the in-flight migration drains
+    /// (set by [`ClusterClient::remove_shard`]).
+    pending_retire: Cell<Option<usize>>,
     config: ClusterConfig,
 }
 
@@ -221,6 +241,7 @@ impl DdsCluster {
             groups: RefCell::new(groups),
             ring: RefCell::new(HashRing::new(config.shards, config.vnodes)),
             prev_ring: RefCell::new(None),
+            pending_retire: Cell::new(None),
             config,
         })
     }
@@ -561,7 +582,7 @@ impl ClusterClient {
                     conn.streak.set(0);
                     return Ok(v);
                 }
-                Err(DpdpuError::Unavailable("stale epoch")) if !rerouted => {
+                Err(DpdpuError::StaleEpoch) if !rerouted => {
                     // A deposed server answered: another client already
                     // failed the group over. Re-route to the current
                     // primary once.
@@ -581,16 +602,31 @@ impl ClusterClient {
                     if conn.streak.get() >= FAILOVER_THRESHOLD
                         && !rerouted
                         && ctl.primary() == primary
-                        && ctl.promote().is_some()
                     {
-                        if let Some(c) =
-                            dpdpu_telemetry::counter("cluster_failovers", &[("shard", &conn.label)])
+                        // Suspicion confirmed only by a failed probe: a
+                        // slow-but-alive primary answers the ping and
+                        // keeps its seat (the timeout streak resets; the
+                        // caller still sees this op's failure).
+                        let probe = conn.clients[primary].clone();
+                        if probe
+                            .call_with(PROBE_POLICY, |id| Request::Ping { req_id: id })
+                            .await
+                            .is_ok()
                         {
-                            c.inc();
+                            conn.streak.set(0);
+                            return Err(e);
                         }
-                        conn.streak.set(0);
-                        rerouted = true;
-                        continue;
+                        if ctl.primary() == primary && ctl.promote().is_some() {
+                            if let Some(c) = dpdpu_telemetry::counter(
+                                "cluster_failovers",
+                                &[("shard", &conn.label)],
+                            ) {
+                                c.inc();
+                            }
+                            conn.streak.set(0);
+                            rerouted = true;
+                            continue;
+                        }
                     }
                     return Err(e);
                 }
@@ -737,31 +773,60 @@ impl ClusterClient {
         Ok(())
     }
 
+    /// Drains every live shard's misplaced keys to their owners under
+    /// the (already-installed) post-migration ring, then — only on full
+    /// success — retires any pending victim and closes the dual-read
+    /// window. On failure the window stays open: every not-yet-copied
+    /// key remains readable through the previous ring, and a later
+    /// [`ClusterClient::resume_migration`] finishes the drain (each
+    /// step is idempotent: copies are put-if-absent, already-drained
+    /// sources list nothing to move).
+    async fn drain_migration(&self) -> Result<(), DpdpuError> {
+        let ring = self.cluster.ring();
+        for src in 0..self.cluster.shards() {
+            if self.cluster.group(src).retired.get() {
+                continue;
+            }
+            self.migrate_out(src, &ring).await?;
+        }
+        if let Some(victim) = self.cluster.pending_retire.take() {
+            self.cluster.group(victim).retired.set(true);
+        }
+        self.cluster.end_migration();
+        Ok(())
+    }
+
+    /// Retries the drain of a migration that previously failed (e.g.
+    /// a source shard stayed dark past the retry budget). No-op when no
+    /// migration is in flight.
+    pub async fn resume_migration(&self) -> Result<(), DpdpuError> {
+        if !self.cluster.migrating() {
+            return Ok(());
+        }
+        self.ensure_conns();
+        self.drain_migration().await
+    }
+
     /// Adds a brand-new shard to the cluster and live-migrates the
     /// keys the ring assigns it (~`1/N` of the key space) while
-    /// traffic continues. Returns the new shard id.
+    /// traffic continues. Returns the new shard id. On a migration
+    /// failure the dual-read window stays open (no key becomes
+    /// unreadable) and [`ClusterClient::resume_migration`] completes
+    /// the move.
     pub async fn add_shard(&self) -> Result<usize, DpdpuError> {
         let new = self.cluster.grow().await;
         self.ensure_conns();
         let mut new_ring = self.cluster.ring();
         new_ring.add_shard(new);
-        self.cluster.begin_migration(new_ring.clone());
-        let mut result = Ok(());
-        for src in 0..new {
-            if self.cluster.group(src).retired.get() {
-                continue;
-            }
-            result = self.migrate_out(src, &new_ring).await;
-            if result.is_err() {
-                break;
-            }
-        }
-        self.cluster.end_migration();
-        result.map(|()| new)
+        self.cluster.begin_migration(new_ring);
+        self.drain_migration().await.map(|()| new)
     }
 
     /// Drains shard `victim` off the ring, live-migrating its keys to
-    /// the surviving owners, and retires it.
+    /// the surviving owners, and retires it. On a migration failure the
+    /// dual-read window stays open, the victim is not yet retired, and
+    /// [`ClusterClient::resume_migration`] completes the drain (and the
+    /// retirement).
     pub async fn remove_shard(&self, victim: usize) -> Result<(), DpdpuError> {
         assert!(
             !self.cluster.group(victim).retired.get(),
@@ -769,12 +834,9 @@ impl ClusterClient {
         );
         let mut new_ring = self.cluster.ring();
         new_ring.remove_shard(victim);
-        self.cluster.begin_migration(new_ring.clone());
-        let result = self.migrate_out(victim, &new_ring).await;
-        self.cluster.end_migration();
-        result?;
-        self.cluster.group(victim).retired.set(true);
-        Ok(())
+        self.cluster.begin_migration(new_ring);
+        self.cluster.pending_retire.set(Some(victim));
+        self.drain_migration().await
     }
 }
 
@@ -1292,6 +1354,182 @@ mod tests {
             // Scans skip the retired shard but still see every key.
             let hits = client.kv_scan(0, 48).await.unwrap();
             assert_eq!(hits.len(), 48);
+        });
+    }
+
+    #[test]
+    fn aborted_migration_keeps_keys_readable_and_resumes() {
+        // node0 goes dark long enough to exhaust the whole migration
+        // retry budget (64 × ~11.4ms ≈ 730ms), so add_shard fails
+        // mid-drain. The dual-read window must stay open — every key
+        // readable — and resume_migration finishes the move later.
+        let _guard = dpdpu_faults::SessionGuard::new(
+            dpdpu_faults::FaultPlan::new(42).shard_crash("node0", 50_000_000, 1_000_000_000),
+        );
+        let _check = dpdpu_check::CheckGuard::new();
+        run_async(async {
+            let cluster = DdsCluster::build(ClusterConfig {
+                shards: 2,
+                ..ClusterConfig::default()
+            })
+            .await;
+            let client_cpu = CpuPool::new("client", 16, 3_000_000_000);
+            let client = cluster.connect(client_cpu);
+            for key in 0..48u64 {
+                client
+                    .kv_put(key, Bytes::from(format!("v-{key}")))
+                    .await
+                    .unwrap();
+            }
+            let before = cluster.ring();
+            dpdpu_des::sleep(55_000_000).await; // enter the crash window
+            let err = client.add_shard().await;
+            assert!(err.is_err(), "migration must abort inside the window");
+            assert!(
+                cluster.migrating(),
+                "failed migration must keep the dual-read window open"
+            );
+            // Ride out the rest of the crash window, then verify the
+            // half-migrated cluster serves every key through dual-read.
+            dpdpu_des::sleep(400_000_000).await;
+            for key in 0..48u64 {
+                assert_eq!(
+                    client.kv_get(key).await.unwrap().unwrap(),
+                    Bytes::from(format!("v-{key}")),
+                    "key {key} unreadable after aborted migration"
+                );
+            }
+            client.resume_migration().await.unwrap();
+            assert!(!cluster.migrating(), "resume must close the window");
+            let after = cluster.ring();
+            assert_eq!(after.shard_count(), 3);
+            let primaries = cluster.primaries();
+            for key in 0..48u64 {
+                assert_eq!(
+                    client.kv_get(key).await.unwrap().unwrap(),
+                    Bytes::from(format!("v-{key}")),
+                    "key {key} lost across abort+resume"
+                );
+                if before.shard_for(key) != after.shard_for(key) {
+                    assert!(
+                        !primaries[before.shard_for(key)].kv.contains(key),
+                        "moved key {key} still on its old owner"
+                    );
+                    assert!(primaries[after.shard_for(key)].kv.contains(key));
+                }
+            }
+            // resume_migration with no migration in flight is a no-op.
+            client.resume_migration().await.unwrap();
+        });
+    }
+
+    #[test]
+    fn probe_keeps_a_slow_but_alive_primary_in_its_seat() {
+        // The primary stalls just long enough for one client to rack up
+        // FAILOVER_THRESHOLD consecutive op failures under a tightened
+        // retry policy — but it answers the confirmation ping (the
+        // probe's longer budget reaches past the stall), so no failover
+        // happens and the primary keeps its seat.
+        let _guard = dpdpu_faults::SessionGuard::new(
+            dpdpu_faults::FaultPlan::new(42).shard_crash("node0", 1_000_000, 10_000_000),
+        );
+        let _check = dpdpu_check::CheckGuard::new();
+        run_async(async {
+            let cluster = DdsCluster::build(ClusterConfig {
+                shards: 1,
+                replicas: 2,
+                ..ClusterConfig::default()
+            })
+            .await;
+            let client_cpu = CpuPool::new("client", 16, 3_000_000_000);
+            let client = cluster.connect(client_cpu);
+            client.kv_put(7, Bytes::from_static(b"seed")).await.unwrap();
+            // One attempt, 2ms timeout: each op during the stall fails
+            // fast, reaching the threshold while the stall still holds.
+            client.shard_client(0).set_policy(RetryPolicy {
+                max_attempts: 1,
+                request_timeout_ns: 2_000_000,
+                base_backoff_ns: 100_000,
+                max_backoff_ns: 1_000_000,
+                deadline_ns: 10_000_000,
+            });
+            dpdpu_des::sleep(1_500_000).await; // enter the stall
+            let mut failures = 0;
+            for i in 0..FAILOVER_THRESHOLD as u64 {
+                if client
+                    .kv_put(100 + i, Bytes::from_static(b"during"))
+                    .await
+                    .is_err()
+                {
+                    failures += 1;
+                }
+            }
+            assert_eq!(
+                failures, FAILOVER_THRESHOLD as u64,
+                "ops during the stall must fail to arm the detector"
+            );
+            let ctl = cluster.ctl(0).unwrap();
+            assert_eq!(
+                ctl.promotions.get(),
+                0,
+                "probe must veto the failover: the primary is alive"
+            );
+            assert_eq!(ctl.primary(), 0, "primary keeps its seat");
+            assert!(!ctl.is_deposed(0));
+            // After the stall the same primary serves again.
+            dpdpu_des::sleep(20_000_000).await;
+            assert_eq!(
+                client.kv_get(7).await.unwrap().unwrap(),
+                Bytes::from_static(b"seed")
+            );
+            client.kv_put(8, Bytes::from_static(b"after")).await.unwrap();
+            assert_eq!(ctl.promotions.get(), 0);
+        });
+    }
+
+    #[test]
+    fn chain_forwarded_drop_from_a_deposed_epoch_is_fenced() {
+        // A DropKeys stamped with a pre-failover epoch must bounce off
+        // the promoted replica's fence exactly like a stale ReplPut —
+        // while client-originated drops (epoch 0) still land.
+        let _check = dpdpu_check::CheckGuard::new();
+        run_async(async {
+            let cluster = DdsCluster::build(ClusterConfig {
+                shards: 1,
+                replicas: 2,
+                ..ClusterConfig::default()
+            })
+            .await;
+            let client_cpu = CpuPool::new("client", 16, 3_000_000_000);
+            let client = cluster.connect(client_cpu);
+            client.kv_put(7, Bytes::from_static(b"keep")).await.unwrap();
+            let ctl = cluster.ctl(0).unwrap();
+            let old_epoch = ctl.epoch();
+            ctl.promote().unwrap();
+            // shard_client now resolves to the promoted backup, whose
+            // fence sits at the new epoch.
+            let new_primary = client.shard_client(0);
+            let stale = new_primary
+                .call(|req_id| Request::DropKeys {
+                    req_id,
+                    epoch: old_epoch,
+                    keys: vec![7],
+                })
+                .await;
+            assert!(
+                matches!(stale, Err(DpdpuError::StaleEpoch)),
+                "stale-epoch drop must be fenced, got {stale:?}"
+            );
+            let role = cluster.group(0).members[1].replication().unwrap();
+            assert!(role.stale_rejections.get() > 0, "rejection not counted");
+            assert_eq!(
+                client.kv_get(7).await.unwrap().unwrap(),
+                Bytes::from_static(b"keep"),
+                "fenced drop must not reach the index"
+            );
+            // A client-originated drop (epoch 0) still works.
+            new_primary.drop_keys(vec![7]).await.unwrap();
+            assert_eq!(client.kv_get(7).await.unwrap(), None);
         });
     }
 }

@@ -37,6 +37,13 @@ pub enum Residency {
 struct IndexEntry {
     value_offset: u64,
     value_len: u32,
+    /// True when this entry was installed by a migration copy
+    /// ([`KvStore::put_if_absent`]). A migration copy is always *older*
+    /// than any client write racing it on this store (writes route to
+    /// the ring's current owner before the copy leaves the old owner),
+    /// so a migrated entry loses to a client entry regardless of log
+    /// offsets — offsets order concurrent client puts, not copies.
+    migrated: bool,
 }
 
 /// The KV store.
@@ -88,6 +95,7 @@ impl KvStore {
             let entry = IndexEntry {
                 value_offset: offset + 12,
                 value_len: len,
+                migrated: false,
             };
             store.index_insert(key, entry);
             offset += 12 + len as u64;
@@ -97,21 +105,40 @@ impl KvStore {
 
     /// Inserts or updates an index entry, respecting the DPU budget.
     ///
-    /// Updates are newest-offset-wins: log offsets are reserved in put
-    /// arrival order before any await, but the index update runs after
-    /// the storage write completes, and concurrent same-key puts can
-    /// complete out of reservation order. Letting a lower offset
+    /// Client updates are newest-offset-wins: log offsets are reserved
+    /// in put arrival order before any await, but the index update runs
+    /// after the storage write completes, and concurrent same-key puts
+    /// can complete out of reservation order. Letting a lower offset
     /// overwrite a higher one would resurrect the older value — a lost
     /// update under a linearizability check.
+    ///
+    /// Migration copies are put-if-absent *at index time*: a migrated
+    /// entry never overwrites an existing entry (the present entry is
+    /// either a fresher client write or an idempotent duplicate copy),
+    /// and a client entry always overwrites a migrated one even from a
+    /// lower log offset — the copy reserved its offset later but holds
+    /// the older value, so offset order says nothing here. The presence
+    /// re-check must happen at this point, not before the storage
+    /// write: a concurrent client put that reserved a lower offset but
+    /// has not indexed yet is invisible to any earlier `contains` probe.
     fn index_insert(&self, key: u64, entry: IndexEntry) {
+        let wins = |e: &IndexEntry| {
+            if entry.migrated {
+                false
+            } else if e.migrated {
+                true
+            } else {
+                entry.value_offset > e.value_offset
+            }
+        };
         if let Some(e) = self.dpu_index.borrow_mut().get_mut(&key) {
-            if entry.value_offset > e.value_offset {
+            if wins(e) {
                 *e = entry;
             }
             return;
         }
         if let Some(e) = self.host_index.borrow_mut().get_mut(&key) {
-            if entry.value_offset > e.value_offset {
+            if wins(e) {
                 *e = entry;
             }
             return;
@@ -179,9 +206,43 @@ impl KvStore {
         let entry = IndexEntry {
             value_offset: offset + 12,
             value_len: value.len() as u32,
+            migrated: false,
         };
         self.index_insert(key, entry);
         Ok(())
+    }
+
+    /// Migration copy: appends and indexes `value` only if `key` is
+    /// absent, atomically with respect to concurrent [`KvStore::put`]s.
+    /// Returns whether the copy was installed.
+    ///
+    /// The early `contains` probe only avoids a wasted log append; the
+    /// authoritative if-absent decision is made by [`Self::index_insert`]
+    /// on the `migrated` entry, after the storage write — so a client
+    /// put racing this copy wins no matter how the log offsets and index
+    /// updates interleave, and an acked write can never be clobbered by
+    /// a stale copy arriving from a key's old owner.
+    pub async fn put_if_absent(&self, key: u64, value: &[u8]) -> Result<bool, FsError> {
+        if self.contains(key) {
+            return Ok(false);
+        }
+        let mut rec = Vec::with_capacity(12 + value.len());
+        rec.extend_from_slice(&key.to_le_bytes());
+        rec.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        rec.extend_from_slice(value);
+        let offset = self.tail.get();
+        self.tail.set(offset + rec.len() as u64);
+        self.service.write(self.log, offset, &rec).await?;
+        let installed = !self.contains(key);
+        self.index_insert(
+            key,
+            IndexEntry {
+                value_offset: offset + 12,
+                value_len: value.len() as u32,
+                migrated: true,
+            },
+        );
+        Ok(installed)
     }
 
     /// Which partition (if any) indexes `key`.
@@ -492,9 +553,75 @@ mod tests {
                 IndexEntry {
                     value_offset: 12,
                     value_len: 2,
+                    migrated: false,
                 },
             );
             assert_eq!(kv.get(1).await.unwrap().unwrap(), Bytes::from_static(b"v2"));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn put_if_absent_installs_only_when_absent() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let kv = store(&p, 1 << 20).await;
+            assert!(kv.put_if_absent(1, b"copy").await.unwrap());
+            assert_eq!(
+                kv.get(1).await.unwrap().unwrap(),
+                Bytes::from_static(b"copy")
+            );
+            // Idempotent duplicate copy: refused, first copy stays.
+            assert!(!kv.put_if_absent(1, b"dup").await.unwrap());
+            assert_eq!(
+                kv.get(1).await.unwrap().unwrap(),
+                Bytes::from_static(b"copy")
+            );
+            // A later client write overwrites the migrated entry...
+            kv.put(1, b"fresh").await.unwrap();
+            assert_eq!(
+                kv.get(1).await.unwrap().unwrap(),
+                Bytes::from_static(b"fresh")
+            );
+            // ...and a copy arriving after a client write is refused.
+            kv.put(3, b"client").await.unwrap();
+            assert!(!kv.put_if_absent(3, b"stale").await.unwrap());
+            assert_eq!(
+                kv.get(3).await.unwrap().unwrap(),
+                Bytes::from_static(b"client")
+            );
+        });
+        sim.run();
+    }
+
+    /// The resharding lost-write race: a client put reserves a *lower*
+    /// log offset, then a migration copy of the same key reserves a
+    /// higher one before the client's index update lands. Under plain
+    /// newest-offset-wins the stale copy's higher offset would bury the
+    /// acked client write; the `migrated` flag must make the client
+    /// write win regardless of index-update order.
+    #[test]
+    fn migration_copy_cannot_bury_a_concurrent_client_put() {
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let p = Platform::default_bf2();
+            let kv = store(&p, 1 << 20).await;
+            let kv2 = kv.clone();
+            // Client put polls first: reserves log offset 0.
+            let client = dpdpu_des::spawn(async move { kv2.put(7, b"fresh-client").await });
+            let kv3 = kv.clone();
+            // Migration copy polls second: sees the key absent (the
+            // client's index update is still awaiting storage), reserves
+            // the higher offset.
+            let copy = dpdpu_des::spawn(async move { kv3.put_if_absent(7, b"stale-copy!!").await });
+            client.await.unwrap();
+            copy.await.unwrap();
+            assert_eq!(
+                kv.get(7).await.unwrap().unwrap(),
+                Bytes::from_static(b"fresh-client"),
+                "stale migration copy buried the acked client write"
+            );
         });
         sim.run();
     }

@@ -87,8 +87,21 @@ pub enum Request {
     DropKeys {
         /// Request id.
         req_id: u64,
+        /// `0` on client-originated drops; the group epoch when a
+        /// primary chain-forwards the drop to its backup. A backup
+        /// fenced at a higher epoch rejects the stamped drop with
+        /// [`ErrorCode::StaleEpoch`], exactly like [`Request::ReplPut`].
+        epoch: u64,
         /// Keys to drop.
         keys: Vec<u64>,
+    },
+    /// Liveness probe: answered [`Response::Ok`] without touching
+    /// storage. The cluster's failure detector pings a suspected
+    /// primary before promoting its backup, so a slow-but-alive server
+    /// is not deposed over a transient congestion blip.
+    Ping {
+        /// Request id.
+        req_id: u64,
     },
 }
 
@@ -104,7 +117,8 @@ impl Request {
             | Request::ReplPut { req_id, .. }
             | Request::MigratePut { req_id, .. }
             | Request::ListKeys { req_id }
-            | Request::DropKeys { req_id, .. } => *req_id,
+            | Request::DropKeys { req_id, .. }
+            | Request::Ping { req_id } => *req_id,
         }
     }
 
@@ -176,13 +190,22 @@ impl Request {
                 b.put_u8(8);
                 b.put_u64_le(*req_id);
             }
-            Request::DropKeys { req_id, keys } => {
+            Request::DropKeys {
+                req_id,
+                epoch,
+                keys,
+            } => {
                 b.put_u8(9);
                 b.put_u64_le(*req_id);
+                b.put_u64_le(*epoch);
                 b.put_u32_le(keys.len() as u32);
                 for key in keys {
                     b.put_u64_le(*key);
                 }
+            }
+            Request::Ping { req_id } => {
+                b.put_u8(10);
+                b.put_u64_le(*req_id);
             }
         }
         b.freeze()
@@ -249,13 +272,19 @@ impl Request {
             }
             8 => Ok(Request::ListKeys { req_id }),
             9 => {
+                let epoch = c.u64()?;
                 let n = c.u32()? as usize;
                 let mut keys = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
                     keys.push(c.u64()?);
                 }
-                Ok(Request::DropKeys { req_id, keys })
+                Ok(Request::DropKeys {
+                    req_id,
+                    epoch,
+                    keys,
+                })
             }
+            10 => Ok(Request::Ping { req_id }),
             t => Err(ProtoError::BadTag(t)),
         }
     }
@@ -633,12 +662,15 @@ mod tests {
             Request::ListKeys { req_id: 8 },
             Request::DropKeys {
                 req_id: 9,
+                epoch: 0,
                 keys: vec![1, 2, 300],
             },
             Request::DropKeys {
                 req_id: 10,
+                epoch: 4,
                 keys: vec![],
             },
+            Request::Ping { req_id: 11 },
         ];
         for r in cases {
             assert_eq!(Request::decode(&r.encode()).unwrap(), r);

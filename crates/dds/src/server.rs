@@ -156,6 +156,8 @@ impl Dds {
     fn wants_dpu(&self, req: &Request) -> bool {
         match req {
             Request::KvGet { key, .. } => self.kv.residency(*key) == Residency::Dpu,
+            // A liveness probe touches no storage at all.
+            Request::Ping { .. } => true,
             // Writes and replay involve host-owned state (§7's partial
             // offloading: the log protocol needs host memory).
             Request::KvPut { .. } | Request::AppendLog { .. } => false,
@@ -187,6 +189,7 @@ impl Dds {
             Request::MigratePut { .. } => "MigratePut",
             Request::ListKeys { .. } => "ListKeys",
             Request::DropKeys { .. } => "DropKeys",
+            Request::Ping { .. } => "Ping",
         };
         let mut req_span = dpdpu_telemetry::span("dpu", "dds-server", format!("req:{req_kind}"));
         // Parse + director lookup on the DPU.
@@ -362,14 +365,15 @@ impl Dds {
             Request::MigratePut { req_id, key, value } => {
                 let role = self.repl.borrow().clone();
                 match role {
+                    // The replicated path's chain gate already spans the
+                    // presence check and the put.
                     Some(role) => return self.repl_commit(&role, *req_id, *key, value, true).await,
                     None => {
-                        // Put-if-absent: a client write that already
-                        // landed on this (new) owner must win over the
-                        // stale copy arriving from the old owner.
-                        if !self.kv.contains(*key) {
-                            self.kv.put(*key, value).await?;
-                        }
+                        // Put-if-absent, decided at index-update time: a
+                        // client write that already landed — or is still
+                        // in flight — on this (new) owner must win over
+                        // the stale copy arriving from the old owner.
+                        self.kv.put_if_absent(*key, value).await?;
                         Response::Ok { req_id: *req_id }
                     }
                 }
@@ -378,20 +382,39 @@ impl Dds {
                 req_id: *req_id,
                 keys: self.kv.keys(),
             },
-            Request::DropKeys { req_id, keys } => {
+            Request::DropKeys {
+                req_id,
+                epoch,
+                keys,
+            } => {
                 let role = self.repl.borrow().clone();
+                // A chain-forwarded drop (epoch > 0) is fenced exactly
+                // like ReplPut: a drop stamped by a since-deposed
+                // primary must not reach this replica's index.
+                if let Some(role) = &role {
+                    if *epoch > 0 && *epoch < role.fence.get() {
+                        role.stale_rejections.inc();
+                        return Ok(Response::Error {
+                            req_id: *req_id,
+                            code: ErrorCode::StaleEpoch,
+                        });
+                    }
+                }
                 if let Some(role) = role.filter(|r| r.is_primary() && !r.deposed()) {
                     // Forward the drop down the chain first so it lands
                     // FIFO-after any in-flight replicated puts for the
-                    // same keys.
+                    // same keys, stamped with the epoch this primary
+                    // holds right now.
                     let _gate = role.chain_gate.acquire().await;
                     if !role.ctl.primary_is_solo() {
                         let backup = role.backup.borrow().clone();
                         if let Some(backup) = backup {
                             let fwd = keys.clone();
+                            let fwd_epoch = role.ctl.epoch();
                             if backup
                                 .call(|id| Request::DropKeys {
                                     req_id: id,
+                                    epoch: fwd_epoch,
                                     keys: fwd.clone(),
                                 })
                                 .await
@@ -411,6 +434,7 @@ impl Dds {
                 }
                 Response::Ok { req_id: *req_id }
             }
+            Request::Ping { req_id } => Response::Ok { req_id: *req_id },
         })
     }
 
@@ -463,7 +487,7 @@ impl Dds {
                     // The backup applied (and recorded the ack itself).
                     Ok(Response::Ok { .. }) => Ok(Response::Ok { req_id }),
                     Ok(other) => unreachable!("unexpected replication response {other:?}"),
-                    Err(DpdpuError::Unavailable("stale epoch")) => {
+                    Err(DpdpuError::StaleEpoch) => {
                         // The fence rose past us: a failover already
                         // promoted the backup. Stand down without acking.
                         role.stale_rejections.inc();
@@ -698,7 +722,7 @@ impl DdsClient {
                     // immediately — no retry — so the caller re-routes
                     // to the group's current primary.
                     self.failures.inc();
-                    return Err(DpdpuError::Unavailable("stale epoch"));
+                    return Err(DpdpuError::StaleEpoch);
                 }
                 Ok(Ok(Response::Error { code, .. })) => {
                     // Terminal server answer; retry in case the fault
@@ -708,7 +732,7 @@ impl DdsClient {
                         return Err(match code {
                             ErrorCode::Storage => DpdpuError::Remote("storage error"),
                             ErrorCode::Unavailable => DpdpuError::Unavailable("dds server"),
-                            ErrorCode::StaleEpoch => DpdpuError::Unavailable("stale epoch"),
+                            ErrorCode::StaleEpoch => DpdpuError::StaleEpoch,
                         });
                     }
                 }
@@ -817,11 +841,14 @@ impl DdsClient {
         }
     }
 
-    /// Drops migrated-away keys from the shard's index.
+    /// Drops migrated-away keys from the shard's index. Client drops
+    /// carry epoch 0 (unfenced); the serving primary re-stamps the
+    /// chain-forwarded copy with its group epoch.
     pub async fn drop_keys(&self, keys: Vec<u64>) -> Result<(), DpdpuError> {
         match self
             .call(|req_id| Request::DropKeys {
                 req_id,
+                epoch: 0,
                 keys: keys.clone(),
             })
             .await?

@@ -18,6 +18,9 @@
 //!   (zipfian draw + consistent-hash ring lookup per request);
 //! * `cluster_fleet_sim` — wall-clock cost of one simulated cluster op
 //!   end-to-end (ring, admission, TCP, DDS server, SSD model);
+//! * `par_cluster_sim_{serial,2d,4d,8d}` — the domain-partitioned cluster
+//!   on 1 worker thread vs one thread per domain: the parallel core's
+//!   serial overhead and scaling, counted in completed cluster ops;
 //! * `rdma_fabric` — wall-clock cost of one echo round trip over the
 //!   host-verbs RDMA cluster fabric (credit pumps, framing, QP + NIC +
 //!   link models);
@@ -36,7 +39,9 @@
 //! `BENCH_sim.json`: current `results` plus the `baseline` events/sec map
 //! carried over from `--baseline` (so the file always records both the
 //! pre-change and post-change numbers). Regressions beyond 2× against the
-//! baseline are *soft* failures: a `WARN` line, exit 0 — unless `--strict`.
+//! baseline are *soft* failures: a `WARN` line, exit 0 — unless `--strict`,
+//! or unless the row is on the hard-gate list (`cluster_fleet_sim`,
+//! `par_cluster_sim_8d`), which always exits nonzero.
 //!
 //! Wall-clock timing only; nothing here feeds back into virtual time, so
 //! determinism of the simulated workloads is untouched.
@@ -295,6 +300,39 @@ fn run_all(scale: u64) -> Vec<BenchResult> {
         }));
     }
 
+    // The partitioned cluster, serial vs parallel: the same
+    // domain-sharded DDS workload driven on one worker thread and on one
+    // thread per domain. One event is one completed cluster op, so the
+    // serial row is directly comparable to `cluster_fleet_sim` and the
+    // parallel rows price the conservative synchronizer's scaling (on a
+    // multi-core host the 8-domain row should pull well ahead of the
+    // serial one; on one core it measures pure synchronizer overhead).
+    {
+        use dpdpu_bench::par_cluster::{run_par, ParClusterConfig};
+
+        let ops_per_client = 2 * scale;
+        let cfg = move |domains: usize| ParClusterConfig {
+            domains,
+            clients_per_domain: 2,
+            ops_per_client,
+            keys_per_domain: 16,
+            ..ParClusterConfig::default()
+        };
+        let ops = |domains: u64| domains * 2 * ops_per_client;
+        results.push(bench("par_cluster_sim_serial", ops(8), 3, move || {
+            black_box(run_par(cfg(8), 1).ok);
+        }));
+        for (name, domains) in [
+            ("par_cluster_sim_2d", 2usize),
+            ("par_cluster_sim_4d", 4),
+            ("par_cluster_sim_8d", 8),
+        ] {
+            results.push(bench(name, ops(domains as u64), 3, move || {
+                black_box(run_par(cfg(domains), domains).ok);
+            }));
+        }
+    }
+
     // One fabric echo round trip per counted event: client request and
     // echoed response each cross the credit-flow pumps, the wire
     // framing, and the verbs/NIC/link models — the per-message floor
@@ -472,7 +510,14 @@ fn main() {
         .map(load_baseline)
         .unwrap_or_default();
 
+    // Rows on this list gate the trajectory outright: a >2x regression
+    // exits nonzero even without `--strict`. `cluster_fleet_sim` used to
+    // hide behind the soft gate, and the parallel core's headline row
+    // must never silently decay either.
+    const HARD_FAIL: &[&str] = &["cluster_fleet_sim", "par_cluster_sim_8d"];
+
     let mut regressed = false;
+    let mut hard_regressed = false;
     if !baseline.is_empty() {
         println!("\nvs baseline:");
         for r in &results {
@@ -482,7 +527,12 @@ fn main() {
             let ratio = r.events_per_sec() / base;
             let flag = if ratio < 0.5 {
                 regressed = true;
-                "  WARN: >2x regression"
+                if HARD_FAIL.contains(&r.name) {
+                    hard_regressed = true;
+                    "  FAIL: >2x regression (hard gate)"
+                } else {
+                    "  WARN: >2x regression"
+                }
             } else {
                 ""
             };
@@ -498,7 +548,7 @@ fn main() {
         println!("\nwrote {path}");
     }
 
-    if strict && regressed {
+    if hard_regressed || (strict && regressed) {
         std::process::exit(1);
     }
 }

@@ -6,6 +6,11 @@
 //! cargo run -p dpdpu-bench --bin fig10_cluster_scale -- --cong cubic
 //! cargo run -p dpdpu-bench --bin fig10_cluster_scale -- --fabric rdma
 //! cargo run -p dpdpu-bench --bin fig10_cluster_scale -- --replicas 2
+//! # Beyond the testbed: the partitioned cluster past 8 servers, one
+//! # time domain per server on N worker threads (byte-identical at any
+//! # --jobs value; defaults to the host's available parallelism).
+//! cargo run --release -p dpdpu-bench --bin fig10_cluster_scale -- \
+//!     --servers 16 32 64 --jobs 8
 //! ```
 
 use dpdpu_net::NetConfig;
@@ -13,8 +18,37 @@ use dpdpu_net::NetConfig;
 fn main() {
     let mut net = NetConfig::default();
     let mut replicas = 1usize;
-    let mut args = std::env::args().skip(1);
+    let mut servers: Vec<usize> = Vec::new();
+    let mut jobs: Option<usize> = None;
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--servers" => {
+                // Consumes every following numeric token: `--servers 16 32 64`.
+                while let Some(n) = args.peek().and_then(|v| v.parse::<usize>().ok()) {
+                    if n < 2 {
+                        usage("--servers values must be >= 2 (partitioning needs two domains)");
+                    }
+                    servers.push(n);
+                    args.next();
+                }
+                if servers.is_empty() {
+                    usage("--servers needs at least one fleet size");
+                }
+                continue;
+            }
+            "--jobs" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| usage("--jobs needs a thread count"));
+                jobs = match value.parse() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => usage("--jobs must be a positive thread count"),
+                };
+                continue;
+            }
+            _ => {}
+        }
         let value = match arg.as_str() {
             "--fabric" | "--cong" | "--loss" | "--ecn-threshold-us" | "--replicas" => args
                 .next()
@@ -34,6 +68,17 @@ fn main() {
             Err(msg) => usage(&msg),
         }
     }
+    if !servers.is_empty() {
+        // The partitioned sweep installs per-domain conformance sessions
+        // itself (one per time domain), so no process-global guard here.
+        let jobs =
+            jobs.unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        println!(
+            "{}",
+            dpdpu_bench::fig10_cluster_scale::run_scale(&servers, jobs)
+        );
+        return;
+    }
     // Conformance guard: every figure/ablation run is invariant-checked.
     let _check = dpdpu_check::CheckGuard::new();
     println!(
@@ -45,7 +90,7 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("{msg}");
     eprintln!(
-        "usage: fig10_cluster_scale [--replicas 1|2] {}",
+        "usage: fig10_cluster_scale [--replicas 1|2] [--servers N N ...] [--jobs N] {}",
         NetConfig::cli_help()
     );
     std::process::exit(2)

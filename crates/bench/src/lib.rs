@@ -35,6 +35,7 @@ pub mod fig8_roundtrips;
 pub mod fig9_dds_savings;
 pub mod fleet;
 pub mod netmatrix;
+pub mod par_cluster;
 pub mod scenarios;
 pub mod table;
 

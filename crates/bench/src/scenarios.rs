@@ -47,6 +47,7 @@ pub fn all() -> Vec<(&'static str, ScenarioFn)> {
         ("cluster_fabric", cluster_fabric),
         ("net_scenarios", net_scenarios),
         ("cluster_failover", cluster_failover),
+        ("par_cluster", crate::par_cluster::par_cluster),
     ]
 }
 
@@ -494,7 +495,6 @@ pub fn cluster_failover(seed: u64) -> ScenarioRun {
                 value_bytes: 128,
                 scan_len: 4,
                 seed,
-                ..FleetConfig::default()
             };
             preload(&client, &cfg).await;
             // Scripted resharding: kicks off inside the crash window,
@@ -549,7 +549,10 @@ pub fn cluster_failover(seed: u64) -> ScenarioRun {
             .expect("cluster must escape the sim")
             .verify_replicas();
         let _ = writeln!(stdout, "## scenario cluster_failover (seed {seed})");
-        let _ = writeln!(stdout, "{summary} injected={injected} grown_shard={new_shard}");
+        let _ = writeln!(
+            stdout,
+            "{summary} injected={injected} grown_shard={new_shard}"
+        );
         let _ = writeln!(stdout, "replication: {repl}");
         let _ = writeln!(stdout, "served dpu+host per shard: {shards}");
     })

@@ -265,6 +265,16 @@ impl CheckSession {
         session
     }
 
+    /// Re-installs an existing session as this thread's current one.
+    /// Unlike [`CheckSession::install`] no fresh session is created:
+    /// this is how a parallel time domain re-enters its session around
+    /// every execution slice, so streaming invariants keep their
+    /// accumulated state across slices.
+    pub fn reinstall(session: &Rc<Self>) {
+        CURRENT.with(|c| *c.borrow_mut() = Some(session.clone()));
+        probe::set_checker(Some(session.clone()));
+    }
+
     /// Installs a strict session only if none is active; returns the
     /// active session either way. Lets `DpdpuBuilder::boot` make the
     /// checker always-on without clobbering an outer [`CheckGuard`].

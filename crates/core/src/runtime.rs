@@ -7,8 +7,8 @@ use bytes::Bytes;
 use dpdpu_compute::{ComputeEngine, KernelInput, KernelOp, KernelOutput, Placement, Scheduler};
 use dpdpu_faults::FaultSession;
 use dpdpu_hw::Platform;
-use dpdpu_net::NetConfig;
 use dpdpu_net::tcp::TcpSender;
+use dpdpu_net::NetConfig;
 use dpdpu_storage::{FileId, FileService, HostFrontEnd};
 
 use crate::builder::DpdpuBuilder;

@@ -287,7 +287,11 @@ impl DdsCluster {
             let (ptx, prx) = primary_conn.split();
             let chain = DdsClient::new(ptx, prx);
             chain.set_policy(CHAIN_POLICY);
-            *members[0].replication().expect("role attached").backup.borrow_mut() = Some(chain);
+            *members[0]
+                .replication()
+                .expect("role attached")
+                .backup
+                .borrow_mut() = Some(chain);
             Some(ctl)
         } else {
             None
@@ -322,7 +326,11 @@ impl DdsCluster {
     /// The initial-primary server of every group, in shard order —
     /// per-shard service counters for experiments.
     pub fn primaries(&self) -> Vec<Rc<Dds>> {
-        self.groups.borrow().iter().map(|g| g.members[0].clone()).collect()
+        self.groups
+            .borrow()
+            .iter()
+            .map(|g| g.members[0].clone())
+            .collect()
     }
 
     /// The platform backing shard `i`'s initial primary.
@@ -479,9 +487,9 @@ impl ClusterClient {
     fn ensure_conns(&self) {
         let groups: Vec<Rc<ReplicaGroup>> = self.cluster.groups.borrow().clone();
         let mut conns = self.conns.borrow_mut();
-        for gi in conns.len()..groups.len() {
+        for (gi, group) in groups.iter().enumerate().skip(conns.len()) {
             let label = format!("node{gi}");
-            let clients = groups[gi]
+            let clients = group
                 .members
                 .iter()
                 .enumerate()
@@ -492,7 +500,11 @@ impl ClusterClient {
                         p.dpu_cpu.clone(),
                         p.host_dpu_pcie.clone(),
                     );
-                    let suffix = if r == 0 { String::new() } else { format!("r{r}") };
+                    let suffix = if r == 0 {
+                        String::new()
+                    } else {
+                        format!("r{r}")
+                    };
                     let (client_conn, server_conn) = self.transport.connect(
                         &self.client_ep,
                         &server_ep,
@@ -711,7 +723,7 @@ impl ClusterClient {
         hits.sort_by_key(|&(k, _, s)| (k, s != self.cluster.shard_for(k)));
         let mut merged: Vec<(u64, Bytes)> = Vec::with_capacity(hits.len());
         for (k, v, _) in hits {
-            if merged.last().map_or(true, |&(lk, _)| lk != k) {
+            if merged.last().is_none_or(|&(lk, _)| lk != k) {
                 merged.push((k, v));
             }
         }
@@ -745,7 +757,10 @@ impl ClusterClient {
         let keys = self
             .retrying(|| self.call_group(src, 8, false, |c| async move { c.list_keys().await }))
             .await?;
-        let moving: Vec<u64> = keys.into_iter().filter(|&k| ring.shard_for(k) != src).collect();
+        let moving: Vec<u64> = keys
+            .into_iter()
+            .filter(|&k| ring.shard_for(k) != src)
+            .collect();
         for &k in &moving {
             let value = self
                 .retrying(|| self.call_group(src, 8, false, |c| async move { c.kv_get(k).await }))
@@ -1231,10 +1246,13 @@ mod tests {
             let client_cpu = CpuPool::new("client", 16, 3_000_000_000);
             let client = cluster.connect(client_cpu);
             // Seed a key before the crash window opens.
-            client.kv_put(7, Bytes::from_static(b"before")).await.unwrap();
+            client
+                .kv_put(7, Bytes::from_static(b"before"))
+                .await
+                .unwrap();
             dpdpu_des::sleep(2_000_000).await; // enter the window
-            // Writes during the crash: the first ops fail while the
-            // detector counts, then the backup takes over.
+                                               // Writes during the crash: the first ops fail while the
+                                               // detector counts, then the backup takes over.
             let mut acked = 0;
             for i in 0..6u64 {
                 if client
@@ -1294,11 +1312,7 @@ mod tests {
             let moved: Vec<u64> = (0..48u64)
                 .filter(|&k| before.shard_for(k) != after.shard_for(k))
                 .collect();
-            assert!(
-                moved.len() < 48 * 2 / 3,
-                "moved {} of 48 keys",
-                moved.len()
-            );
+            assert!(moved.len() < 48 * 2 / 3, "moved {} of 48 keys", moved.len());
             for &k in &moved {
                 assert_eq!(after.shard_for(k), new);
             }
@@ -1363,9 +1377,11 @@ mod tests {
         // retry budget (64 × ~11.4ms ≈ 730ms), so add_shard fails
         // mid-drain. The dual-read window must stay open — every key
         // readable — and resume_migration finishes the move later.
-        let _guard = dpdpu_faults::SessionGuard::new(
-            dpdpu_faults::FaultPlan::new(42).shard_crash("node0", 50_000_000, 1_000_000_000),
-        );
+        let _guard = dpdpu_faults::SessionGuard::new(dpdpu_faults::FaultPlan::new(42).shard_crash(
+            "node0",
+            50_000_000,
+            1_000_000_000,
+        ));
         let _check = dpdpu_check::CheckGuard::new();
         run_async(async {
             let cluster = DdsCluster::build(ClusterConfig {
@@ -1482,7 +1498,10 @@ mod tests {
                 client.kv_get(7).await.unwrap().unwrap(),
                 Bytes::from_static(b"seed")
             );
-            client.kv_put(8, Bytes::from_static(b"after")).await.unwrap();
+            client
+                .kv_put(8, Bytes::from_static(b"after"))
+                .await
+                .unwrap();
             assert_eq!(ctl.promotions.get(), 0);
         });
     }

@@ -138,10 +138,7 @@ impl ReplGroupCtl {
     pub fn primary_is_solo(&self) -> bool {
         let deposed = self.deposed.borrow();
         let primary = self.primary.get();
-        deposed
-            .iter()
-            .enumerate()
-            .all(|(i, d)| i == primary || *d)
+        deposed.iter().enumerate().all(|(i, d)| i == primary || *d)
     }
 }
 

@@ -293,7 +293,9 @@ impl Dds {
             Request::KvPut { req_id, key, value } => {
                 let role = self.repl.borrow().clone();
                 match role {
-                    Some(role) => return self.repl_commit(&role, *req_id, *key, value, false).await,
+                    Some(role) => {
+                        return self.repl_commit(&role, *req_id, *key, value, false).await
+                    }
                     None => {
                         self.kv.put(*key, value).await?;
                         Response::Ok { req_id: *req_id }

@@ -177,6 +177,8 @@ pub struct Sim {
     /// Reusable drain buffer swapped with the shared wake list, so neither
     /// side loses its capacity between iterations.
     scratch: Vec<usize>,
+    /// Total task polls, ever. See [`Sim::polls`].
+    polls: Cell<u64>,
 }
 
 impl Default for Sim {
@@ -204,6 +206,7 @@ impl Sim {
             ready: VecDeque::new(),
             queued: Vec::new(),
             scratch: Vec::new(),
+            polls: Cell::new(0),
         }
     }
 
@@ -218,6 +221,61 @@ impl Sim {
     /// re-poll their timers.
     pub fn pending_timers(&self) -> usize {
         self.shared.timers.borrow().len()
+    }
+
+    /// Deadline of the earliest pending timer, if any. This is the
+    /// simulation's next *local* event: the conservative synchronizer in
+    /// [`crate::domain`] uses it as one component of a domain's promise.
+    pub fn next_timer_deadline(&self) -> Option<Time> {
+        self.shared
+            .timers
+            .borrow()
+            .peek()
+            .map(|Reverse(entry)| entry.deadline)
+    }
+
+    /// True when a task is queued, spawned, or has a wake pending — i.e.
+    /// calling [`Sim::run_until`] with the current time would poll
+    /// something.
+    pub fn has_runnable(&self) -> bool {
+        !self.ready.is_empty()
+            || self.shared.has_spawned.get()
+            || self.shared.wake_list.local_dirty.get()
+            || self.shared.wake_list.remote_dirty.load(Ordering::Acquire)
+    }
+
+    /// Total task polls performed so far. A cheap progress signal for
+    /// drivers that need to know whether a `run_until` did anything.
+    pub fn polls(&self) -> u64 {
+        self.polls.get()
+    }
+
+    /// Jumps the clock straight to `t` without going through the timer
+    /// heap. This is how cross-domain messages are delivered at their
+    /// stamped virtual time: the domain driver quiesces the simulation
+    /// below `t`, advances to exactly `t`, and only then wakes the
+    /// receivers — so arrivals at `t` are processed *before* local timers
+    /// at `t` fire, a fixed convention that makes the merged event order
+    /// independent of how work was sliced across synchronization rounds.
+    ///
+    /// # Panics
+    /// Panics if `t` is in the past or jumps over a pending timer.
+    pub fn advance_to(&mut self, t: Time) {
+        let prev = self.shared.now.get();
+        assert!(
+            t >= prev,
+            "advance_to({t}) would move the clock backwards from {prev}"
+        );
+        if let Some(deadline) = self.next_timer_deadline() {
+            assert!(
+                deadline >= t,
+                "advance_to({t}) would jump over a pending timer at {deadline}"
+            );
+        }
+        if t != prev {
+            self.shared.now.set(t);
+            crate::probe::emit_advance(prev, t);
+        }
     }
 
     /// Spawns a root task. Tasks spawned before [`Sim::run`] start at time 0
@@ -247,16 +305,22 @@ impl Sim {
                 self.admit_spawned();
                 self.drain_woken();
             }
-            // Quiescent: advance the clock to the next timer.
+            // Quiescent: advance the clock to the next timer. Peek before
+            // popping — re-registering a beyond-deadline timer would hand
+            // it a fresh tie-break sequence number and reorder it against
+            // a same-deadline sibling on a later call, so the partial-run
+            // path must leave the heap untouched.
+            let beyond = match self.shared.timers.borrow().peek() {
+                Some(Reverse(entry)) => entry.deadline > deadline,
+                None => false,
+            };
+            if beyond {
+                self.shared.now.set(deadline.max(self.shared.now.get()));
+                break;
+            }
             let next = self.shared.timers.borrow_mut().pop();
             match next {
                 Some(Reverse(entry)) => {
-                    if entry.deadline > deadline {
-                        // Put it back and stop at the deadline.
-                        self.shared.register_timer(entry.deadline, entry.waker);
-                        self.shared.now.set(deadline.max(self.shared.now.get()));
-                        break;
-                    }
                     let prev = self.shared.now.get();
                     debug_assert!(entry.deadline >= prev);
                     let next = entry.deadline.max(prev);
@@ -349,6 +413,7 @@ impl Sim {
     }
 
     fn poll_task(&mut self, id: usize) {
+        self.polls.set(self.polls.get() + 1);
         // Poll in place: the future stays in its slot (nothing a task can
         // reach re-enters `Sim`, so the slot is stable across the poll),
         // and the cached waker is shared by every poll of this slot.
@@ -363,6 +428,18 @@ impl Sim {
             self.tasks[id] = None;
             self.free.push(id);
         }
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        // Parked tasks may own guards whose destructors read the virtual
+        // clock (telemetry spans, probe scopes). Enter the sim context so
+        // those destructors run *inside* the simulation at its final
+        // time, exactly as they would had the task completed normally.
+        let _guard = enter(self.shared.clone());
+        self.tasks.clear();
+        self.shared.spawned.borrow_mut().clear();
     }
 }
 

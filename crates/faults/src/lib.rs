@@ -264,7 +264,8 @@ impl FaultPlan {
     /// responses, so peers see timeouts while durable state survives.
     pub fn shard_crash(mut self, tag: &str, from: Time, until: Time) -> Self {
         assert!(from < until, "empty shard-crash window");
-        self.shard_crash.push((tag.to_string(), Window { from, until }));
+        self.shard_crash
+            .push((tag.to_string(), Window { from, until }));
         self
     }
 

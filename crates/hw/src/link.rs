@@ -4,9 +4,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use dpdpu_des::{
-    channel, now, sleep, spawn, transmit_ns, Counter, Receiver, Sender, Server, Time,
-};
+use dpdpu_des::{channel, now, sleep, spawn, transmit_ns, Counter, Receiver, Sender, Server, Time};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -38,6 +36,17 @@ impl LinkConfig {
             seed: 7,
             ecn_threshold_ns: 0,
         }
+    }
+
+    /// The link's latency floor in ns: no frame sent now can arrive
+    /// sooner than this. This is the conservative **lookahead** the
+    /// parallel simulation core synchronizes on — a cross-domain channel
+    /// modelled on this link may promise its peer at least this much
+    /// clock headroom.
+    pub fn lookahead_ns(&self) -> Time {
+        // Propagation is the guaranteed floor; serialization time only
+        // adds to it, and queueing never subtracts.
+        self.propagation_ns.max(1)
     }
 
     /// Sets the loss rate, keeping everything else.
@@ -271,13 +280,7 @@ mod tests {
             }
             assert_eq!(
                 got,
-                vec![
-                    (0, false),
-                    (1, false),
-                    (2, true),
-                    (3, true),
-                    (4, true)
-                ]
+                vec![(0, false), (1, false), (2, true), (3, true), (4, true)]
             );
             assert_eq!(link.ecn_marked.get(), 3);
         });

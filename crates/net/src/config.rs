@@ -62,6 +62,14 @@ impl NetConfig {
         crate::fabric::transport_for(self.fabric, self.link, self.tcp, self.fabric_params)
     }
 
+    /// The network's latency floor in ns — the conservative lookahead a
+    /// parallel time domain may promise across any connection built from
+    /// this configuration. Every fabric kind rides [`NetConfig::link`],
+    /// so the link's propagation delay bounds all of them.
+    pub fn lookahead_ns(&self) -> dpdpu_des::Time {
+        self.link.lookahead_ns()
+    }
+
     /// Applies one `--flag value` pair from a bench-bin command line.
     /// Returns `Ok(true)` when the flag belongs to [`NetConfig`] and was
     /// applied, `Ok(false)` when it is not a network flag (the caller

@@ -579,7 +579,11 @@ mod tests {
                 "concave approach: early delta {early:.3} must beat late {late:.3}"
             );
             // Convex phase: past W_max the deltas grow again.
-            let above: Vec<f64> = samples.iter().copied().filter(|w| *w > w_max + 1.0).collect();
+            let above: Vec<f64> = samples
+                .iter()
+                .copied()
+                .filter(|w| *w > w_max + 1.0)
+                .collect();
             assert!(above.len() > 10, "must probe past W_max");
             let first = above[1] - above[0];
             let last = above[above.len() - 1] - above[above.len() - 2];

@@ -96,8 +96,96 @@ pub(crate) fn export(t: &Telemetry) -> String {
     out
 }
 
+/// Maximum pids a single domain's trace may use in a merge — the
+/// per-domain pid namespace stride.
+const MERGE_PID_STRIDE: u64 = 1_000;
+
+/// Merges per-domain Chrome traces (as produced by
+/// [`Telemetry::chrome_trace`]) into one trace.
+///
+/// This is the parallel simulation core's canonical probe-stream merge:
+/// timed events are globally ordered by **(virtual time, domain index,
+/// original in-domain order)**, so the merged trace is a pure function
+/// of the per-domain traces — independent of thread count or wall-clock
+/// interleaving. Each domain gets its own pid namespace and its process
+/// names are prefixed `"{domain}/"` so Perfetto shows one process group
+/// per domain.
+///
+/// Works line-wise: the exporter above emits exactly one event per line,
+/// which is part of its format contract.
+pub fn merge_traces(domains: &[(String, String)]) -> String {
+    // (ts, domain, original index) sort key alongside the rewritten line.
+    let mut meta: Vec<String> = Vec::new();
+    let mut timed: Vec<(f64, usize, usize, String)> = Vec::new();
+    for (d, (name, trace)) in domains.iter().enumerate() {
+        let offset = d as u64 * MERGE_PID_STRIDE;
+        for (idx, raw) in trace.lines().enumerate() {
+            let line = raw.trim().trim_end_matches(',');
+            if !line.contains("\"ph\":") {
+                continue; // the {"traceEvents": shell, not an event
+            }
+            let line = remap_pid(line, offset);
+            if let Some(ts) = field_f64(&line, "\"ts\":") {
+                timed.push((ts, d, idx, line));
+            } else {
+                // Metadata: prefix the device name with the domain.
+                meta.push(prefix_process_name(&line, name));
+            }
+        }
+    }
+    timed.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("virtual timestamps are finite")
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+
+    let mut events = meta;
+    events.extend(timed.into_iter().map(|(_, _, _, line)| line));
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ns\"}\n");
+    out
+}
+
+/// Adds `offset` to the event's pid (every exported event has exactly
+/// one `"pid":` field).
+fn remap_pid(line: &str, offset: u64) -> String {
+    let i = line.find("\"pid\":").expect("every trace event has a pid") + "\"pid\":".len();
+    let digits = line[i..].bytes().take_while(|b| b.is_ascii_digit()).count();
+    let pid: u64 = line[i..i + digits].parse().expect("pid is an integer");
+    assert!(
+        pid < MERGE_PID_STRIDE,
+        "domain trace uses pid {pid} >= the merge stride {MERGE_PID_STRIDE}"
+    );
+    format!("{}{}{}", &line[..i], pid + offset, &line[i + digits..])
+}
+
+/// Parses the numeric value following `key`, if present.
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    let i = line.find(key)? + key.len();
+    let len = line[i..]
+        .bytes()
+        .take_while(|b| b.is_ascii_digit() || *b == b'.' || *b == b'-')
+        .count();
+    line[i..i + len].parse().ok()
+}
+
+/// Prefixes `process_name` metadata values with `"{domain}/"`.
+fn prefix_process_name(line: &str, domain: &str) -> String {
+    if !line.contains("\"name\":\"process_name\"") {
+        return line.to_string();
+    }
+    let key = "\"args\":{\"name\":\"";
+    let Some(i) = line.find(key).map(|i| i + key.len()) else {
+        return line.to_string();
+    };
+    format!("{}{}/{}", &line[..i], escape(domain), &line[i..])
+}
+
 #[cfg(test)]
 mod tests {
+    use super::merge_traces;
     use crate::json::Json;
     use crate::{record_span, span, start_sampler, Telemetry};
     use dpdpu_des::{sleep, Sim};
@@ -211,5 +299,42 @@ mod tests {
         let t = Telemetry::install();
         Telemetry::uninstall();
         validate(&t.chrome_trace());
+    }
+
+    #[test]
+    fn merged_traces_are_ordered_by_virtual_time_then_domain() {
+        let mut traces = Vec::new();
+        for (d, (start, end)) in [(100u64, 300u64), (50, 200)].iter().enumerate() {
+            let t = Telemetry::install();
+            record_span("host", "cpu", "early", *start, *end, &[]);
+            record_span("host", "cpu", "late", 500, 900, &[]);
+            Telemetry::uninstall();
+            traces.push((format!("d{d}"), t.chrome_trace()));
+        }
+        let merged = merge_traces(&traces);
+        let doc = validate(&merged);
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let xs: Vec<(f64, u64)> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .map(|e| {
+                (
+                    e.get("ts").unwrap().as_f64().unwrap(),
+                    e.get("pid").unwrap().as_f64().unwrap() as u64,
+                )
+            })
+            .collect();
+        // (ts, domain) sorted: d1's 0.05 µs span first, then d0's 0.1,
+        // then both 0.5 µs spans in domain order.
+        assert_eq!(xs.len(), 4);
+        assert!(xs.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(xs[0].0, 0.05);
+        assert!(xs[0].1 >= 1_000, "domain 1 pids are offset");
+        assert_eq!(xs[2].0, 0.5);
+        assert!(xs[2].1 < 1_000, "equal-ts ties break by domain index");
+        // Process names carry the domain prefix.
+        assert!(merged.contains("d0/host") && merged.contains("d1/host"));
+        // Same inputs, same bytes.
+        assert_eq!(merged, merge_traces(&traces));
     }
 }

@@ -56,6 +56,7 @@ use std::rc::Rc;
 use dpdpu_des::probe::{self, Probe};
 use dpdpu_des::Time;
 
+pub use chrome::merge_traces;
 pub use intern::{Interner, Sym};
 pub use metrics::Registry;
 pub use sampler::{start_sampler, CounterSample, SamplerHandle};
@@ -115,6 +116,15 @@ impl Telemetry {
         CURRENT.with(|c| *c.borrow_mut() = Some(t.clone()));
         probe::set_probe(Some(Rc::new(DesProbe)));
         t
+    }
+
+    /// Re-installs an existing session as the thread's current one. This
+    /// is how a parallel time domain re-enters its session around every
+    /// execution slice: unlike [`Telemetry::install`] it does not create
+    /// a fresh session, so events keep accumulating where they left off.
+    pub fn reinstall(t: &Rc<Telemetry>) {
+        CURRENT.with(|c| *c.borrow_mut() = Some(t.clone()));
+        probe::set_probe(Some(Rc::new(DesProbe)));
     }
 
     /// Removes the current session and the DES probe. Instrumented code

@@ -88,6 +88,11 @@ fn cluster_failover_matches_golden() {
 }
 
 #[test]
+fn par_cluster_matches_golden() {
+    check_scenario("par_cluster");
+}
+
+#[test]
 fn every_scenario_has_golden_coverage() {
     // Adding a scenario without blessing fixtures for it must fail
     // loudly here, not silently skip conformance.
@@ -99,6 +104,7 @@ fn every_scenario_has_golden_coverage() {
         "cluster_fabric",
         "net_scenarios",
         "cluster_failover",
+        "par_cluster",
     ];
     for (name, _) in dpdpu_bench::scenarios::all() {
         assert!(

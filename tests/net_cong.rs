@@ -49,11 +49,9 @@ fn every_algorithm_survives_loss_in_order() {
                     // Content encodes (stream, seq) so reordering or
                     // corruption shows up as a payload mismatch.
                     let body = format!("{alg:?}-{stream_id}-{seq}");
-                    tx.send(Bytes::from(vec![
-                        body.as_bytes().to_vec(),
-                        vec![b'.'; 4096],
-                    ]
-                    .concat()));
+                    tx.send(Bytes::from(
+                        [body.as_bytes().to_vec(), vec![b'.'; 4096]].concat(),
+                    ));
                 }
                 drop(tx);
                 let done = done2.clone();

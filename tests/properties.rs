@@ -497,7 +497,11 @@ fn live_resharding_moves_few_keys_and_keeps_all_readable() {
             // Steady state after the ring settles: everything readable,
             // nothing duplicated in a scan.
             for k in 0..keys {
-                let got = client.kv_get(k).await.expect("post-reshard read").expect("present");
+                let got = client
+                    .kv_get(k)
+                    .await
+                    .expect("post-reshard read")
+                    .expect("present");
                 let v = u64::from_le_bytes(got[..8].try_into().expect("8 bytes"));
                 assert_eq!(v, values[k as usize], "case {case}: key {k} after reshard");
             }

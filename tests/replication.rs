@@ -71,11 +71,7 @@ fn plan_for(chaos: Chaos, seed: u64) -> FaultPlan {
 /// One client task: a random read/write mix over a small hot key set,
 /// recording every observation. Returns its history and how many
 /// writes ended ambiguous (error after possible partial effect).
-async fn client_task(
-    client: Rc<ClusterClient>,
-    c: usize,
-    seed: u64,
-) -> (History, u64) {
+async fn client_task(client: Rc<ClusterClient>, c: usize, seed: u64) -> (History, u64) {
     let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(1_000) + c as u64);
     let mut h = History::new();
     let mut ambiguous = 0u64;
@@ -209,7 +205,11 @@ fn run_chaos(chaos: Chaos, seed: u64) {
             }
             Chaos::CrashDuringMigration => {
                 let ctl1 = cluster.ctl(1).expect("replicated group");
-                assert_eq!(ctl1.promotions.get(), 1, "shard 1 failed over mid-migration");
+                assert_eq!(
+                    ctl1.promotions.get(),
+                    1,
+                    "shard 1 failed over mid-migration"
+                );
                 assert!(ctl1.epoch() > 1, "failover advances the epoch");
                 assert!(cluster.ctl(2).is_some(), "grown shard is replicated too");
                 assert!(!cluster.migrating(), "migration completed");
@@ -231,7 +231,10 @@ fn run_chaos(chaos: Chaos, seed: u64) {
     });
     sim.run();
     FaultSession::uninstall();
-    assert!(done.get(), "simulation deadlocked before the fleet finished");
+    assert!(
+        done.get(),
+        "simulation deadlocked before the fleet finished"
+    );
     // After quiesce: surviving replicas of every group must hold
     // identical KV state. The CheckGuard fails the test on drop if the
     // digests diverge or any epoch went backwards.

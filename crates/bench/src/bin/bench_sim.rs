@@ -16,6 +16,9 @@
 //!   session installed vs the disabled single-branch path;
 //! * `fleet_routing` — the cluster workload generator's pure-CPU half
 //!   (zipfian draw + consistent-hash ring lookup per request);
+//! * `gateway_wfq` — the multi-tenant gateway's scheduler hot path: one
+//!   DRR enqueue plus one pick across eight weighted tenant queues per
+//!   event, the pure-CPU cost every gateway-fronted request pays;
 //! * `cluster_fleet_sim` — wall-clock cost of one simulated cluster op
 //!   end-to-end (ring, admission, TCP, DDS server, SSD model);
 //! * `par_cluster_sim_{serial,2d,4d,8d}` — the domain-partitioned cluster
@@ -259,6 +262,32 @@ fn run_all(scale: u64) -> Vec<BenchResult> {
             let mut acc = 0usize;
             for _ in 0..draws {
                 acc ^= ring.shard_for(sampler.sample(&mut rng));
+            }
+            black_box(acc);
+        }));
+    }
+
+    // The gateway scheduler's pure-CPU hot path: one DRR enqueue plus
+    // one pick per counted event, eight tenant queues with mixed
+    // weights and request costs spanning gets to fanned-out scans.
+    // This bounds how fast the WFQ tier itself can cycle requests,
+    // independent of admission, dispatch slots, and the cluster below.
+    {
+        use dpdpu_dds::gateway::DrrScheduler;
+
+        let ops = 16_384 * scale;
+        results.push(bench("gateway_wfq", ops, 5, move || {
+            let weights = [1u64, 4, 2, 8, 1, 4, 2, 8];
+            let mut drr = DrrScheduler::new(&weights, 4_096);
+            let mut acc = 0u64;
+            for i in 0..ops {
+                drr.enqueue((i % 8) as usize, 64 + (i & 0xFFF), i);
+                if let Some((tenant, _, item)) = drr.pick() {
+                    acc ^= item ^ tenant as u64;
+                }
+            }
+            while let Some((_, _, item)) = drr.pick() {
+                acc ^= item;
             }
             black_box(acc);
         }));

@@ -1,0 +1,70 @@
+//! Prints the fig11_tenants isolation table; see the module docs in
+//! `dpdpu_bench::fig11_tenants`.
+//!
+//! ```sh
+//! cargo run -p dpdpu-bench --bin fig11_tenants                 # defaults
+//! cargo run -p dpdpu-bench --bin fig11_tenants -- --tenants 5  # extra victims
+//! cargo run -p dpdpu-bench --bin fig11_tenants -- --weights 1,8,2
+//! cargo run -p dpdpu-bench --bin fig11_tenants -- --seed 7
+//! ```
+//!
+//! `--tenants N` (N >= 3) adds `N - 3` extra steady-KV victim tenants
+//! beyond the default storm/steady/batch trio. `--weights` is a comma
+//! list overriding the DRR weights in tenant order.
+
+use dpdpu_bench::fig11_tenants::{default_tenants, run_with};
+use dpdpu_core::TenantSpec;
+
+fn main() {
+    let mut tenants = 3usize;
+    let mut weights: Vec<u64> = Vec::new();
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = args
+            .next()
+            .unwrap_or_else(|| usage(&format!("{arg} needs a value")));
+        match arg.as_str() {
+            "--tenants" => {
+                tenants = match value.parse() {
+                    Ok(n) if n >= 3 => n,
+                    _ => usage("--tenants must be at least 3 (storm, steady, batch)"),
+                };
+            }
+            "--weights" => {
+                weights = value
+                    .split(',')
+                    .map(|w| match w.parse() {
+                        Ok(n) if n >= 1 => n,
+                        _ => usage("--weights entries must be positive integers"),
+                    })
+                    .collect();
+            }
+            "--seed" => {
+                seed = value
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed must be an integer"));
+            }
+            other => usage(&format!("unknown argument: {other}")),
+        }
+    }
+    let mut specs = default_tenants();
+    for i in 3..tenants {
+        specs.push(TenantSpec::latency(format!("steady-kv{}", i - 1), 4));
+    }
+    if weights.len() > specs.len() {
+        usage("more --weights than tenants");
+    }
+    for (spec, w) in specs.iter_mut().zip(&weights) {
+        spec.weight = *w;
+    }
+    println!("{}", run_with(specs, seed));
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!(
+        "fig11_tenants: {problem}\n\
+         usage: fig11_tenants [--tenants N>=3] [--weights w1,w2,...] [--seed S]"
+    );
+    std::process::exit(2);
+}

@@ -15,11 +15,13 @@
 //! statistics and the issued/ok/shed/error conservation split that the
 //! `fig10_cluster_scale` sweep and the `cluster_fleet` scenario report.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use bytes::Bytes;
 use dpdpu_core::DpdpuError;
 use dpdpu_dds::cluster::ClusterClient;
+use dpdpu_dds::gateway::{Gateway, TenantId};
 use dpdpu_des::{now, spawn, Histogram};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -349,6 +351,209 @@ pub async fn run_fleet(client: &Rc<ClusterClient>, cfg: FleetConfig) -> FleetRep
     }
 }
 
+/// One tenant's offered load for the mixed-tenant gateway fleet.
+///
+/// A tenant simulates a large population of `logical_clients` (think
+/// "1M+ end-user connections terminated on the gateway DPU") multiplexed
+/// over `tasks` concurrent generator tasks: each request is attributed
+/// to a logical client drawn uniformly from the population, and the
+/// fleet reports how many distinct logical clients were actually seen.
+/// `pause_every_ops`/`pause_ns` turn the generator into an on/off burst
+/// source (issue a burst, go silent, repeat).
+#[derive(Debug, Clone, Copy)]
+pub struct TenantWorkload {
+    /// Gateway tenant index ([`TenantId`]).
+    pub tenant: usize,
+    /// Logical client population attributed across requests.
+    pub logical_clients: u64,
+    /// Concurrent generator tasks multiplexing the population.
+    pub tasks: usize,
+    /// Requests each task issues over the run.
+    pub ops_per_task: u64,
+    /// Per-task in-flight window.
+    pub pipeline: usize,
+    /// Open-loop gap between launches, ns (`0` = saturating).
+    pub gap_ns: u64,
+    /// Key popularity.
+    pub dist: KeyDist,
+    /// Operation mix.
+    pub mix: Mix,
+    /// Value payload size for updates.
+    pub value_bytes: usize,
+    /// Keys returned per scan.
+    pub scan_len: u32,
+    /// Pause after this many launches per task (`0` = steady load).
+    pub pause_every_ops: u64,
+    /// Silent-phase length for the burst cycle, ns.
+    pub pause_ns: u64,
+}
+
+impl TenantWorkload {
+    /// A steady read-heavy workload for `tenant` with small defaults.
+    pub fn new(tenant: usize) -> Self {
+        TenantWorkload {
+            tenant,
+            logical_clients: 1_000,
+            tasks: 4,
+            ops_per_task: 64,
+            pipeline: 4,
+            gap_ns: 0,
+            dist: KeyDist::Zipfian {
+                keys: 128,
+                theta: 0.99,
+            },
+            mix: Mix::read_heavy(),
+            value_bytes: 256,
+            scan_len: 8,
+            pause_every_ops: 0,
+            pause_ns: 0,
+        }
+    }
+}
+
+/// Per-tenant result of [`run_tenant_fleet`].
+#[derive(Debug, Clone, Copy)]
+pub struct TenantFleetReport {
+    /// Gateway tenant index.
+    pub tenant: usize,
+    /// Conservation split + latency statistics for this tenant.
+    pub report: FleetReport,
+    /// Distinct logical clients that issued at least one request.
+    pub logical_seen: u64,
+}
+
+/// Runs every tenant's workload concurrently against one [`Gateway`]
+/// and reports per tenant. `seed` steers all workloads (task `c` of
+/// tenant `t` seeds from `seed * 1e6 + t * 1000 + c`).
+///
+/// Must be called inside a running simulation; preload the key
+/// populations first (e.g. [`preload`] on the gateway's inner client).
+pub async fn run_tenant_fleet(
+    gateway: &Rc<Gateway>,
+    workloads: &[TenantWorkload],
+    seed: u64,
+) -> Vec<TenantFleetReport> {
+    let t0 = now();
+    let mut tenants = Vec::with_capacity(workloads.len());
+    for (wi, w) in workloads.iter().enumerate() {
+        let w = *w;
+        assert!(w.tasks > 0 && w.pipeline > 0, "degenerate tenant workload");
+        assert!(w.logical_clients > 0, "tenant needs a client population");
+        let gateway = gateway.clone();
+        // One aggregator per tenant so elapsed time is measured at the
+        // moment *this* tenant's last request resolves, not at whatever
+        // later point the caller gets around to awaiting it.
+        tenants.push(spawn(async move {
+            let latency = Rc::new(Histogram::new());
+            let seen = Rc::new(RefCell::new(vec![
+                0u64;
+                w.logical_clients.div_ceil(64) as usize
+            ]));
+            let mut tasks = Vec::with_capacity(w.tasks);
+            for c in 0..w.tasks {
+                let gateway = gateway.clone();
+                let latency = latency.clone();
+                let seen = seen.clone();
+                tasks.push(spawn(async move {
+                    // Deterministic stagger, distinct across tenants and
+                    // tasks (same rationale as `run_fleet`).
+                    dpdpu_des::sleep((wi as u64 * 131 + c as u64) * 7_919).await;
+                    let mut rng = StdRng::seed_from_u64(
+                        seed.wrapping_mul(1_000_000) + w.tenant as u64 * 1_000 + c as u64,
+                    );
+                    let sampler = KeySampler::new(&w.dist);
+                    let window = dpdpu_des::Semaphore::new(w.pipeline);
+                    let mut issued = 0u64;
+                    let mut in_flight = Vec::with_capacity(w.ops_per_task as usize);
+                    while issued < w.ops_per_task {
+                        if w.pause_every_ops > 0 && issued > 0 && issued.is_multiple_of(w.pause_every_ops) {
+                            // Off phase of the on/off burst cycle.
+                            dpdpu_des::sleep(w.pause_ns).await;
+                        }
+                        let permit = window.acquire().await;
+                        // Attribute the request to one logical client out
+                        // of the tenant's population.
+                        let client_id = rng.random_range(0..w.logical_clients);
+                        seen.borrow_mut()[(client_id / 64) as usize] |= 1 << (client_id % 64);
+                        let key = sampler.sample(&mut rng);
+                        let op = w.mix.pick(&mut rng);
+                        let gateway = gateway.clone();
+                        let latency = latency.clone();
+                        issued += 1;
+                        in_flight.push(spawn(async move {
+                            let _slot = permit;
+                            let t = now();
+                            let tenant = TenantId(w.tenant);
+                            let result = match op {
+                                OpChoice::Read => gateway.kv_get(tenant, key).await.map(|_| ()),
+                                OpChoice::Update => {
+                                    gateway
+                                        .kv_put(
+                                            tenant,
+                                            key,
+                                            Bytes::from(vec![key as u8; w.value_bytes]),
+                                        )
+                                        .await
+                                }
+                                OpChoice::Scan => {
+                                    gateway.kv_scan(tenant, key, w.scan_len).await.map(|_| ())
+                                }
+                            };
+                            match result {
+                                Ok(()) => {
+                                    latency.record(now() - t);
+                                    Outcome::Ok
+                                }
+                                Err(DpdpuError::Unavailable(_)) => Outcome::Shed,
+                                Err(_) => Outcome::Error,
+                            }
+                        }));
+                        if w.gap_ns > 0 {
+                            dpdpu_des::sleep(w.gap_ns).await;
+                        }
+                    }
+                    let (mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64);
+                    for h in in_flight {
+                        match h.await {
+                            Outcome::Ok => ok += 1,
+                            Outcome::Shed => shed += 1,
+                            Outcome::Error => errors += 1,
+                        }
+                    }
+                    (issued, ok, shed, errors)
+                }));
+            }
+            let (mut issued, mut ok, mut shed, mut errors) = (0u64, 0u64, 0u64, 0u64);
+            for t in tasks {
+                let (i, o, s, e) = t.await;
+                issued += i;
+                ok += o;
+                shed += s;
+                errors += e;
+            }
+            let logical_seen = seen.borrow().iter().map(|b| b.count_ones() as u64).sum();
+            TenantFleetReport {
+                tenant: w.tenant,
+                report: FleetReport {
+                    issued,
+                    ok,
+                    shed,
+                    errors,
+                    elapsed_ns: (now() - t0).max(1),
+                    p50_ns: latency.p50().unwrap_or(0),
+                    p99_ns: latency.p99().unwrap_or(0),
+                },
+                logical_seen,
+            }
+        }));
+    }
+    let mut out = Vec::with_capacity(tenants.len());
+    for t in tenants {
+        out.push(t.await);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +672,119 @@ mod tests {
                 preload(&client, &cfg).await;
                 let r = run_fleet(&client, cfg).await;
                 out2.set(Some((r.issued, r.ok, r.elapsed_ns, r.p50_ns, r.p99_ns)));
+            });
+            out.get().unwrap()
+        };
+        assert_eq!(run(), run(), "same seed must reproduce the same run");
+    }
+
+    #[test]
+    fn tenant_fleet_conserves_and_tracks_logical_clients() {
+        use dpdpu_core::TenantSpec;
+        use dpdpu_dds::gateway::GatewayConfig;
+
+        let _check = dpdpu_check::CheckGuard::new();
+        run_async(async {
+            let cluster = DdsCluster::build(ClusterConfig {
+                shards: 2,
+                ..ClusterConfig::default()
+            })
+            .await;
+            let client = cluster.connect(CpuPool::new("fleet", 32, 3_000_000_000));
+            let cfg = FleetConfig {
+                dist: KeyDist::Uniform { keys: 64 },
+                ..FleetConfig::default()
+            };
+            preload(&client, &cfg).await;
+            let gw = Gateway::front(
+                client,
+                GatewayConfig::new(vec![
+                    TenantSpec::latency("kv", 4),
+                    TenantSpec::batch("scan", 1),
+                ]),
+            );
+            let kv = TenantWorkload {
+                logical_clients: 10_000,
+                tasks: 3,
+                ops_per_task: 16,
+                dist: KeyDist::Uniform { keys: 64 },
+                ..TenantWorkload::new(0)
+            };
+            let scan = TenantWorkload {
+                tasks: 1,
+                ops_per_task: 4,
+                dist: KeyDist::Uniform { keys: 64 },
+                mix: Mix {
+                    read_pct: 0,
+                    update_pct: 0,
+                    scan_pct: 100,
+                },
+                pause_every_ops: 2,
+                pause_ns: 50_000,
+                ..TenantWorkload::new(1)
+            };
+            let reports = run_tenant_fleet(&gw, &[kv, scan], 42).await;
+            assert_eq!(reports.len(), 2);
+            for r in &reports {
+                assert_eq!(
+                    r.report.issued,
+                    r.report.ok + r.report.shed + r.report.errors,
+                    "tenant {} accounting must balance: {r:?}",
+                    r.tenant
+                );
+                assert!(r.logical_seen > 0 && r.logical_seen <= r.report.issued);
+            }
+            assert_eq!(reports[0].report.issued, 48);
+            assert_eq!(reports[1].report.issued, 4);
+            // Gateway snapshots agree with the fleet's view.
+            let snap = gw.snapshot(0);
+            assert_eq!(snap.issued, 48);
+            assert_eq!(snap.ok, reports[0].report.ok);
+        });
+    }
+
+    #[test]
+    fn tenant_fleet_is_deterministic_per_seed() {
+        use dpdpu_core::TenantSpec;
+        use dpdpu_dds::gateway::GatewayConfig;
+
+        let run = || {
+            let out = Rc::new(Cell::new(None));
+            let out2 = out.clone();
+            run_async(async move {
+                let cluster = DdsCluster::build(ClusterConfig {
+                    shards: 2,
+                    ..ClusterConfig::default()
+                })
+                .await;
+                let client = cluster.connect(CpuPool::new("fleet", 32, 3_000_000_000));
+                let cfg = FleetConfig {
+                    dist: KeyDist::Uniform { keys: 32 },
+                    ..FleetConfig::default()
+                };
+                preload(&client, &cfg).await;
+                let gw = Gateway::front(
+                    client,
+                    GatewayConfig::new(vec![
+                        TenantSpec::latency("a", 2),
+                        TenantSpec::latency("b", 1),
+                    ]),
+                );
+                let wl = |t: usize| TenantWorkload {
+                    tasks: 2,
+                    ops_per_task: 10,
+                    dist: KeyDist::Uniform { keys: 32 },
+                    ..TenantWorkload::new(t)
+                };
+                let reports = run_tenant_fleet(&gw, &[wl(0), wl(1)], 7).await;
+                out2.set(Some((
+                    reports[0].report.elapsed_ns,
+                    reports[0].report.p99_ns,
+                    reports[0].logical_seen,
+                    reports[1].report.elapsed_ns,
+                    reports[1].report.p99_ns,
+                    reports[1].logical_seen,
+                )));
             });
             out.get().unwrap()
         };

@@ -10,7 +10,7 @@
 //!
 //! Binaries: `fig1_compression`, `fig2_storage_cpu`, `fig3_network_cpu`,
 //! `fig7_rdma`, `fig8_roundtrips`, `fig9_dds_savings`,
-//! `fig10_cluster_scale`, `fig10_fabric`, `abl_scheduler`,
+//! `fig10_cluster_scale`, `fig10_fabric`, `fig11_tenants`, `abl_scheduler`,
 //! `abl_placement`, `abl_cache_split`, `abl_fast_persist`,
 //! `abl_partial_offload`, `abl_tenant_iso`, `abl_pipeline`, `abl_faults`,
 //! and `all_figures` (runs everything).
@@ -27,6 +27,7 @@ pub mod abl_tenant_iso;
 pub mod audit;
 pub mod fig10_cluster_scale;
 pub mod fig10_fabric;
+pub mod fig11_tenants;
 pub mod fig1_compression;
 pub mod fig2_storage_cpu;
 pub mod fig3_network_cpu;
@@ -53,6 +54,7 @@ pub fn all() -> Vec<(&'static str, Runner)> {
         ("fig9", fig9_dds_savings::run),
         ("fig10", fig10_cluster_scale::run),
         ("fig10f", fig10_fabric::run),
+        ("fig11", fig11_tenants::run),
         ("A1", abl_scheduler::run),
         ("A2", abl_placement::run),
         ("A3", abl_cache_split::run),

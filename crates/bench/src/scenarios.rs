@@ -47,6 +47,7 @@ pub fn all() -> Vec<(&'static str, ScenarioFn)> {
         ("cluster_fabric", cluster_fabric),
         ("net_scenarios", net_scenarios),
         ("cluster_failover", cluster_failover),
+        ("gateway_tenants", gateway_tenants),
         ("par_cluster", crate::par_cluster::par_cluster),
     ]
 }
@@ -555,6 +556,118 @@ pub fn cluster_failover(seed: u64) -> ScenarioRun {
         );
         let _ = writeln!(stdout, "replication: {repl}");
         let _ = writeln!(stdout, "served dpu+host per shard: {shards}");
+    })
+}
+
+/// Scenario 8 — the multi-tenant gateway under a storm and faults: a
+/// zipfian KV tenant floods a 2-shard cluster through the
+/// [`Gateway`](dpdpu_dds::gateway::Gateway) while a uniform KV tenant
+/// and a bursty batch-scan tenant keep their paced loads, and the fault
+/// plan drops link messages. The storm tenant must be shed by its token
+/// bucket and in-flight cap while the victims complete; the
+/// tenant-conservation and qos-isolation invariants must balance every
+/// labeled request and scheduler grant at teardown.
+pub fn gateway_tenants(seed: u64) -> ScenarioRun {
+    use dpdpu_core::TenantSpec;
+    use dpdpu_dds::cluster::{ClusterConfig, DdsCluster};
+    use dpdpu_dds::gateway::{Gateway, GatewayConfig};
+
+    use crate::fleet::{preload, run_tenant_fleet, FleetConfig, KeyDist, Mix, TenantWorkload};
+
+    harness(|stdout| {
+        let guard = SessionGuard::new(FaultPlan::new(seed ^ 0x6A7E).link_drops(0.01));
+        let out = Rc::new(RefCell::new(None::<(Vec<String>, u64)>));
+        let out2 = out.clone();
+        let mut sim = Sim::new();
+        sim.spawn(async move {
+            let cluster = DdsCluster::build(ClusterConfig {
+                shards: 2,
+                ..ClusterConfig::default()
+            })
+            .await;
+            let client = cluster.connect(CpuPool::new("gw-fleet", 32, 3_000_000_000));
+            let cfg = FleetConfig {
+                dist: KeyDist::Uniform { keys: 64 },
+                value_bytes: 128,
+                ..FleetConfig::default()
+            };
+            preload(&client, &cfg).await;
+            let gw = Gateway::front(
+                client,
+                GatewayConfig {
+                    dispatch_slots: 12,
+                    ..GatewayConfig::new(vec![
+                        TenantSpec::latency("storm-kv", 1)
+                            .rate(150_000, 16)
+                            .in_flight(8),
+                        TenantSpec::latency("steady-kv", 4),
+                        TenantSpec::batch("batch-scan", 2),
+                    ])
+                },
+            );
+            let storm = TenantWorkload {
+                logical_clients: 600_000,
+                tasks: 6,
+                ops_per_task: 32,
+                pipeline: 6,
+                dist: KeyDist::Zipfian {
+                    keys: 64,
+                    theta: 0.99,
+                },
+                value_bytes: 128,
+                ..TenantWorkload::new(0)
+            };
+            let steady = TenantWorkload {
+                logical_clients: 300_000,
+                tasks: 2,
+                ops_per_task: 16,
+                pipeline: 2,
+                gap_ns: 4_000,
+                dist: KeyDist::Uniform { keys: 64 },
+                value_bytes: 128,
+                ..TenantWorkload::new(1)
+            };
+            let batch = TenantWorkload {
+                logical_clients: 150_000,
+                tasks: 1,
+                ops_per_task: 6,
+                pipeline: 1,
+                gap_ns: 20_000,
+                dist: KeyDist::Uniform { keys: 64 },
+                mix: Mix {
+                    read_pct: 0,
+                    update_pct: 0,
+                    scan_pct: 100,
+                },
+                scan_len: 8,
+                pause_every_ops: 2,
+                pause_ns: 100_000,
+                ..TenantWorkload::new(2)
+            };
+            let reports = run_tenant_fleet(&gw, &[storm, steady, batch], seed).await;
+            let mut lines = Vec::with_capacity(reports.len());
+            let mut distinct = 0u64;
+            for r in &reports {
+                distinct += r.logical_seen;
+                lines.push(format!(
+                    "{} logical_seen={}",
+                    gw.snapshot(r.tenant).summary(),
+                    r.logical_seen
+                ));
+            }
+            *out2.borrow_mut() = Some((lines, distinct));
+        });
+        sim.run();
+        let (lines, distinct) = out.borrow_mut().take().unwrap();
+        let injected = guard.session.report().total();
+        let _ = writeln!(stdout, "## scenario gateway_tenants (seed {seed})");
+        let _ = writeln!(
+            stdout,
+            "tenants=3 distinct_logical_clients={distinct} injected={injected}"
+        );
+        for line in lines {
+            let _ = writeln!(stdout, "{line}");
+        }
     })
 }
 

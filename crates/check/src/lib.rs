@@ -98,6 +98,14 @@ pub enum Invariant {
     /// Non-deposed replicas of one group hold identical live KV state
     /// (entry count, value bytes, and content checksum) at end of run.
     ReplicaDivergence,
+    /// Every request entering the gateway tier carries a tenant label,
+    /// and per tenant nothing vanishes between admission and a terminal
+    /// outcome: issued == completed + shed + failed, ops and bytes.
+    TenantConservation,
+    /// Every request the gateway dispatches toward the shard fabric was
+    /// granted by the per-tenant QoS scheduler first — no path bypasses
+    /// weighted-fair queueing — and every grant is dispatched.
+    QosIsolation,
 }
 
 impl Invariant {
@@ -118,6 +126,8 @@ impl Invariant {
             Invariant::FabricConservation => "fabric-conservation",
             Invariant::EpochFencing => "epoch-fencing",
             Invariant::ReplicaDivergence => "replica-divergence",
+            Invariant::TenantConservation => "tenant-conservation",
+            Invariant::QosIsolation => "qos-isolation",
         }
     }
 }
@@ -184,6 +194,34 @@ struct FabricStat {
     credits_returned: u64,
 }
 
+/// Gateway accounting for one tenant: the admission conservation split
+/// and the scheduler grant/dispatch pairing.
+#[derive(Default)]
+struct TenantStat {
+    issued_ops: u64,
+    issued_bytes: u64,
+    ok_ops: u64,
+    ok_bytes: u64,
+    shed_ops: u64,
+    shed_bytes: u64,
+    failed_ops: u64,
+    failed_bytes: u64,
+    /// Dispatch slots granted by the WFQ/DRR scheduler.
+    granted: u64,
+    /// Requests actually sent toward the shard fabric.
+    dispatched: u64,
+}
+
+impl TenantStat {
+    fn resolved_ops(&self) -> u64 {
+        self.ok_ops + self.shed_ops + self.failed_ops
+    }
+
+    fn resolved_bytes(&self) -> u64 {
+        self.ok_bytes + self.shed_bytes + self.failed_bytes
+    }
+}
+
 /// Epoch and digest accounting for one replica group.
 #[derive(Default)]
 struct ReplGroupStat {
@@ -216,6 +254,7 @@ pub struct CheckSession {
     cluster: RefCell<BTreeMap<String, FlowStat>>,
     fabric: RefCell<BTreeMap<String, FabricStat>>,
     repl: RefCell<BTreeMap<usize, ReplGroupStat>>,
+    tenants: RefCell<BTreeMap<String, TenantStat>>,
     kernels_checked: Cell<u64>,
     faults_injected: RefCell<BTreeMap<String, u64>>,
     faults_handled: RefCell<BTreeMap<(String, &'static str), u64>>,
@@ -239,6 +278,7 @@ impl CheckSession {
             cluster: RefCell::new(BTreeMap::new()),
             fabric: RefCell::new(BTreeMap::new()),
             repl: RefCell::new(BTreeMap::new()),
+            tenants: RefCell::new(BTreeMap::new()),
             kernels_checked: Cell::new(0),
             faults_injected: RefCell::new(BTreeMap::new()),
             faults_handled: RefCell::new(BTreeMap::new()),
@@ -487,6 +527,34 @@ impl CheckSession {
                 }
             }
         }
+        for (tenant, t) in self.tenants.borrow().iter() {
+            if t.issued_ops != t.resolved_ops() || t.issued_bytes != t.resolved_bytes() {
+                pending.push((
+                    Invariant::TenantConservation,
+                    format!(
+                        "tenant '{tenant}': {} ops/{} B issued, {} ok, {} shed, \
+                         {} failed ({} ops/{} B resolved) at end of run",
+                        t.issued_ops,
+                        t.issued_bytes,
+                        t.ok_ops,
+                        t.shed_ops,
+                        t.failed_ops,
+                        t.resolved_ops(),
+                        t.resolved_bytes()
+                    ),
+                ));
+            }
+            if t.granted != t.dispatched {
+                pending.push((
+                    Invariant::QosIsolation,
+                    format!(
+                        "tenant '{tenant}': {} scheduler grants vs {} fabric \
+                         dispatches at end of run",
+                        t.granted, t.dispatched
+                    ),
+                ));
+            }
+        }
         {
             let injected = self.faults_injected.borrow();
             let handled = self.faults_handled.borrow();
@@ -565,6 +633,21 @@ impl CheckSession {
                 " fabric_sites={} fabric_msgs={fabric_msgs} fabric_bytes={fabric_bytes} \
                  fabric_credit_debt={outstanding}",
                 fabric.len(),
+            );
+        }
+        // Tenant/QoS accounting only appears when a gateway labeled
+        // traffic, so pre-gateway goldens are untouched.
+        let tenants = self.tenants.borrow();
+        let tenant_ops: u64 = tenants.values().map(|t| t.issued_ops).sum();
+        if tenant_ops > 0 {
+            let tenant_ok: u64 = tenants.values().map(|t| t.ok_ops).sum();
+            let tenant_shed: u64 = tenants.values().map(|t| t.shed_ops).sum();
+            let grants: u64 = tenants.values().map(|t| t.granted).sum();
+            let _ = write!(
+                out,
+                " tenants={} tenant_ops={tenant_ops} tenant_ok={tenant_ok} \
+                 tenant_shed={tenant_shed} qos_grants={grants}",
+                tenants.len(),
             );
         }
         // Replication accounting only appears when a replicated cluster
@@ -1064,6 +1147,114 @@ pub fn fault_handled(site: &str, outcome: &'static str) {
             .borrow_mut()
             .entry((site.to_string(), outcome))
             .or_default() += 1;
+    });
+}
+
+/// A labeled request of `bytes` entered the gateway tier for `tenant`.
+pub fn tenant_op_issued(tenant: &str, bytes: u64) {
+    with_session(|s| {
+        let mut map = s.tenants.borrow_mut();
+        let t = map.entry(tenant.to_string()).or_default();
+        t.issued_ops += 1;
+        t.issued_bytes += bytes;
+        drop(map);
+        s.note_now();
+    });
+}
+
+fn tenant_resolved(tenant: &str, bump: impl FnOnce(&mut TenantStat)) {
+    with_session(|s| {
+        let mut overdraft = None;
+        {
+            let mut map = s.tenants.borrow_mut();
+            let t = map.entry(tenant.to_string()).or_default();
+            bump(t);
+            if t.resolved_ops() > t.issued_ops || t.resolved_bytes() > t.issued_bytes {
+                overdraft = Some(format!(
+                    "tenant '{tenant}': {} ops/{} B resolved exceeds {} ops/{} B issued",
+                    t.resolved_ops(),
+                    t.resolved_bytes(),
+                    t.issued_ops,
+                    t.issued_bytes
+                ));
+            }
+        }
+        if let Some(msg) = overdraft {
+            s.violate(Invariant::TenantConservation, msg);
+        }
+    });
+}
+
+/// An issued tenant request completed successfully.
+pub fn tenant_op_ok(tenant: &str, bytes: u64) {
+    tenant_resolved(tenant, |t| {
+        t.ok_ops += 1;
+        t.ok_bytes += bytes;
+    });
+}
+
+/// An issued tenant request was shed by per-tenant admission control
+/// (rate limit, in-flight cap, or a downstream shard admission window).
+pub fn tenant_op_shed(tenant: &str, bytes: u64) {
+    tenant_resolved(tenant, |t| {
+        t.shed_ops += 1;
+        t.shed_bytes += bytes;
+    });
+}
+
+/// An issued tenant request terminated with a non-shed error.
+pub fn tenant_op_failed(tenant: &str, bytes: u64) {
+    tenant_resolved(tenant, |t| {
+        t.failed_ops += 1;
+        t.failed_bytes += bytes;
+    });
+}
+
+/// A request left the gateway at `site` without a tenant label — an
+/// immediate violation: unlabeled traffic cannot be admitted, scheduled,
+/// or accounted, so it must never reach the fabric.
+pub fn tenant_unlabeled(site: &str) {
+    with_session(|s| {
+        s.violate(
+            Invariant::TenantConservation,
+            format!("a request left the gateway at '{site}' without a tenant label"),
+        );
+    });
+}
+
+/// The WFQ/DRR scheduler granted `tenant` a dispatch slot.
+pub fn qos_granted(tenant: &str) {
+    with_session(|s| {
+        s.tenants
+            .borrow_mut()
+            .entry(tenant.to_string())
+            .or_default()
+            .granted += 1;
+        s.note_now();
+    });
+}
+
+/// The gateway dispatched one of `tenant`'s requests toward the shard
+/// fabric. Flags immediately when dispatches outrun scheduler grants —
+/// a path that bypasses weighted-fair queueing.
+pub fn tenant_dispatched(tenant: &str) {
+    with_session(|s| {
+        let mut bypass = None;
+        {
+            let mut map = s.tenants.borrow_mut();
+            let t = map.entry(tenant.to_string()).or_default();
+            t.dispatched += 1;
+            if t.dispatched > t.granted {
+                bypass = Some(format!(
+                    "tenant '{tenant}': {} dispatches exceed {} scheduler grants \
+                     (a request bypassed the QoS scheduler)",
+                    t.dispatched, t.granted
+                ));
+            }
+        }
+        if let Some(msg) = bypass {
+            s.violate(Invariant::QosIsolation, msg);
+        }
     });
 }
 

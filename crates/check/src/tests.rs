@@ -400,6 +400,97 @@ fn replica_divergence_allows_converged_groups() {
 }
 
 #[test]
+fn tenant_conservation_catches_vanished_request() {
+    let (_, v) = collecting(|_| {
+        tenant_op_issued("kv", 64);
+        tenant_op_issued("kv", 64);
+        tenant_op_ok("kv", 64);
+        // second request neither completed, shed, nor failed
+    });
+    assert!(has(&v, Invariant::TenantConservation), "{v:?}");
+}
+
+#[test]
+fn tenant_conservation_catches_overdraft_immediately() {
+    let (_, v) = collecting(|_| {
+        tenant_op_issued("kv", 64);
+        tenant_op_ok("kv", 64);
+        tenant_op_ok("kv", 64); // resolved more than ever entered
+    });
+    assert!(has(&v, Invariant::TenantConservation), "{v:?}");
+}
+
+#[test]
+fn tenant_conservation_catches_planted_label_loss() {
+    let (_, v) = collecting(|_| {
+        tenant_unlabeled("gateway.dispatch"); // a request slipped through unlabeled
+    });
+    assert!(has(&v, Invariant::TenantConservation), "{v:?}");
+}
+
+#[test]
+fn tenant_conservation_accepts_balanced_accounting() {
+    let (_, v) = collecting(|_| {
+        tenant_op_issued("kv", 64);
+        tenant_op_ok("kv", 64);
+        tenant_op_issued("scan", 2048);
+        tenant_op_shed("scan", 2048);
+        tenant_op_issued("kv", 128);
+        tenant_op_failed("kv", 128);
+    });
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn qos_isolation_catches_planted_scheduler_bypass() {
+    let (_, v) = collecting(|_| {
+        qos_granted("kv");
+        tenant_dispatched("kv");
+        tenant_dispatched("kv"); // reached the fabric without a grant
+    });
+    assert!(has(&v, Invariant::QosIsolation), "{v:?}");
+}
+
+#[test]
+fn qos_isolation_catches_unused_grant_at_finish() {
+    let (_, v) = collecting(|_| {
+        qos_granted("kv");
+        // the granted slot never turned into a dispatch
+    });
+    assert!(has(&v, Invariant::QosIsolation), "{v:?}");
+}
+
+#[test]
+fn qos_isolation_accepts_granted_dispatches() {
+    let (_, v) = collecting(|_| {
+        for _ in 0..5 {
+            qos_granted("kv");
+            tenant_dispatched("kv");
+        }
+    });
+    assert!(v.is_empty(), "{v:?}");
+}
+
+#[test]
+fn report_gains_tenant_segment_only_with_tenant_traffic() {
+    let (_, _) = collecting(|s| {
+        assert!(!s.report().contains("tenant"), "{}", s.report());
+        tenant_op_issued("kv", 64);
+        qos_granted("kv");
+        tenant_dispatched("kv");
+        tenant_op_ok("kv", 64);
+        tenant_op_issued("scan", 100);
+        tenant_op_shed("scan", 100);
+        let r = s.report();
+        assert!(r.contains("tenants=2"), "{r}");
+        assert!(r.contains("tenant_ops=2"), "{r}");
+        assert!(r.contains("tenant_ok=1"), "{r}");
+        assert!(r.contains("tenant_shed=1"), "{r}");
+        assert!(r.contains("qos_grants=1"), "{r}");
+    });
+}
+
+#[test]
 fn report_gains_repl_segment_only_with_replication_traffic() {
     let (_, _) = collecting(|s| {
         assert!(!s.report().contains("repl_"), "{}", s.report());

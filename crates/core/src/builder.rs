@@ -35,6 +35,7 @@ use dpdpu_storage::{BlockDevice, ExtentFs, FileService, HostFrontEnd};
 
 use crate::runtime::Dpdpu;
 use crate::sproc::SprocRegistry;
+use crate::tenants::TenantSpec;
 
 /// File-system capacity the runtime formats at boot, in 4 KB blocks.
 const FS_CAPACITY_BLOCKS: u64 = 1 << 24;
@@ -55,6 +56,7 @@ pub struct DpdpuBuilder {
     tag: String,
     sched_policy: SchedPolicy,
     tenant_weights: Vec<u64>,
+    tenant_specs: Vec<TenantSpec>,
     fault_plan: Option<FaultPlan>,
     telemetry: bool,
     net: NetConfig,
@@ -68,6 +70,7 @@ impl Default for DpdpuBuilder {
             tag: String::new(),
             sched_policy: SchedPolicy::Fcfs,
             tenant_weights: vec![1],
+            tenant_specs: Vec::new(),
             fault_plan: None,
             telemetry: true,
             net: NetConfig::default(),
@@ -132,6 +135,19 @@ impl DpdpuBuilder {
     pub fn tenant_weights(mut self, weights: Vec<u64>) -> Self {
         assert!(!weights.is_empty(), "at least one tenant weight required");
         self.tenant_weights = weights;
+        self
+    }
+
+    /// Full per-tenant QoS configuration: names, SLO classes, WFQ
+    /// weights, and admission limits. The weight vector feeds the
+    /// compute scheduler's accelerator DRR shares (like
+    /// [`tenant_weights`](Self::tenant_weights)); the full specs are
+    /// carried on the runtime as [`Dpdpu::tenants`] so a serving-tier
+    /// gateway can enforce them on the request path.
+    pub fn tenants(mut self, specs: Vec<TenantSpec>) -> Self {
+        assert!(!specs.is_empty(), "at least one tenant required");
+        self.tenant_weights = specs.iter().map(|t| t.weight).collect();
+        self.tenant_specs = specs;
         self
     }
 
@@ -242,6 +258,7 @@ impl DpdpuBuilder {
             sprocs: SprocRegistry::new(),
             faults,
             net: self.net,
+            tenants: self.tenant_specs.clone(),
         })
     }
 }
@@ -307,6 +324,26 @@ mod tests {
                 let back = node.storage.read(f, 0, 6).await.unwrap();
                 assert_eq!(&back, format!("node-{i}").as_bytes());
             }
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn builder_tenants_feed_scheduler_weights_and_runtime_specs() {
+        use crate::tenants::TenantSpec;
+        let mut sim = Sim::new();
+        sim.spawn(async {
+            let rt = DpdpuBuilder::new()
+                .tenants(vec![
+                    TenantSpec::latency("kv", 4).rate(50_000, 16),
+                    TenantSpec::batch("scan", 2),
+                    TenantSpec::latency("storm", 1).in_flight(8),
+                ])
+                .boot();
+            assert_eq!(rt.scheduler.cycles_by_tenant().len(), 3);
+            assert_eq!(rt.tenants.len(), 3);
+            assert_eq!(rt.tenants[0].name, "kv");
+            assert_eq!(rt.tenants[2].max_in_flight, 8);
         });
         sim.run();
     }

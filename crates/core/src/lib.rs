@@ -20,9 +20,11 @@ mod error;
 mod report;
 mod runtime;
 mod sproc;
+mod tenants;
 
 pub use builder::DpdpuBuilder;
 pub use error::DpdpuError;
 pub use report::Report;
 pub use runtime::Dpdpu;
 pub use sproc::{SprocError, SprocRegistry};
+pub use tenants::{SloClass, TenantSpec};

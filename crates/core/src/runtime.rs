@@ -37,6 +37,11 @@ pub struct Dpdpu {
     /// ([`DpdpuBuilder::net`]); serving layers route their shard
     /// connections over its fabric with its TCP/link settings.
     pub net: NetConfig,
+    /// Per-tenant QoS specs declared at build time
+    /// ([`DpdpuBuilder::tenants`]); empty when the run is
+    /// single-tenant. A serving-tier gateway enforces these on the
+    /// request path; the compute scheduler already took the weights.
+    pub tenants: Vec<crate::tenants::TenantSpec>,
 }
 
 impl Dpdpu {

@@ -28,6 +28,7 @@
 
 pub mod cluster;
 pub mod director;
+pub mod gateway;
 pub mod kv;
 pub mod offload;
 pub mod pageserver;

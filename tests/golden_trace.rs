@@ -88,6 +88,11 @@ fn cluster_failover_matches_golden() {
 }
 
 #[test]
+fn gateway_tenants_matches_golden() {
+    check_scenario("gateway_tenants");
+}
+
+#[test]
 fn par_cluster_matches_golden() {
     check_scenario("par_cluster");
 }
@@ -104,6 +109,7 @@ fn every_scenario_has_golden_coverage() {
         "cluster_fabric",
         "net_scenarios",
         "cluster_failover",
+        "gateway_tenants",
         "par_cluster",
     ];
     for (name, _) in dpdpu_bench::scenarios::all() {

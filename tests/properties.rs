@@ -547,3 +547,121 @@ fn engine_compress_adversarial_pages() {
     });
     sim.run();
 }
+
+/// DRR (gateway scheduler): work conservation — the scheduler never
+/// refuses to serve while any queue holds an item, and never serves
+/// from an empty backlog, across random enqueue/pick interleavings.
+#[test]
+fn drr_is_work_conserving() {
+    use dpdpu::dds::gateway::DrrScheduler;
+
+    let mut rng = StdRng::seed_from_u64(0x9B_0010);
+    for case in 0..32 {
+        let n = rng.random_range(2..8usize);
+        let weights: Vec<u64> = (0..n).map(|_| rng.random_range(1..9u64)).collect();
+        let quantum = rng.random_range(64..4_096u64);
+        let mut s: DrrScheduler<u64> = DrrScheduler::new(&weights, quantum);
+        let mut queued = 0usize;
+        for step in 0..2_000u64 {
+            if rng.random_range(0..100u32) < 55 {
+                let t = rng.random_range(0..n);
+                s.enqueue(t, rng.random_range(1..8_192u64), step);
+                queued += 1;
+            } else if queued > 0 {
+                assert!(
+                    s.pick().is_some(),
+                    "case {case}: refused to serve with {queued} items queued"
+                );
+                queued -= 1;
+            } else {
+                assert!(s.pick().is_none(), "case {case}: served from empty queues");
+            }
+        }
+        assert_eq!(s.len(), queued, "case {case}");
+    }
+}
+
+/// DRR: under sustained all-tenant backlog, served cost converges to
+/// the weight ratio within tolerance, for random weights and costs.
+#[test]
+fn drr_converges_to_weighted_shares() {
+    use dpdpu::dds::gateway::DrrScheduler;
+
+    let mut rng = StdRng::seed_from_u64(0x9B_0011);
+    for case in 0..16 {
+        let n = rng.random_range(2..6usize);
+        let weights: Vec<u64> = (0..n).map(|_| rng.random_range(1..8u64)).collect();
+        let mut s: DrrScheduler<usize> = DrrScheduler::new(&weights, 1_024);
+        for t in 0..n {
+            for _ in 0..8 {
+                s.enqueue(t, rng.random_range(1..2_048u64), t);
+            }
+        }
+        // Keep every queue backlogged: replace each served item.
+        for _ in 0..4_000 {
+            let (t, _, _) = s.pick().expect("backlogged scheduler must serve");
+            s.enqueue(t, rng.random_range(1..2_048u64), t);
+        }
+        let total_w: u64 = weights.iter().sum();
+        let total_served: u64 = (0..n).map(|t| s.served(t)).sum();
+        for t in 0..n {
+            let expect = total_served as f64 * weights[t] as f64 / total_w as f64;
+            let got = s.served(t) as f64;
+            assert!(
+                (got - expect).abs() / expect < 0.15,
+                "case {case} tenant {t}: served {got}, expected ~{expect} \
+                 (weights {weights:?})"
+            );
+        }
+    }
+}
+
+/// DRR: starvation-freedom — a weight-1 tenant holding one max-cost
+/// item is served within an analytically bounded number of picks, no
+/// matter how heavily-weighted adversaries flood the other queues.
+#[test]
+fn drr_never_starves_weight_one_tenants() {
+    use dpdpu::dds::gateway::DrrScheduler;
+
+    let mut rng = StdRng::seed_from_u64(0x9B_0012);
+    for case in 0..16 {
+        let n = rng.random_range(2..6usize);
+        let mut weights: Vec<u64> = (0..n).map(|_| rng.random_range(1..9u64)).collect();
+        weights[0] = 1;
+        let quantum = 256u64;
+        let max_cost = 4_096u64;
+        let mut s: DrrScheduler<&str> = DrrScheduler::new(&weights, quantum);
+        // Worst case for the victim: its head item costs many quanta.
+        s.enqueue(0, max_cost, "victim");
+        for t in 1..n {
+            for _ in 0..512 {
+                s.enqueue(t, max_cost, "noise");
+            }
+        }
+        // The victim's deficit grows by `quantum` per full rotation, so
+        // it is served within ceil(max_cost/quantum) rotations. Per
+        // rotation, tenant j's deficit grows by w_j*quantum, so it
+        // serves at most ceil(w_j*quantum / max_cost) + 1 items (the +1
+        // absorbs carried deficit). Total picks before the victim is
+        // served is bounded by the product.
+        let rotations = max_cost.div_ceil(quantum) + 1;
+        let per_rotation: u64 = weights[1..]
+            .iter()
+            .map(|w| (w * quantum).div_ceil(max_cost) + 1)
+            .sum();
+        let bound = rotations * per_rotation + 1;
+        let mut picks = 0u64;
+        loop {
+            let (_, _, item) = s.pick().expect("backlogged scheduler must serve");
+            picks += 1;
+            if item == "victim" {
+                break;
+            }
+            assert!(
+                picks <= bound,
+                "case {case}: weight-1 tenant starved for {picks} picks \
+                 (bound {bound}, weights {weights:?})"
+            );
+        }
+    }
+}
